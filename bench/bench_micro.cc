@@ -1,0 +1,85 @@
+// E9: engine microbenchmarks — event-queue throughput, placement math,
+// and a full scheduler tick — using google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "core/interval_scheduler.h"
+#include "core/virtual_disk.h"
+#include "disk/disk_array.h"
+#include "sim/simulator.h"
+#include "storage/layout.h"
+#include "util/rng.h"
+
+namespace stagger {
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue q;
+    for (int64_t i = 0; i < batch; ++i) {
+      q.Schedule(SimTime::Micros(static_cast<int64_t>(rng.NextBounded(1 << 20))),
+                 [] {});
+    }
+    while (!q.empty()) {
+      auto fired = q.PopNext();
+      benchmark::DoNotOptimize(fired.time);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_LayoutDiskFor(benchmark::State& state) {
+  auto layout = StaggeredLayout::Create(1000, 17, 5, 5);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout->DiskFor(i, static_cast<int32_t>(i % 5)));
+    ++i;
+  }
+}
+BENCHMARK(BM_LayoutDiskFor);
+
+void BM_AlignmentDelay(benchmark::State& state) {
+  auto frame = VirtualDiskFrame::Create(1000, 5);
+  int64_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        frame->AlignmentDelay(static_cast<int32_t>(t % 1000), 123, t));
+    ++t;
+  }
+}
+BENCHMARK(BM_AlignmentDelay);
+
+void BM_SchedulerIntervalTick(benchmark::State& state) {
+  const int32_t num_streams = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    auto disks = DiskArray::Create(1000, DiskParameters::Evaluation());
+    SchedulerConfig config;
+    config.stride = 5;
+    config.interval = SimTime::Millis(605);
+    auto sched = IntervalScheduler::Create(&sim, &*disks, config);
+    for (int32_t i = 0; i < num_streams; ++i) {
+      DisplayRequest req;
+      req.object = i;
+      req.degree = 5;
+      req.start_disk = (i * 5) % 1000;
+      req.num_subobjects = 1 << 20;  // effectively endless
+      req.on_completed = [] {};
+      (void)(*sched)->Submit(std::move(req));
+    }
+    state.ResumeTiming();
+    sim.RunUntil(SimTime::Millis(605) * 256);  // 256 intervals
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.SetLabel("intervals; streams=" + std::to_string(num_streams));
+}
+BENCHMARK(BM_SchedulerIntervalTick)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace stagger
+
+BENCHMARK_MAIN();

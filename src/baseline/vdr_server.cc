@@ -1,0 +1,308 @@
+#include "baseline/vdr_server.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace stagger {
+
+Status VdrConfig::Validate() const {
+  if (num_clusters < 1) {
+    return Status::InvalidArgument("VDR needs at least one cluster");
+  }
+  if (cluster_degree < 1) {
+    return Status::InvalidArgument("cluster degree must be >= 1");
+  }
+  if (interval <= SimTime::Zero()) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  if (objects_per_cluster < 1) {
+    return Status::InvalidArgument("objects per cluster must be >= 1");
+  }
+  if (replication_wait_threshold < 1) {
+    return Status::InvalidArgument("replication threshold must be >= 1");
+  }
+  if (preload_objects < 0) {
+    return Status::InvalidArgument("preload count must be >= 0");
+  }
+  if (!preload_replicas.empty() && objects_per_cluster != 1) {
+    // Round-robin replica installation assumes one object per cluster;
+    // otherwise two replicas of one object could land in one cluster.
+    return Status::InvalidArgument(
+        "preload_replicas requires objects_per_cluster == 1");
+  }
+  if (fragment_size.bytes() <= 0) {
+    return Status::InvalidArgument("fragment size must be positive");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<VdrServer>> VdrServer::Create(Simulator* sim,
+                                                     const Catalog* catalog,
+                                                     MaterializationService* tertiary,
+                                                     const VdrConfig& config) {
+  STAGGER_RETURN_NOT_OK(config.Validate());
+  auto server = std::unique_ptr<VdrServer>(
+      new VdrServer(sim, catalog, tertiary, config));
+  const int32_t capacity = config.num_clusters * config.objects_per_cluster;
+  int32_t slot = 0;
+  auto install = [&](ObjectId id) {
+    if (slot >= capacity) return false;
+    server->InstallReplica(id, slot % config.num_clusters);
+    ++slot;
+    return true;
+  };
+  if (!config.preload_replicas.empty()) {
+    // Demand-proportional warm start: breadth first (one replica per
+    // object wanting any), then surplus replicas by ascending id
+    // (descending popularity) while capacity remains.
+    const auto n = static_cast<ObjectId>(std::min<size_t>(
+        config.preload_replicas.size(), static_cast<size_t>(catalog->size())));
+    for (ObjectId id = 0; id < n; ++id) {
+      if (config.preload_replicas[static_cast<size_t>(id)] > 0 &&
+          !install(id)) {
+        break;
+      }
+    }
+    for (ObjectId id = 0; id < n && slot < capacity; ++id) {
+      for (int32_t r = 1;
+           r < config.preload_replicas[static_cast<size_t>(id)]; ++r) {
+        if (!install(id)) break;
+      }
+    }
+  } else {
+    const int32_t preload =
+        std::min({config.preload_objects, capacity, catalog->size()});
+    for (ObjectId id = 0; id < preload; ++id) install(id);
+  }
+  return server;
+}
+
+VdrServer::VdrServer(Simulator* sim, const Catalog* catalog,
+                     MaterializationService* tertiary, VdrConfig config)
+    : sim_(sim), catalog_(catalog), tertiary_(tertiary), config_(config),
+      clusters_(static_cast<size_t>(config.num_clusters)),
+      objects_(static_cast<size_t>(catalog->size())) {}
+
+SimTime VdrServer::DisplayTime(ObjectId object) const {
+  return config_.interval * catalog_->Get(object).num_subobjects;
+}
+
+DataSize VdrServer::ObjectSize(ObjectId object) const {
+  return config_.fragment_size * (catalog_->Get(object).num_subobjects *
+                                  config_.cluster_degree);
+}
+
+Status VdrServer::RequestDisplay(ObjectId object, StartedFn on_started,
+                                 CompletedFn on_completed) {
+  if (!catalog_->Contains(object)) {
+    return Status::NotFound("object " + std::to_string(object) +
+                            " not in catalog");
+  }
+  ObjectState& os = objects_[static_cast<size_t>(object)];
+  ++os.access_count;
+  os.last_access = sim_->Now();
+  ++os.waiting;
+  queue_.push_back(Pending{object, sim_->Now(), std::move(on_started),
+                           std::move(on_completed)});
+  metrics_.queue_length.Set(sim_->Now(), static_cast<double>(queue_.size()));
+  Dispatch();
+  return Status::OK();
+}
+
+void VdrServer::Dispatch() {
+  if (dispatching_) return;
+  dispatching_ = true;
+  while (DispatchOnce()) {
+  }
+  dispatching_ = false;
+  metrics_.queue_length.Set(sim_->Now(), static_cast<double>(queue_.size()));
+}
+
+bool VdrServer::DispatchOnce() {
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const ObjectId object = queue_[i].object;
+    ObjectState& os = objects_[static_cast<size_t>(object)];
+
+    const int32_t idle = FindIdleReplica(object);
+    if (idle >= 0) {
+      StartDisplay(i, idle);
+      return true;
+    }
+
+    if (os.clusters.empty() && !os.materializing) {
+      const int32_t dst = ClaimDestination(/*for_replication=*/false);
+      if (dst >= 0) {
+        StartMaterialization(object, dst);
+        return true;
+      }
+    }
+    // Otherwise this request keeps waiting (for the tertiary, or for a
+    // replica to come free); later requests may still be servable.
+  }
+  return false;
+}
+
+int32_t VdrServer::FindIdleReplica(ObjectId object) const {
+  for (int32_t c : objects_[static_cast<size_t>(object)].clusters) {
+    if (clusters_[static_cast<size_t>(c)].activity == ClusterActivity::kIdle) {
+      return c;
+    }
+  }
+  return -1;
+}
+
+int32_t VdrServer::ClaimDestination(bool for_replication) {
+  // Prefer an idle cluster with spare capacity.
+  for (int32_t c = 0; c < config_.num_clusters; ++c) {
+    ClusterState& cs = clusters_[static_cast<size_t>(c)];
+    if (cs.activity == ClusterActivity::kIdle &&
+        static_cast<int32_t>(cs.resident.size()) < config_.objects_per_cluster) {
+      return c;
+    }
+  }
+  // Otherwise evict from an idle cluster whose resident has no queued
+  // demand.  Victim preference (least response-time damage first):
+  //   1. never-accessed objects (highest id — arbitrary but stable);
+  //   2. surplus replicas, least-demanded per replica first;
+  //   3. sole replicas, LFU with LRU tie-break.
+  int32_t best_cluster = -1;
+  ObjectId best_object = kInvalidObject;
+  std::tuple<int32_t, double, int64_t, int64_t> best_key{
+      std::numeric_limits<int32_t>::max(), 0.0, 0, 0};
+  for (int32_t c = 0; c < config_.num_clusters; ++c) {
+    ClusterState& cs = clusters_[static_cast<size_t>(c)];
+    if (cs.activity != ClusterActivity::kIdle) continue;
+    for (ObjectId o : cs.resident) {
+      const ObjectState& os = objects_[static_cast<size_t>(o)];
+      if (os.waiting > 0) continue;
+      const auto replicas = static_cast<double>(os.clusters.size());
+      std::tuple<int32_t, double, int64_t, int64_t> key;
+      if (os.access_count == 0) {
+        key = {0, 0.0, -static_cast<int64_t>(o), 0};
+      } else if (os.clusters.size() > 1) {
+        key = {1, static_cast<double>(os.access_count) / replicas,
+               os.last_access.micros(), o};
+      } else {
+        if (for_replication) continue;  // never displace a sole replica
+        key = {2, static_cast<double>(os.access_count),
+               os.last_access.micros(), o};
+      }
+      if (best_cluster < 0 || key < best_key) {
+        best_key = key;
+        best_cluster = c;
+        best_object = o;
+      }
+    }
+  }
+  if (best_cluster < 0) return -1;
+
+  ClusterState& cs = clusters_[static_cast<size_t>(best_cluster)];
+  cs.resident.erase(
+      std::find(cs.resident.begin(), cs.resident.end(), best_object));
+  ObjectState& os = objects_[static_cast<size_t>(best_object)];
+  os.clusters.erase(
+      std::find(os.clusters.begin(), os.clusters.end(), best_cluster));
+  ++metrics_.evictions;
+  return best_cluster;
+}
+
+void VdrServer::SetActivity(int32_t cluster, ClusterActivity activity) {
+  ClusterState& cs = clusters_[static_cast<size_t>(cluster)];
+  const bool was_idle = cs.activity == ClusterActivity::kIdle;
+  const bool now_idle = activity == ClusterActivity::kIdle;
+  if (was_idle && !now_idle) {
+    cs.busy_since = sim_->Now();
+  } else if (!was_idle && now_idle) {
+    cs.busy_total += sim_->Now() - cs.busy_since;
+  }
+  cs.activity = activity;
+}
+
+void VdrServer::InstallReplica(ObjectId object, int32_t cluster) {
+  clusters_[static_cast<size_t>(cluster)].resident.push_back(object);
+  objects_[static_cast<size_t>(object)].clusters.push_back(cluster);
+}
+
+void VdrServer::StartDisplay(size_t queue_index, int32_t cluster) {
+  Pending p = std::move(queue_[static_cast<size_t>(queue_index)]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(queue_index));
+  ObjectState& os = objects_[static_cast<size_t>(p.object)];
+  STAGGER_CHECK(os.waiting > 0);
+  --os.waiting;
+
+  SetActivity(cluster, ClusterActivity::kDisplay);
+  const SimTime latency = sim_->Now() - p.arrival;
+  metrics_.startup_latency_sec.Add(latency.seconds());
+  if (p.on_started) p.on_started(latency);
+
+  // Piggyback replication: if demand for the object still outstrips its
+  // replicas, multicast this display's cluster read into a destination
+  // cluster; the copy lands when the display ends.
+  // Demand must persistently outstrip supply: with R replicas, another
+  // copy is spawned only while R + threshold requests are still queued.
+  // Transient pair-collisions under near-uniform access therefore do
+  // not trade library breadth for replicas.
+  int32_t copy_dst = -1;
+  if (config_.enable_replication &&
+      os.waiting >= static_cast<int32_t>(os.clusters.size()) +
+                        config_.replication_wait_threshold &&
+      static_cast<int32_t>(os.clusters.size()) < config_.num_clusters) {
+    copy_dst = ClaimDestination(/*for_replication=*/true);
+    if (copy_dst >= 0) SetActivity(copy_dst, ClusterActivity::kCopyDest);
+  }
+
+  sim_->ScheduleAfter(
+      DisplayTime(p.object),
+      [this, cluster, copy_dst, object = p.object,
+       done = std::move(p.on_completed)] {
+        SetActivity(cluster, ClusterActivity::kIdle);
+        if (copy_dst >= 0) {
+          InstallReplica(object, copy_dst);
+          SetActivity(copy_dst, ClusterActivity::kIdle);
+          ++metrics_.replications;
+        }
+        ++metrics_.displays_completed;
+        if (done) done();
+        Dispatch();
+      });
+}
+
+void VdrServer::StartMaterialization(ObjectId object, int32_t dst) {
+  SetActivity(dst, ClusterActivity::kMaterializing);
+  objects_[static_cast<size_t>(object)].materializing = true;
+  ++metrics_.materializations;
+  tertiary_->Enqueue(
+      object, ObjectSize(object),
+      [this, dst](ObjectId done) {
+        InstallReplica(done, dst);
+        objects_[static_cast<size_t>(done)].materializing = false;
+        SetActivity(dst, ClusterActivity::kIdle);
+        Dispatch();
+      },
+      /*on_start=*/nullptr);
+}
+
+int32_t VdrServer::ResidentObjectCount() const {
+  int32_t count = 0;
+  for (const ObjectState& os : objects_) {
+    if (!os.clusters.empty()) ++count;
+  }
+  return count;
+}
+
+double VdrServer::MeanClusterUtilization() const {
+  const SimTime now = sim_->Now();
+  if (now <= SimTime::Zero()) return 0.0;
+  double total = 0.0;
+  for (const ClusterState& cs : clusters_) {
+    SimTime busy = cs.busy_total;
+    if (cs.activity != ClusterActivity::kIdle) busy += now - cs.busy_since;
+    total += busy.seconds() / now.seconds();
+  }
+  return total / static_cast<double>(clusters_.size());
+}
+
+}  // namespace stagger

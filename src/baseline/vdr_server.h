@@ -1,0 +1,163 @@
+// Virtual data replication baseline ([GS93], summarized in Section 2).
+//
+// The D disks are partitioned into R = D/M physical clusters; an object
+// is declustered across the disks of exactly one cluster, so a cluster
+// delivers one display at a time for the object's whole duration.  To
+// keep a popular object's cluster from becoming the bottleneck, the
+// server dynamically *replicates* frequently accessed objects onto
+// additional clusters (and eviction reclaims replicas of cold objects).
+//
+// The replication trigger approximates [GS93]'s MRT state-transition
+// policy: when at least `replication_wait_threshold` requests remain
+// queued for an object as one of its replicas begins a display, the
+// display's cluster read is multicast into a claimable destination
+// cluster ("piggyback" replication) — the new replica comes online when
+// the display completes, at no extra source-bandwidth cost.  Eviction
+// reclaims replicas of cold objects LFU-first.  See DESIGN.md
+// (Substitutions).
+
+#ifndef STAGGER_BASELINE_VDR_SERVER_H_
+#define STAGGER_BASELINE_VDR_SERVER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "storage/catalog.h"
+#include "tertiary/tertiary_manager.h"
+#include "util/result.h"
+#include "util/stats.h"
+#include "workload/media_service.h"
+
+namespace stagger {
+
+/// \brief VDR server configuration.
+struct VdrConfig {
+  int32_t num_clusters = 0;       ///< R = D / M
+  int32_t cluster_degree = 0;     ///< M, disks per cluster
+  SimTime interval;               ///< S(C_i), per-subobject delivery time
+  /// Per-disk transfer unit; object size = n * M * fragment_size.
+  DataSize fragment_size = DataSize::MB(1.512);
+  /// Whole objects storable per cluster (1 under Table 3 parameters).
+  int32_t objects_per_cluster = 1;
+  /// Master switch for dynamic replication.
+  bool enable_replication = true;
+  /// Damping for replica growth: a display spawns a piggyback replica
+  /// only while waiting >= threshold * current-replica-count, so replica
+  /// sets stop growing once supply matches queued demand.
+  int32_t replication_wait_threshold = 1;
+  /// Objects (by id, ascending) installed one-per-cluster-slot before
+  /// the run starts, skipping the cold-start transient.
+  int32_t preload_objects = 0;
+  /// Optional demand-proportional preload: replica count per object id.
+  /// When non-empty this overrides preload_objects; installation stops
+  /// when cluster capacity runs out.
+  std::vector<int32_t> preload_replicas;
+
+  Status Validate() const;
+};
+
+/// \brief What each cluster is doing.
+enum class ClusterActivity {
+  kIdle,
+  kDisplay,
+  kCopySource,
+  kCopyDest,
+  kMaterializing,
+};
+
+/// \brief Counters reported by the VDR server.
+struct VdrMetrics {
+  int64_t displays_completed = 0;
+  int64_t replications = 0;
+  int64_t materializations = 0;
+  int64_t evictions = 0;
+  StreamingStats startup_latency_sec;
+  TimeWeighted queue_length;
+};
+
+/// \brief The virtual-data-replication media server.
+class VdrServer : public MediaService {
+ public:
+  /// \param sim      simulation kernel; outlives the server.
+  /// \param catalog  database; outlives the server.
+  /// \param tertiary shared tertiary manager; outlives the server.
+  static Result<std::unique_ptr<VdrServer>> Create(Simulator* sim,
+                                                   const Catalog* catalog,
+                                                   MaterializationService* tertiary,
+                                                   const VdrConfig& config);
+
+  Status RequestDisplay(ObjectId object, StartedFn on_started,
+                        CompletedFn on_completed) override;
+
+  const VdrMetrics& metrics() const { return metrics_; }
+  const VdrConfig& config() const { return config_; }
+
+  /// Replicas of `object` currently resident.
+  int32_t ReplicaCount(ObjectId object) const {
+    return static_cast<int32_t>(
+        objects_[static_cast<size_t>(object)].clusters.size());
+  }
+  int32_t ResidentObjectCount() const;
+  size_t pending_requests() const { return queue_.size(); }
+  /// Fraction of elapsed time the mean cluster spent non-idle.
+  double MeanClusterUtilization() const;
+
+ private:
+  struct ClusterState {
+    ClusterActivity activity = ClusterActivity::kIdle;
+    std::vector<ObjectId> resident;
+    SimTime busy_since;
+    SimTime busy_total;
+  };
+  struct ObjectState {
+    std::vector<int32_t> clusters;  ///< replica locations
+    int64_t access_count = 0;
+    SimTime last_access;
+    int32_t waiting = 0;
+    bool materializing = false;
+  };
+  struct Pending {
+    ObjectId object;
+    SimTime arrival;
+    StartedFn on_started;
+    CompletedFn on_completed;
+  };
+
+  VdrServer(Simulator* sim, const Catalog* catalog, MaterializationService* tertiary,
+            VdrConfig config);
+
+  void Dispatch();
+  /// FIFO pass over the queue; true if any action was taken.
+  bool DispatchOnce();
+  /// Idle cluster holding `object`, or -1.
+  int32_t FindIdleReplica(ObjectId object) const;
+  /// Claims a destination cluster (idle, spare capacity or evictable
+  /// content); evicts as needed.  Returns -1 when none is claimable.
+  /// Replication destinations may only displace never-accessed objects
+  /// or surplus replicas — growing a replica set never shrinks the set
+  /// of unique resident objects; materializations may displace anything
+  /// evictable.
+  int32_t ClaimDestination(bool for_replication);
+  void StartDisplay(size_t queue_index, int32_t cluster);
+  void StartMaterialization(ObjectId object, int32_t dst);
+  void SetActivity(int32_t cluster, ClusterActivity activity);
+  void InstallReplica(ObjectId object, int32_t cluster);
+  SimTime DisplayTime(ObjectId object) const;
+  DataSize ObjectSize(ObjectId object) const;
+
+  Simulator* sim_;
+  const Catalog* catalog_;
+  MaterializationService* tertiary_;
+  VdrConfig config_;
+  std::vector<ClusterState> clusters_;
+  std::vector<ObjectState> objects_;
+  std::deque<Pending> queue_;
+  VdrMetrics metrics_;
+  bool dispatching_ = false;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_BASELINE_VDR_SERVER_H_

@@ -1,0 +1,40 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+namespace stagger {
+
+Status SystemModel::Validate() const {
+  if (num_disks < 1) return Status::InvalidArgument("model needs disks");
+  STAGGER_RETURN_NOT_OK(disk.Validate());
+  if (fragment_cylinders < 1) {
+    return Status::InvalidArgument("fragment must span >= 1 cylinder");
+  }
+  if (display_bandwidth.bits_per_sec() <= 0) {
+    return Status::InvalidArgument("display bandwidth must be positive");
+  }
+  if (subobjects_per_object < 1) {
+    return Status::InvalidArgument("objects need subobjects");
+  }
+  if (Degree() > num_disks) {
+    return Status::InvalidArgument("degree exceeds the number of disks");
+  }
+  return Status::OK();
+}
+
+int32_t SystemModel::Degree() const {
+  return static_cast<int32_t>(
+      std::ceil(display_bandwidth.bits_per_sec() /
+                    EffectiveDiskBandwidth().bits_per_sec() -
+                1e-9));
+}
+
+int32_t SystemModel::MaxResidentObjects() const {
+  const int64_t total_cylinders =
+      static_cast<int64_t>(num_disks) * disk.num_cylinders;
+  const int64_t object_cylinders =
+      fragment_cylinders * Degree() * subobjects_per_object;
+  return static_cast<int32_t>(total_cylinders / object_cylinders);
+}
+
+}  // namespace stagger

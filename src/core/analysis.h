@@ -1,0 +1,81 @@
+// Closed-form performance model of a staggered-striping system — the
+// back-of-envelope formulas scattered through Sections 1 and 3, in one
+// place.  The test suite cross-validates the simulator against these
+// bounds; capacity_planner uses them interactively.
+
+#ifndef STAGGER_CORE_ANALYSIS_H_
+#define STAGGER_CORE_ANALYSIS_H_
+
+#include <cstdint>
+
+#include "disk/disk_parameters.h"
+#include "util/result.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// \brief Inputs of the analytical model.
+struct SystemModel {
+  int32_t num_disks = 0;            ///< D
+  DiskParameters disk;              ///< drive model
+  int64_t fragment_cylinders = 1;   ///< fragment size
+  Bandwidth display_bandwidth;      ///< B_Display of the media type
+  int64_t subobjects_per_object = 0;
+  /// When true, disk.transfer_rate is already the *effective* B_Disk
+  /// (Table 3 specifies 20 mbps net of seek/latency) and the interval
+  /// is pure transfer time; when false (e.g. the Sabre), the effective
+  /// rate is derated by T_switch per activation.
+  bool transfer_rate_is_effective = false;
+
+  Status Validate() const;
+
+  /// Effective per-disk bandwidth for the chosen fragment size.
+  Bandwidth EffectiveDiskBandwidth() const {
+    return transfer_rate_is_effective
+               ? disk.transfer_rate
+               : disk.EffectiveBandwidthCylinders(fragment_cylinders);
+  }
+  /// Degree of declustering M = ceil(B_Display / B_Disk).
+  int32_t Degree() const;
+  /// Number of (logical) clusters R = floor(D / M).
+  int32_t NumClusters() const { return num_disks / Degree(); }
+  /// Time interval S(C_i).
+  SimTime Interval() const {
+    return transfer_rate_is_effective
+               ? TransferTime(disk.cylinder_capacity * fragment_cylinders,
+                              disk.transfer_rate)
+               : disk.ServiceTime(fragment_cylinders);
+  }
+  /// Wall-clock duration of one display: n intervals.
+  SimTime DisplayTime() const { return Interval() * subobjects_per_object; }
+  /// Maximum simultaneous displays the disk bandwidth supports: R.
+  int32_t MaxConcurrentDisplays() const { return NumClusters(); }
+  /// Upper bound on sustained throughput (displays/hour):
+  /// R / display-time.
+  double MaxDisplaysPerHour() const {
+    return MaxConcurrentDisplays() / DisplayTime().hours();
+  }
+  /// Worst-case transfer-initiation delay at full load (Section 3.1):
+  /// (R - 1) * S(C_i).
+  SimTime WorstCaseInitiationDelay() const {
+    return Interval() * (NumClusters() - 1);
+  }
+  /// Size of one object.
+  DataSize ObjectSize() const {
+    return disk.cylinder_capacity *
+           (fragment_cylinders * Degree() * subobjects_per_object);
+  }
+  /// Whole objects the farm can hold.
+  int32_t MaxResidentObjects() const;
+  /// Minimum buffer memory for the whole farm (Equation 1 per disk).
+  DataSize MinTotalBufferMemory() const {
+    return DataSize::Bytes(
+        disk.MinBufferMemory(disk.cylinder_capacity * fragment_cylinders)
+            .bytes() *
+        num_disks);
+  }
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_CORE_ANALYSIS_H_

@@ -1,0 +1,52 @@
+// Buffer-memory accounting.  Time-fragmented delivery (Algorithm 1)
+// and low-bandwidth multiplexing (Section 3.2.3) trade memory for
+// schedulability; the pool enforces a configurable fragment budget and
+// records usage statistics for the experiments.
+
+#ifndef STAGGER_CORE_BUFFER_POOL_H_
+#define STAGGER_CORE_BUFFER_POOL_H_
+
+#include <cstdint>
+
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// \brief Counting semaphore over fragment-sized buffers.
+class BufferPool {
+ public:
+  /// \param capacity_fragments  budget; <= 0 means unlimited.
+  explicit BufferPool(int64_t capacity_fragments)
+      : capacity_(capacity_fragments) {}
+
+  bool unlimited() const { return capacity_ <= 0; }
+  int64_t capacity() const { return capacity_; }
+  int64_t reserved() const { return reserved_; }
+  int64_t peak_reserved() const { return peak_; }
+
+  /// Attempts to reserve `fragments` buffers; false when the budget
+  /// would be exceeded.
+  bool TryReserve(int64_t fragments) {
+    STAGGER_DCHECK(fragments >= 0);
+    if (!unlimited() && reserved_ + fragments > capacity_) return false;
+    reserved_ += fragments;
+    if (reserved_ > peak_) peak_ = reserved_;
+    return true;
+  }
+
+  void Release(int64_t fragments) {
+    STAGGER_DCHECK(fragments >= 0);
+    reserved_ -= fragments;
+    STAGGER_CHECK(reserved_ >= 0) << "buffer pool released more than reserved";
+  }
+
+ private:
+  int64_t capacity_;
+  int64_t reserved_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_CORE_BUFFER_POOL_H_

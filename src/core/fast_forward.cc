@@ -1,0 +1,23 @@
+#include "core/fast_forward.h"
+
+namespace stagger {
+
+Result<FastForwardReplica> MakeFastForwardReplica(const MediaObject& original,
+                                                  int32_t speedup) {
+  if (speedup < 1) {
+    return Status::InvalidArgument("fast-forward speedup must be >= 1");
+  }
+  if (original.num_subobjects < 1) {
+    return Status::InvalidArgument("original object has no subobjects");
+  }
+  FastForwardReplica replica;
+  replica.speedup = speedup;
+  replica.object = original;
+  replica.object.id = kInvalidObject;
+  replica.object.name = original.name + ".ff" + std::to_string(speedup);
+  replica.object.num_subobjects =
+      CeilDiv(original.num_subobjects, static_cast<int64_t>(speedup));
+  return replica;
+}
+
+}  // namespace stagger

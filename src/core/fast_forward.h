@@ -1,0 +1,42 @@
+// Fast-forward with scanning (Section 3.2.5).  The data layout is tuned
+// for normal-speed delivery, so scanning stores a small "fast forward
+// replica" per object: roughly every 16th frame, displayed at the normal
+// rate, covering the timeline `speedup` times faster.  This header maps
+// between normal and replica positions and sizes the replica.
+
+#ifndef STAGGER_CORE_FAST_FORWARD_H_
+#define STAGGER_CORE_FAST_FORWARD_H_
+
+#include "storage/media_object.h"
+#include "util/result.h"
+
+namespace stagger {
+
+/// \brief Fast-forward replica descriptor.
+struct FastForwardReplica {
+  /// The replica as a displayable object (same bandwidth, fewer
+  /// subobjects); its id is assigned when added to a catalog.
+  MediaObject object;
+  /// Timeline compression factor (e.g. 16 for VHS-style scan).
+  int32_t speedup = 1;
+
+  /// Replica subobject covering normal-speed subobject `i`.
+  int64_t ToReplica(int64_t i) const { return i / speedup; }
+  /// First normal-speed subobject covered by replica subobject `ri`.
+  int64_t FromReplica(int64_t ri) const { return ri * speedup; }
+
+  /// Fraction of the original object's storage the replica consumes.
+  double StorageOverhead(const MediaObject& original) const {
+    return static_cast<double>(object.num_subobjects) /
+           static_cast<double>(original.num_subobjects);
+  }
+};
+
+/// Builds the scan replica of `original`: ceil(n / speedup) subobjects
+/// at the original display bandwidth.  `speedup` must be >= 1.
+Result<FastForwardReplica> MakeFastForwardReplica(const MediaObject& original,
+                                                  int32_t speedup);
+
+}  // namespace stagger
+
+#endif  // STAGGER_CORE_FAST_FORWARD_H_

@@ -1,0 +1,410 @@
+#include "core/interval_scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace stagger {
+
+Result<std::unique_ptr<IntervalScheduler>> IntervalScheduler::Create(
+    Simulator* sim, DiskArray* disks, const SchedulerConfig& config) {
+  if (config.interval <= SimTime::Zero()) {
+    return Status::InvalidArgument("scheduler interval must be positive");
+  }
+  if (config.fragmented_lookahead < 0) {
+    return Status::InvalidArgument("fragmented lookahead must be >= 0");
+  }
+  STAGGER_ASSIGN_OR_RETURN(VirtualDiskFrame frame,
+                           VirtualDiskFrame::Create(disks->num_disks(),
+                                                    config.stride));
+  auto scheduler = std::unique_ptr<IntervalScheduler>(
+      new IntervalScheduler(sim, disks, config, frame));
+  return scheduler;
+}
+
+IntervalScheduler::IntervalScheduler(Simulator* sim, DiskArray* disks,
+                                     SchedulerConfig config,
+                                     VirtualDiskFrame frame)
+    : sim_(sim), disks_(disks), config_(config), frame_(frame),
+      buffers_(config.buffer_capacity_fragments), epoch_(sim->Now()),
+      vdisk_owner_(static_cast<size_t>(disks->num_disks()), kNoStream) {
+  ticker_ = std::make_unique<PeriodicTicker>(
+      sim_, epoch_, config_.interval, [this](int64_t tick) { Tick(tick); });
+}
+
+IntervalScheduler::~IntervalScheduler() = default;
+
+Result<RequestId> IntervalScheduler::Submit(DisplayRequest request) {
+  if (request.degree < 1 || request.degree > frame_.num_disks()) {
+    return Status::InvalidArgument("display degree must be in [1, D]");
+  }
+  if (request.num_subobjects < 1) {
+    return Status::InvalidArgument("display must cover at least one subobject");
+  }
+  if (request.start_disk < 0 || request.start_disk >= frame_.num_disks()) {
+    return Status::InvalidArgument("start disk out of range");
+  }
+  const RequestId id = next_request_id_++;
+  queue_.push_back(Pending{id, std::move(request), sim_->Now()});
+  request_to_stream_[id] = kNoStream;
+  ++metrics_.displays_requested;
+  return id;
+}
+
+Status IntervalScheduler::Cancel(RequestId id) {
+  auto it = request_to_stream_.find(id);
+  if (it == request_to_stream_.end()) {
+    return Status::NotFound("unknown request " + std::to_string(id));
+  }
+  if (it->second == kNoStream) {
+    for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+      if (qit->id == id) {
+        queue_.erase(qit);
+        break;
+      }
+    }
+  } else {
+    FinishStream(it->second, /*completed=*/false);
+  }
+  request_to_stream_.erase(id);
+  ++metrics_.displays_cancelled;
+  return Status::OK();
+}
+
+Result<RequestId> IntervalScheduler::Seek(RequestId id, int32_t new_start_disk,
+                                          int64_t new_num_subobjects) {
+  auto it = request_to_stream_.find(id);
+  if (it == request_to_stream_.end() || it->second == kNoStream) {
+    return Status::FailedPrecondition("Seek requires an active stream");
+  }
+  auto sit = streams_.find(it->second);
+  STAGGER_CHECK(sit != streams_.end());
+  DisplayRequest req;
+  req.object = sit->second.object;
+  req.degree = sit->second.degree;
+  req.start_disk = new_start_disk;
+  req.num_subobjects = new_num_subobjects;
+  req.on_started = sit->second.on_started;
+  req.on_completed = sit->second.on_completed;
+
+  FinishStream(it->second, /*completed=*/false);
+  request_to_stream_.erase(it);
+  return Submit(std::move(req));
+}
+
+int32_t IntervalScheduler::idle_virtual_disks() const {
+  return static_cast<int32_t>(
+      std::count(vdisk_owner_.begin(), vdisk_owner_.end(), kNoStream));
+}
+
+void IntervalScheduler::Tick(int64_t tick_index) {
+  interval_index_ = tick_index;
+  TryAdmissions();
+  AdvanceStreams();
+  UpdateIntervalStats();
+}
+
+void IntervalScheduler::TryAdmissions() {
+  // Scan FIFO; with backfill, requests behind a blocked head may be
+  // admitted (the paper's Figure 3 idle slots serving a new request).
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (TryAdmit(*it)) {
+      it = queue_.erase(it);
+    } else if (config_.allow_backfill) {
+      ++it;
+    } else {
+      break;
+    }
+  }
+}
+
+bool IntervalScheduler::TryAdmit(const Pending& p) {
+  if (TryAdmitContiguous(p)) return true;
+  if (config_.policy == AdmissionPolicy::kFragmented &&
+      TryAdmitFragmented(p)) {
+    return true;
+  }
+  return false;
+}
+
+bool IntervalScheduler::TryAdmitContiguous(const Pending& p) {
+  // The request starts only when the virtual disks *currently over* its
+  // first fragments are all idle (alignment delay zero).
+  const int32_t v0 = frame_.VirtualOf(p.req.start_disk, interval_index_);
+  const int32_t m = p.req.degree;
+  for (int32_t j = 0; j < m; ++j) {
+    const int32_t v = static_cast<int32_t>(
+        PositiveMod(static_cast<int64_t>(v0) + j, frame_.num_disks()));
+    if (vdisk_owner_[static_cast<size_t>(v)] != kNoStream) return false;
+  }
+  std::vector<FragmentLane> lanes(static_cast<size_t>(m));
+  for (int32_t j = 0; j < m; ++j) {
+    lanes[static_cast<size_t>(j)].vdisk = static_cast<int32_t>(
+        PositiveMod(static_cast<int64_t>(v0) + j, frame_.num_disks()));
+    lanes[static_cast<size_t>(j)].next_read_tau = 0;
+  }
+  AdmitStream(p, std::move(lanes), /*delta_max=*/0, /*fragmented=*/false,
+              /*buffer_frags=*/0);
+  return true;
+}
+
+bool IntervalScheduler::TryAdmitFragmented(const Pending& p) {
+  const int32_t m = p.req.degree;
+  const int32_t d = frame_.num_disks();
+  std::vector<FragmentLane> lanes(static_cast<size_t>(m));
+  std::vector<char> taken(static_cast<size_t>(d), 0);
+  int64_t delta_max = 0;
+
+  for (int32_t j = 0; j < m; ++j) {
+    const int32_t target = static_cast<int32_t>(
+        PositiveMod(static_cast<int64_t>(p.req.start_disk) + j, d));
+    int32_t best_v = -1;
+    int64_t best_delta = config_.fragmented_lookahead + 1;
+    for (int32_t v = 0; v < d; ++v) {
+      if (vdisk_owner_[static_cast<size_t>(v)] != kNoStream ||
+          taken[static_cast<size_t>(v)]) {
+        continue;
+      }
+      auto delta = frame_.AlignmentDelay(v, target, interval_index_);
+      if (!delta.has_value()) continue;
+      if (*delta < best_delta) {
+        best_delta = *delta;
+        best_v = v;
+        if (best_delta == 0) break;
+      }
+    }
+    if (best_v < 0) return false;
+    taken[static_cast<size_t>(best_v)] = 1;
+    lanes[static_cast<size_t>(j)].vdisk = best_v;
+    lanes[static_cast<size_t>(j)].next_read_tau = best_delta;
+    delta_max = std::max(delta_max, best_delta);
+  }
+
+  int64_t buffer_frags = 0;
+  for (int32_t j = 0; j < m; ++j) {
+    buffer_frags += delta_max - lanes[static_cast<size_t>(j)].next_read_tau;
+  }
+  if (!buffers_.TryReserve(buffer_frags)) return false;
+
+  AdmitStream(p, std::move(lanes), delta_max, /*fragmented=*/buffer_frags > 0,
+              buffer_frags);
+  return true;
+}
+
+void IntervalScheduler::AdmitStream(const Pending& p,
+                                    std::vector<FragmentLane> lanes,
+                                    int64_t delta_max, bool fragmented,
+                                    int64_t buffer_frags) {
+  Stream s;
+  s.id = p.id;
+  s.object = p.req.object;
+  s.degree = p.req.degree;
+  s.num_subobjects = p.req.num_subobjects;
+  s.start_disk = p.req.start_disk;
+  s.admit_interval = interval_index_;
+  s.delta_max = delta_max;
+  s.arrival_time = p.arrival;
+  s.lanes = std::move(lanes);
+  s.fragmented = fragmented;
+  s.buffer_reserved = buffer_frags;
+  s.on_completed = p.req.on_completed;
+  s.on_started = p.req.on_started;
+
+  for (const FragmentLane& lane : s.lanes) {
+    STAGGER_DCHECK(vdisk_owner_[static_cast<size_t>(lane.vdisk)] == kNoStream);
+    vdisk_owner_[static_cast<size_t>(lane.vdisk)] = s.id;
+  }
+  ++metrics_.displays_admitted;
+  if (fragmented) ++metrics_.fragmented_admissions;
+  request_to_stream_[p.id] = s.id;
+  streams_.emplace(s.id, std::move(s));
+}
+
+void IntervalScheduler::AdvanceStreams() {
+  // Deterministic order: process streams by ascending id.
+  std::vector<StreamId> ids;
+  ids.reserve(streams_.size());
+  for (const auto& [id, s] : streams_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<StreamId> finished;
+  for (StreamId id : ids) {
+    Stream& s = streams_.at(id);
+    const int64_t tau = s.Tau(interval_index_);
+
+    if (config_.coalesce && s.fragmented) TryCoalesce(&s);
+
+    // Reads: each lane reads the next fragment when its disk is aligned.
+    for (int32_t j = 0; j < s.degree; ++j) {
+      FragmentLane& lane = s.lanes[static_cast<size_t>(j)];
+      if (lane.released || lane.reads_done >= s.num_subobjects) continue;
+      if (tau < lane.next_read_tau) continue;
+      const int32_t physical = frame_.PhysicalOf(lane.vdisk, interval_index_);
+      const int32_t expected = static_cast<int32_t>(PositiveMod(
+          static_cast<int64_t>(s.start_disk) +
+              lane.reads_done * config_.stride + j,
+          frame_.num_disks()));
+      STAGGER_CHECK(physical == expected)
+          << "lane misalignment: stream " << s.id << " fragment " << j;
+      disks_->disk(physical).Reserve();
+      if (config_.read_observer) {
+        config_.read_observer(interval_index_, s.object, lane.reads_done, j,
+                              physical);
+      }
+      ++lane.reads_done;
+      lane.next_read_tau = tau + 1;
+      if (lane.reads_done >= s.num_subobjects) ReleaseLane(&s, j);
+    }
+
+    // Output: subobject `delivered` is transmitted at tau == delta_max +
+    // delivered, synchronized across lanes (Algorithm 1).
+    if (tau >= s.delta_max && s.delivered < s.num_subobjects) {
+      const int64_t due = s.delivered;
+      for (int32_t j = 0; j < s.degree; ++j) {
+        if (s.lanes[static_cast<size_t>(j)].reads_done <= due) {
+          ++metrics_.hiccups;
+        }
+      }
+      ++s.delivered;
+      if (s.delivered == 1) {
+        const SimTime latency = IntervalStart(interval_index_) - s.arrival_time;
+        metrics_.startup_latency_sec.Add(latency.seconds());
+        if (s.on_started) s.on_started(latency);
+      }
+      if (s.delivered == s.num_subobjects) finished.push_back(id);
+    }
+  }
+
+  for (StreamId id : finished) {
+    auto it = streams_.find(id);
+    if (it == streams_.end()) continue;
+    request_to_stream_.erase(it->second.id);
+    FinishStream(id, /*completed=*/true);
+  }
+}
+
+void IntervalScheduler::TryCoalesce(Stream* s) {
+  // One migration per stream per interval (Algorithm 2 admits a new
+  // coalesce request only after the previous one completes).
+  const int64_t tau = s->Tau(interval_index_);
+  const int32_t d = frame_.num_disks();
+
+  // Pick the lane with the largest lead (biggest buffer backlog).
+  int32_t pick = -1;
+  int64_t pick_lead = 0;
+  for (int32_t j = 0; j < s->degree; ++j) {
+    const FragmentLane& lane = s->lanes[static_cast<size_t>(j)];
+    if (lane.released || lane.reads_done >= s->num_subobjects) continue;
+    if (lane.next_read_tau > tau) continue;  // mid-gap from prior migration
+    const int64_t effective_delta = lane.next_read_tau - lane.reads_done;
+    const int64_t lead = s->delta_max - effective_delta;
+    if (lead > pick_lead) {
+      pick_lead = lead;
+      pick = j;
+    }
+  }
+  if (pick < 0) return;
+
+  FragmentLane& lane = s->lanes[static_cast<size_t>(pick)];
+  const int32_t target = static_cast<int32_t>(PositiveMod(
+      static_cast<int64_t>(s->start_disk) + lane.reads_done * config_.stride +
+          pick,
+      d));
+  const int64_t cur_effective = lane.next_read_tau - lane.reads_done;
+  // Latest safe resume: outputs reach subobject reads_done exactly when
+  // the new disk takes over (backlog fully drained, no hiccup).
+  const int64_t max_resume = lane.reads_done + s->delta_max;
+
+  int32_t best_v = -1;
+  int64_t best_resume = -1;
+  for (int32_t v = 0; v < d; ++v) {
+    if (vdisk_owner_[static_cast<size_t>(v)] != kNoStream) continue;
+    auto delta = frame_.AlignmentDelay(v, target, interval_index_);
+    if (!delta.has_value()) continue;
+    int64_t resume = tau + *delta;
+    if (resume > max_resume) continue;
+    // Later alignment solutions resume = tau + delta + m * period; take
+    // the largest one still safe.
+    const int64_t period = frame_.period();
+    if (period > 0 && resume < max_resume) {
+      resume += ((max_resume - resume) / period) * period;
+    }
+    if (resume > best_resume) {
+      best_resume = resume;
+      best_v = v;
+    }
+  }
+  if (best_v < 0) return;
+  const int64_t new_effective = best_resume - lane.reads_done;
+  if (new_effective <= cur_effective) return;  // no buffer improvement
+
+  // Migrate: release the old disk now; reads resume on the new one.
+  vdisk_owner_[static_cast<size_t>(lane.vdisk)] = kNoStream;
+  vdisk_owner_[static_cast<size_t>(best_v)] = s->id;
+  lane.vdisk = best_v;
+  lane.next_read_tau = best_resume;
+  ++metrics_.coalesce_migrations;
+
+  // Shrink the buffer reservation to the new steady-state backlog.
+  int64_t new_reserved = 0;
+  for (int32_t j = 0; j < s->degree; ++j) {
+    const FragmentLane& l = s->lanes[static_cast<size_t>(j)];
+    if (l.reads_done >= s->num_subobjects) continue;
+    const int64_t eff = l.next_read_tau - l.reads_done;
+    new_reserved += std::max<int64_t>(0, s->delta_max - eff);
+  }
+  if (new_reserved < s->buffer_reserved) {
+    buffers_.Release(s->buffer_reserved - new_reserved);
+    s->buffer_reserved = new_reserved;
+  }
+  // Still fragmented while any lane leads.
+  s->fragmented = false;
+  for (int32_t j = 0; j < s->degree; ++j) {
+    const FragmentLane& l = s->lanes[static_cast<size_t>(j)];
+    if (l.reads_done >= s->num_subobjects) continue;
+    if (l.next_read_tau - l.reads_done < s->delta_max) {
+      s->fragmented = true;
+      break;
+    }
+  }
+}
+
+void IntervalScheduler::ReleaseLane(Stream* s, int32_t lane_index) {
+  FragmentLane& lane = s->lanes[static_cast<size_t>(lane_index)];
+  if (lane.released) return;
+  STAGGER_DCHECK(vdisk_owner_[static_cast<size_t>(lane.vdisk)] == s->id);
+  vdisk_owner_[static_cast<size_t>(lane.vdisk)] = kNoStream;
+  lane.released = true;
+}
+
+void IntervalScheduler::FinishStream(StreamId id, bool completed) {
+  auto it = streams_.find(id);
+  STAGGER_CHECK(it != streams_.end()) << "unknown stream " << id;
+  Stream& s = it->second;
+  for (int32_t j = 0; j < s.degree; ++j) {
+    ReleaseLane(&s, j);
+  }
+  if (s.buffer_reserved > 0) {
+    buffers_.Release(s.buffer_reserved);
+    s.buffer_reserved = 0;
+  }
+  auto on_completed = std::move(s.on_completed);
+  streams_.erase(it);
+  if (completed) {
+    ++metrics_.displays_completed;
+    if (on_completed) on_completed();
+  }
+}
+
+void IntervalScheduler::UpdateIntervalStats() {
+  const SimTime now = sim_->Now();
+  metrics_.queue_length.Set(now, static_cast<double>(queue_.size()));
+  int64_t buffered = 0;
+  for (const auto& [id, s] : streams_) buffered += s.TotalBufferedFragments();
+  metrics_.buffered_fragments.Set(now, static_cast<double>(buffered));
+  metrics_.peak_buffered_fragments =
+      std::max(metrics_.peak_buffered_fragments, buffered);
+  disks_->EndInterval();
+}
+
+}  // namespace stagger

@@ -1,0 +1,189 @@
+// The Centralized Scheduler / Disk Manager of the paper, for the striped
+// schemes (simple striping is the stride = M special case).
+//
+// Time is divided into fixed intervals of length S(C_i).  In each
+// interval an active display reads one fragment of its current
+// subobject from each of M_X disks; the whole disk set shifts k to the
+// right every interval.  Because every stream shifts by the same k, we
+// track occupancy in *virtual-disk* space (see virtual_disk.h), where
+// stream ownership is time-invariant.
+//
+// Admission policies:
+//  * kContiguous — a request starts when the M adjacent virtual disks
+//    currently over its first subobject's disks are all idle (the simple
+//    striping rule; worst-case latency (R-1) * S(C_i)).
+//  * kFragmented — additionally admits over non-adjacent idle virtual
+//    disks within an alignment lookahead, buffering early reads
+//    (Algorithm 1).  With `coalesce` set, fragmented streams migrate
+//    lanes onto later-aligned free disks as they appear, draining
+//    buffers (Algorithm 2).
+
+#ifndef STAGGER_CORE_INTERVAL_SCHEDULER_H_
+#define STAGGER_CORE_INTERVAL_SCHEDULER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/buffer_pool.h"
+#include "core/stream.h"
+#include "core/virtual_disk.h"
+#include "disk/disk_array.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "util/stats.h"
+
+namespace stagger {
+
+/// Admission policy (Section 3.2.1).
+enum class AdmissionPolicy {
+  kContiguous,   ///< adjacent, aligned virtual disks only
+  kFragmented,   ///< + Algorithm 1 (buffered, non-adjacent admission)
+};
+
+/// \brief Counters and distributions reported by the scheduler.
+struct SchedulerMetrics {
+  int64_t displays_requested = 0;
+  int64_t displays_admitted = 0;
+  int64_t displays_completed = 0;
+  int64_t displays_cancelled = 0;
+  int64_t fragmented_admissions = 0;
+  int64_t coalesce_migrations = 0;
+  /// Output intervals where a lane had not yet read the due fragment.
+  /// Zero by construction; a non-zero value indicates a scheduler bug.
+  int64_t hiccups = 0;
+  /// Seconds from request arrival to first delivered subobject.
+  StreamingStats startup_latency_sec;
+  /// Pending-queue length sampled every interval (time-weighted).
+  TimeWeighted queue_length;
+  /// Fragment buffers in use (time-weighted) and their peak.
+  TimeWeighted buffered_fragments;
+  int64_t peak_buffered_fragments = 0;
+};
+
+/// \brief Configuration of the interval scheduler.
+struct SchedulerConfig {
+  int32_t stride = 1;                  ///< k
+  SimTime interval = SimTime::Millis(605);  ///< S(C_i)
+  AdmissionPolicy policy = AdmissionPolicy::kContiguous;
+  /// Enable Algorithm 2 lane migration (only meaningful with kFragmented).
+  bool coalesce = false;
+  /// Max alignment delay (intervals) accepted for a fragmented lane.
+  int64_t fragmented_lookahead = 16;
+  /// Buffer budget in fragments; <= 0 means unlimited.
+  int64_t buffer_capacity_fragments = 0;
+  /// Requests behind a blocked head may be admitted (Figure 3's "idle
+  /// time intervals would be used to service the new request").
+  bool allow_backfill = true;
+  /// Optional observer invoked for every fragment read:
+  /// (interval, object, subobject, fragment, physical disk).  Used by
+  /// ScheduleTracer to render Figure 3-style schedules.
+  std::function<void(int64_t, ObjectId, int64_t, int32_t, int32_t)>
+      read_observer;
+};
+
+/// \brief One display request handed to the scheduler.
+struct DisplayRequest {
+  ObjectId object = kInvalidObject;
+  /// Physical disk of the first fragment to read (layout of X_{s.0} when
+  /// starting from subobject s).
+  int32_t start_disk = 0;
+  int32_t degree = 0;
+  int64_t num_subobjects = 0;
+  /// Invoked when the first subobject is delivered, with the startup
+  /// latency (arrival to display start).
+  std::function<void(SimTime)> on_started;
+  /// Invoked when the last subobject is delivered.
+  std::function<void()> on_completed;
+};
+
+/// \brief Interval-synchronous scheduler for staggered striping.
+class IntervalScheduler {
+ public:
+  /// \param sim    simulation kernel; must outlive the scheduler.
+  /// \param disks  disk farm (utilization stats); must outlive it.
+  /// \param config scheduler parameters; validated here.
+  static Result<std::unique_ptr<IntervalScheduler>> Create(
+      Simulator* sim, DiskArray* disks, const SchedulerConfig& config);
+
+  ~IntervalScheduler();
+  IntervalScheduler(const IntervalScheduler&) = delete;
+  IntervalScheduler& operator=(const IntervalScheduler&) = delete;
+
+  /// Enqueues a display request; admission follows the configured
+  /// policy.  Returns a handle usable with Cancel().
+  Result<RequestId> Submit(DisplayRequest request);
+
+  /// Cancels a pending or active request.  Active streams release their
+  /// disks immediately; no completion callback fires.
+  Status Cancel(RequestId id);
+
+  /// Repositions an *active* display (rewind / fast-forward without
+  /// scan, Section 3.2.5): the stream is torn down and re-queued reading
+  /// `new_num_subobjects` stripes starting from the disk holding the
+  /// target position's first fragment.  Returns the new handle.  The
+  /// caller computes both values from the object's layout.
+  Result<RequestId> Seek(RequestId id, int32_t new_start_disk,
+                         int64_t new_num_subobjects);
+
+  const SchedulerMetrics& metrics() const { return metrics_; }
+  const VirtualDiskFrame& frame() const { return frame_; }
+  const SchedulerConfig& config() const { return config_; }
+  int64_t current_interval() const { return interval_index_; }
+  size_t pending_requests() const { return queue_.size(); }
+  size_t active_streams() const { return streams_.size(); }
+  int32_t idle_virtual_disks() const;
+
+  /// Interval-start wall time of interval index `t`.
+  SimTime IntervalStart(int64_t t) const {
+    return epoch_ + config_.interval * t;
+  }
+
+ private:
+  struct Pending {
+    RequestId id;
+    DisplayRequest req;
+    SimTime arrival;
+  };
+
+  IntervalScheduler(Simulator* sim, DiskArray* disks, SchedulerConfig config,
+                    VirtualDiskFrame frame);
+
+  void Tick(int64_t tick_index);
+  void TryAdmissions();
+  /// Attempts to admit `p` at the current interval; true on success.
+  bool TryAdmit(const Pending& p);
+  bool TryAdmitContiguous(const Pending& p);
+  bool TryAdmitFragmented(const Pending& p);
+  void AdmitStream(const Pending& p, std::vector<FragmentLane> lanes,
+                   int64_t delta_max, bool fragmented, int64_t buffer_frags);
+  void AdvanceStreams();
+  void TryCoalesce(Stream* s);
+  void ReleaseLane(Stream* s, int32_t lane_index);
+  void FinishStream(StreamId id, bool completed);
+  void UpdateIntervalStats();
+
+  Simulator* sim_;
+  DiskArray* disks_;
+  SchedulerConfig config_;
+  VirtualDiskFrame frame_;
+  BufferPool buffers_;
+  SimTime epoch_;
+  int64_t interval_index_ = 0;
+
+  std::vector<StreamId> vdisk_owner_;
+  std::unordered_map<StreamId, Stream> streams_;
+  std::deque<Pending> queue_;
+  RequestId next_request_id_ = 1;
+  /// Maps live request handles to their stream (or kNoStream if queued).
+  std::unordered_map<RequestId, StreamId> request_to_stream_;
+
+  SchedulerMetrics metrics_;
+  std::unique_ptr<PeriodicTicker> ticker_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_CORE_INTERVAL_SCHEDULER_H_

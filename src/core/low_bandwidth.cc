@@ -1,0 +1,47 @@
+#include "core/low_bandwidth.h"
+
+#include <cmath>
+
+namespace stagger {
+
+double IntegralDiskWaste(Bandwidth display, Bandwidth disk) {
+  STAGGER_CHECK(display.bits_per_sec() > 0 && disk.bits_per_sec() > 0);
+  const double disks =
+      std::ceil(display.bits_per_sec() / disk.bits_per_sec() - 1e-9);
+  return 1.0 - display.bits_per_sec() / (disks * disk.bits_per_sec());
+}
+
+Result<LogicalAllocation> AllocateLogical(Bandwidth display, Bandwidth disk,
+                                          int32_t logical_per_disk) {
+  if (display.bits_per_sec() <= 0) {
+    return Status::InvalidArgument("display bandwidth must be positive");
+  }
+  if (disk.bits_per_sec() <= 0) {
+    return Status::InvalidArgument("disk bandwidth must be positive");
+  }
+  if (logical_per_disk < 1) {
+    return Status::InvalidArgument("logical disks per physical must be >= 1");
+  }
+  const double unit_bw = disk.bits_per_sec() / logical_per_disk;
+  LogicalAllocation alloc;
+  alloc.units = static_cast<int64_t>(
+      std::ceil(display.bits_per_sec() / unit_bw - 1e-9));
+  alloc.disks = CeilDiv(alloc.units, logical_per_disk);
+  alloc.wasted_fraction =
+      1.0 - display.bits_per_sec() / (static_cast<double>(alloc.units) * unit_bw);
+  // A lane that shares its disk reads at full rate for units/L of the
+  // interval but transmits across the whole interval; the surplus read
+  // ahead of transmission must be buffered.  For a lane using u of L
+  // units the backlog peaks at (1 - u/L) of the lane's per-interval
+  // data.  Whole-disk lanes (u == L) pipeline directly and buffer
+  // nothing.
+  const int64_t partial_units = alloc.units % logical_per_disk;
+  if (partial_units != 0) {
+    alloc.buffer_subobject_fraction =
+        (1.0 - static_cast<double>(partial_units) / logical_per_disk) *
+        (static_cast<double>(partial_units) / static_cast<double>(alloc.units));
+  }
+  return alloc;
+}
+
+}  // namespace stagger

@@ -1,0 +1,48 @@
+// Low-bandwidth objects (Section 3.2.3).  Objects with
+// B_Display < B_Disk (or a non-multiple of it) waste bandwidth when
+// forced to occupy an integral number of disks.  The paper splits each
+// disk into L logical disks of B_Disk / L each, multiplexing several
+// subobjects per time interval at the cost of extra buffer space
+// (Figure 7).  This module provides the rounding-waste analysis and the
+// logical-unit allocation math used by the E7 benchmark and the
+// logical-disk scheduler.
+
+#ifndef STAGGER_CORE_LOW_BANDWIDTH_H_
+#define STAGGER_CORE_LOW_BANDWIDTH_H_
+
+#include <cstdint>
+
+#include "util/result.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// \brief Allocation of one object onto logical disk units.
+struct LogicalAllocation {
+  /// Logical units reserved per interval (each B_Disk / L).
+  int64_t units = 0;
+  /// Physical disks touched per interval: ceil(units / L).
+  int64_t disks = 0;
+  /// Fraction of the reserved bandwidth left unused by the object.
+  double wasted_fraction = 0.0;
+  /// Extra buffering, as a fraction of one subobject, needed to smooth
+  /// intra-interval multiplexing (zero when L == 1; Figure 7's half-
+  /// subobject when L == 2 and the object uses one unit).
+  double buffer_subobject_fraction = 0.0;
+};
+
+/// Bandwidth waste when `display` is served by an integral number of
+/// whole disks of `disk` bandwidth: 1 - display / (ceil(display/disk) *
+/// disk).  The paper's 30 mbps object on 20 mbps disks wastes 25 %.
+double IntegralDiskWaste(Bandwidth display, Bandwidth disk);
+
+/// Allocates `display` bandwidth in units of `disk`/`logical_per_disk`.
+/// \param display          the object's B_Display (> 0).
+/// \param disk             effective disk bandwidth B_Disk (> 0).
+/// \param logical_per_disk L >= 1 logical disks per physical disk.
+Result<LogicalAllocation> AllocateLogical(Bandwidth display, Bandwidth disk,
+                                          int32_t logical_per_disk);
+
+}  // namespace stagger
+
+#endif  // STAGGER_CORE_LOW_BANDWIDTH_H_

@@ -1,0 +1,103 @@
+#include "core/schedule_trace.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace stagger {
+
+ScheduleTracer::ScheduleTracer(int32_t num_disks, int64_t max_intervals)
+    : num_disks_(num_disks), max_intervals_(max_intervals) {
+  STAGGER_CHECK(num_disks_ >= 1);
+}
+
+void ScheduleTracer::Record(int64_t interval, ObjectId object,
+                            int64_t subobject, int32_t fragment,
+                            int32_t disk) {
+  if (max_intervals_ > 0 && interval >= max_intervals_) return;
+  STAGGER_CHECK(disk >= 0 && disk < num_disks_);
+  events_[interval][disk] = Event{object, subobject, fragment};
+  ++num_events_;
+  if (interval > last_interval_) last_interval_ = interval;
+}
+
+void ScheduleTracer::Name(ObjectId object, std::string name) {
+  names_[object] = std::move(name);
+}
+
+std::string ScheduleTracer::NameOf(ObjectId object) const {
+  auto it = names_.find(object);
+  if (it != names_.end()) return it->second;
+  std::ostringstream os;
+  os << "#" << object;
+  return os.str();
+}
+
+Table ScheduleTracer::RenderClusters(int32_t cluster_size) const {
+  STAGGER_CHECK(cluster_size >= 1 && cluster_size <= num_disks_);
+  const int32_t clusters = num_disks_ / cluster_size;
+  std::vector<std::string> header;
+  header.push_back("interval");
+  for (int32_t c = 0; c < clusters; ++c) {
+    std::ostringstream os;
+    os << "cluster " << c;
+    header.push_back(os.str());
+  }
+  Table table(std::move(header));
+
+  for (int64_t t = 0; t <= last_interval_; ++t) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(t));
+    auto it = events_.find(t);
+    for (int32_t c = 0; c < clusters; ++c) {
+      std::string cell = "idle";
+      if (it != events_.end()) {
+        // The cluster's first disk carries fragment 0 of the subobject
+        // read this interval (cluster-aligned displays).
+        auto disk_it = it->second.find(c * cluster_size);
+        if (disk_it != it->second.end()) {
+          const Event& e = disk_it->second;
+          std::ostringstream os;
+          os << "read " << NameOf(e.object) << "(" << e.subobject << ")";
+          cell = os.str();
+        }
+      }
+      row.push_back(std::move(cell));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+Table ScheduleTracer::RenderDisks() const {
+  std::vector<std::string> header;
+  header.push_back("interval");
+  for (int32_t d = 0; d < num_disks_; ++d) {
+    std::ostringstream os;
+    os << "d" << d;
+    header.push_back(os.str());
+  }
+  Table table(std::move(header));
+  for (int64_t t = 0; t <= last_interval_; ++t) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(t));
+    auto it = events_.find(t);
+    for (int32_t d = 0; d < num_disks_; ++d) {
+      std::string cell = ".";
+      if (it != events_.end()) {
+        auto disk_it = it->second.find(d);
+        if (disk_it != it->second.end()) {
+          const Event& e = disk_it->second;
+          std::ostringstream os;
+          os << NameOf(e.object) << e.subobject << "." << e.fragment;
+          cell = os.str();
+        }
+      }
+      row.push_back(std::move(cell));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace stagger

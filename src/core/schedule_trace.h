@@ -1,0 +1,67 @@
+// Records the per-interval read schedule and renders it as the paper's
+// Figure 3 ("read Z(k+1) / read X(i+1) / idle" per cluster per
+// interval) or as a raw disk-by-interval grid.  Attach via
+// SchedulerConfig::read_observer.
+
+#ifndef STAGGER_CORE_SCHEDULE_TRACE_H_
+#define STAGGER_CORE_SCHEDULE_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/media_object.h"
+#include "util/table.h"
+
+namespace stagger {
+
+/// \brief Accumulates (interval, object, subobject, fragment, disk)
+/// read events.
+class ScheduleTracer {
+ public:
+  /// \param num_disks      D.
+  /// \param max_intervals  recording stops after this many intervals
+  ///                       (keeps traces bounded); <= 0 records forever.
+  explicit ScheduleTracer(int32_t num_disks, int64_t max_intervals = 64);
+
+  /// The observer to install in SchedulerConfig::read_observer — bind
+  /// with a lambda: `[&tracer](auto... a) { tracer.Record(a...); }`.
+  void Record(int64_t interval, ObjectId object, int64_t subobject,
+              int32_t fragment, int32_t disk);
+
+  /// Assigns a display name to an object id (defaults to "#<id>").
+  void Name(ObjectId object, std::string name);
+
+  int64_t num_events() const { return num_events_; }
+  int64_t last_interval() const { return last_interval_; }
+
+  /// Figure 3 rendering: one row per interval, one column per cluster
+  /// of `cluster_size` adjacent disks; each cell is "read X(s)" for the
+  /// subobject read from that cluster, or "idle".  Only meaningful when
+  /// displays are cluster-aligned (k = M).
+  Table RenderClusters(int32_t cluster_size) const;
+
+  /// Raw rendering: one row per interval, one column per disk; cells
+  /// are "X0.2"-style fragment names (Figures 1/4/5 orientation).
+  Table RenderDisks() const;
+
+ private:
+  struct Event {
+    ObjectId object;
+    int64_t subobject;
+    int32_t fragment;
+  };
+  std::string NameOf(ObjectId object) const;
+
+  int32_t num_disks_;
+  int64_t max_intervals_;
+  int64_t num_events_ = 0;
+  int64_t last_interval_ = -1;
+  /// events_[interval][disk]
+  std::map<int64_t, std::map<int32_t, Event>> events_;
+  std::map<ObjectId, std::string> names_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_CORE_SCHEDULE_TRACE_H_

@@ -1,0 +1,81 @@
+// Active delivery streams.  A stream is one in-progress display (or one
+// materialization pass): `degree` virtual disks each reading one
+// fragment of every subobject, outputs synchronized to the latest-
+// aligned fragment (Algorithm 1 of Section 3.2.1).
+
+#ifndef STAGGER_CORE_STREAM_H_
+#define STAGGER_CORE_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/media_object.h"
+#include "util/units.h"
+
+namespace stagger {
+
+using StreamId = int64_t;
+using RequestId = int64_t;
+constexpr StreamId kNoStream = -1;
+
+/// \brief Dynamic state of one fragment lane (one virtual disk) of a
+/// stream.
+struct FragmentLane {
+  /// Virtual disk currently assigned to this fragment index; kNoStream
+  /// sentinel is never used here — a lane always owns a disk until its
+  /// reads complete.
+  int32_t vdisk = -1;
+  /// Subobjects read so far on this lane (= index of the next read).
+  int64_t reads_done = 0;
+  /// Stream-local interval at which the next read occurs.  Reads then
+  /// proceed every interval; a coalescing migration re-introduces a gap
+  /// (the Algorithm 2 "quiet period").
+  int64_t next_read_tau = 0;
+  /// True once the lane finished all reads and released its disk.
+  bool released = false;
+};
+
+/// \brief One active display.
+struct Stream {
+  StreamId id = kNoStream;
+  ObjectId object = kInvalidObject;
+  int32_t degree = 0;          ///< M_X
+  int64_t num_subobjects = 0;  ///< subobjects still to deliver (n)
+  int32_t start_disk = 0;      ///< physical disk of the first fragment read
+  int64_t admit_interval = 0;  ///< global interval index at admission
+  /// Stream-local interval at which output (display) begins: the largest
+  /// initial alignment delay among lanes (Algorithm 1's w_offset).
+  int64_t delta_max = 0;
+  SimTime arrival_time;        ///< request arrival, for latency accounting
+  std::vector<FragmentLane> lanes;
+  /// Subobjects fully delivered to the display station.
+  int64_t delivered = 0;
+  /// True when admitted over non-adjacent disks (buffers in use).
+  bool fragmented = false;
+  /// Fragments currently reserved in the buffer pool by this stream.
+  int64_t buffer_reserved = 0;
+
+  std::function<void()> on_completed;
+  std::function<void(SimTime)> on_started;
+
+  /// Local time for global interval `t`.
+  int64_t Tau(int64_t t) const { return t - admit_interval; }
+
+  /// Fragments currently held in memory by lane `j`:
+  /// reads completed minus subobjects already delivered.
+  int64_t BufferedFragments(int32_t j) const {
+    const int64_t lead = lanes[static_cast<size_t>(j)].reads_done - delivered;
+    return lead > 0 ? lead : 0;
+  }
+
+  int64_t TotalBufferedFragments() const {
+    int64_t total = 0;
+    for (int32_t j = 0; j < degree; ++j) total += BufferedFragments(j);
+    return total;
+  }
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_CORE_STREAM_H_

@@ -1,0 +1,56 @@
+#include "core/virtual_disk.h"
+
+#include <numeric>
+#include <string>
+
+namespace stagger {
+
+int64_t ExtendedGcd(int64_t a, int64_t b, int64_t* x, int64_t* y) {
+  if (b == 0) {
+    *x = 1;
+    *y = 0;
+    return a;
+  }
+  int64_t x1, y1;
+  const int64_t g = ExtendedGcd(b, a % b, &x1, &y1);
+  *x = y1;
+  *y = x1 - (a / b) * y1;
+  return g;
+}
+
+Result<int64_t> ModInverse(int64_t a, int64_t m) {
+  if (m < 1) return Status::InvalidArgument("ModInverse: modulus must be >= 1");
+  if (m == 1) return int64_t{0};
+  int64_t x, y;
+  const int64_t g = ExtendedGcd(PositiveMod(a, m), m, &x, &y);
+  if (g != 1) {
+    return Status::NotFound("ModInverse: " + std::to_string(a) + " not invertible mod " +
+                            std::to_string(m));
+  }
+  return PositiveMod(x, m);
+}
+
+Result<VirtualDiskFrame> VirtualDiskFrame::Create(int32_t num_disks, int32_t stride) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("VirtualDiskFrame: need at least one disk");
+  }
+  if (stride < 1 || stride > num_disks) {
+    return Status::InvalidArgument("VirtualDiskFrame: stride must be in [1, D]");
+  }
+  const int32_t g = static_cast<int32_t>(
+      std::gcd(static_cast<int64_t>(num_disks), static_cast<int64_t>(stride)));
+  // (k/g) is invertible modulo (D/g) by construction.
+  STAGGER_ASSIGN_OR_RETURN(int64_t inv, ModInverse(stride / g, num_disks / g));
+  return VirtualDiskFrame(num_disks, stride, g, inv);
+}
+
+std::optional<int64_t> VirtualDiskFrame::AlignmentDelay(int32_t v, int32_t p,
+                                                        int64_t t) const {
+  // Solve k * delta == p - PhysicalOf(v, t)  (mod D), delta >= 0 minimal.
+  const int64_t c = PositiveMod(p - PhysicalOf(v, t), num_disks_);
+  if (c % gcd_ != 0) return std::nullopt;
+  const int64_t m = period();
+  return PositiveMod((c / gcd_) * stride_inverse_, m);
+}
+
+}  // namespace stagger

@@ -1,0 +1,83 @@
+// Virtual disks (Section 3.2.1).  "A virtual disk i at time interval t
+// is defined as physical disk (i - kt) mod D ... a virtual disk reads
+// the same fragment of each subobject and shifts in time with the
+// stride of the staggering."
+//
+// We model occupancy in virtual-disk space: because every stream shifts
+// by the same stride k per interval, ownership of a virtual disk is
+// time-invariant — two streams that do not collide at admission never
+// collide later.  This file provides the frame mapping between virtual
+// and physical indices and the modular alignment solver used by
+// admission: the earliest interval at which a virtual disk passes over a
+// given physical disk.
+
+#ifndef STAGGER_CORE_VIRTUAL_DISK_H_
+#define STAGGER_CORE_VIRTUAL_DISK_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "util/result.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// Extended Euclid: returns g = gcd(a, b) and x, y with a*x + b*y = g.
+int64_t ExtendedGcd(int64_t a, int64_t b, int64_t* x, int64_t* y);
+
+/// Modular inverse of a modulo m (m >= 1); NotFound when gcd(a, m) != 1.
+Result<int64_t> ModInverse(int64_t a, int64_t m);
+
+/// \brief The rotating frame relating virtual and physical disk indices
+/// for a system of `D` disks with stride `k`.
+class VirtualDiskFrame {
+ public:
+  /// \param num_disks  D >= 1.
+  /// \param stride     k in [1, D].
+  static Result<VirtualDiskFrame> Create(int32_t num_disks, int32_t stride);
+
+  int32_t num_disks() const { return num_disks_; }
+  int32_t stride() const { return stride_; }
+  /// gcd(D, k); virtual disk v only ever visits physical disks congruent
+  /// to v modulo this value.
+  int32_t gcd() const { return gcd_; }
+  /// Number of intervals after which a virtual disk revisits the same
+  /// physical disk: D / gcd(D, k).
+  int32_t period() const { return num_disks_ / gcd_; }
+
+  /// Physical disk under virtual disk `v` at interval `t`.
+  int32_t PhysicalOf(int32_t v, int64_t t) const {
+    return static_cast<int32_t>(
+        PositiveMod(static_cast<int64_t>(v) + static_cast<int64_t>(stride_) * t,
+                    num_disks_));
+  }
+
+  /// Virtual disk over physical disk `p` at interval `t` (the paper's
+  /// (i - kt) mod D).
+  int32_t VirtualOf(int32_t p, int64_t t) const {
+    return static_cast<int32_t>(
+        PositiveMod(static_cast<int64_t>(p) - static_cast<int64_t>(stride_) * t,
+                    num_disks_));
+  }
+
+  /// Smallest delta >= 0 such that virtual disk `v` sits over physical
+  /// disk `p` at interval `t + delta`; nullopt when unreachable (p and v
+  /// in different residue classes modulo gcd(D, k)).
+  std::optional<int64_t> AlignmentDelay(int32_t v, int32_t p, int64_t t) const;
+
+ private:
+  VirtualDiskFrame(int32_t num_disks, int32_t stride, int32_t gcd,
+                   int64_t stride_inverse)
+      : num_disks_(num_disks), stride_(stride), gcd_(gcd),
+        stride_inverse_(stride_inverse) {}
+
+  int32_t num_disks_;
+  int32_t stride_;
+  int32_t gcd_;
+  /// Inverse of (k / g) modulo (D / g), precomputed.
+  int64_t stride_inverse_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_CORE_VIRTUAL_DISK_H_

@@ -1,0 +1,38 @@
+#include "disk/disk.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace stagger {
+
+Status Disk::AllocateStorage(int64_t cylinders) {
+  STAGGER_CHECK(cylinders >= 0);
+  if (cylinders > free_cylinders_) {
+    return Status::ResourceExhausted(
+        "disk " + std::to_string(id_) + " has " + std::to_string(free_cylinders_) +
+        " free cylinders, need " + std::to_string(cylinders));
+  }
+  free_cylinders_ -= cylinders;
+  return Status::OK();
+}
+
+void Disk::FreeStorage(int64_t cylinders) {
+  STAGGER_CHECK(cylinders >= 0);
+  free_cylinders_ += cylinders;
+  STAGGER_CHECK(free_cylinders_ <= total_cylinders_)
+      << "disk " << id_ << ": freed more storage than allocated";
+}
+
+void Disk::Reserve() {
+  STAGGER_CHECK(!busy_) << "disk " << id_ << " reserved twice in one interval";
+  busy_ = true;
+}
+
+void Disk::EndInterval() {
+  ++total_intervals_;
+  if (busy_) ++busy_intervals_;
+  busy_ = false;
+}
+
+}  // namespace stagger

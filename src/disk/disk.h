@@ -1,0 +1,73 @@
+// A single simulated disk drive: storage accounting in cylinders plus
+// per-interval busy/idle bookkeeping used by the interval scheduler.
+
+#ifndef STAGGER_DISK_DISK_H_
+#define STAGGER_DISK_DISK_H_
+
+#include <cstdint>
+
+#include "disk/disk_parameters.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// Index of a physical disk in the array, 0-based.
+using DiskId = int32_t;
+
+/// \brief One simulated drive.
+///
+/// Storage is allocated in whole cylinders (the fragment granularity of
+/// the paper).  Bandwidth occupancy is tracked per time interval by the
+/// scheduler through Reserve/Release; the disk accumulates busy-interval
+/// counts for utilization reporting.
+class Disk {
+ public:
+  Disk(DiskId id, const DiskParameters& params)
+      : id_(id), free_cylinders_(params.num_cylinders),
+        total_cylinders_(params.num_cylinders) {}
+
+  DiskId id() const { return id_; }
+
+  // --- storage ---------------------------------------------------------
+  int64_t total_cylinders() const { return total_cylinders_; }
+  int64_t free_cylinders() const { return free_cylinders_; }
+  int64_t used_cylinders() const { return total_cylinders_ - free_cylinders_; }
+
+  /// Reserves `cylinders` of storage; fails with ResourceExhausted when
+  /// the drive is full.
+  Status AllocateStorage(int64_t cylinders);
+  /// Returns previously allocated storage.
+  void FreeStorage(int64_t cylinders);
+
+  // --- per-interval bandwidth ------------------------------------------
+  bool busy() const { return busy_; }
+  /// Marks the disk busy for the current interval.
+  /// Precondition: currently idle.
+  void Reserve();
+  /// Clears the busy flag at an interval boundary and accounts the
+  /// elapsed interval for utilization.
+  void EndInterval();
+
+  int64_t busy_intervals() const { return busy_intervals_; }
+  int64_t total_intervals() const { return total_intervals_; }
+  /// Fraction of elapsed intervals this disk spent transferring.
+  double Utilization() const {
+    return total_intervals_ == 0
+               ? 0.0
+               : static_cast<double>(busy_intervals_) /
+                     static_cast<double>(total_intervals_);
+  }
+
+ private:
+  DiskId id_;
+  int64_t free_cylinders_;
+  int64_t total_cylinders_;
+  bool busy_ = false;
+  int64_t busy_intervals_ = 0;
+  int64_t total_intervals_ = 0;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_DISK_DISK_H_

@@ -1,0 +1,88 @@
+#include "disk/disk_array.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace stagger {
+
+Result<DiskArray> DiskArray::Create(int32_t num_disks, const DiskParameters& params) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("disk array needs at least one disk");
+  }
+  STAGGER_RETURN_NOT_OK(params.Validate());
+  std::vector<Disk> disks;
+  disks.reserve(static_cast<size_t>(num_disks));
+  for (int32_t i = 0; i < num_disks; ++i) disks.emplace_back(i, params);
+  return DiskArray(std::move(disks), params);
+}
+
+bool DiskArray::RunIsIdle(DiskId start, int32_t len) const {
+  STAGGER_CHECK(len >= 0 && len <= num_disks());
+  for (int32_t i = 0; i < len; ++i) {
+    if (disk(Wrap(static_cast<int64_t>(start) + i)).busy()) return false;
+  }
+  return true;
+}
+
+void DiskArray::ReserveRun(DiskId start, int32_t len) {
+  for (int32_t i = 0; i < len; ++i) {
+    disk(Wrap(static_cast<int64_t>(start) + i)).Reserve();
+  }
+}
+
+int32_t DiskArray::IdleCount() const {
+  int32_t idle = 0;
+  for (const Disk& d : disks_) {
+    if (!d.busy()) ++idle;
+  }
+  return idle;
+}
+
+void DiskArray::EndInterval() {
+  for (Disk& d : disks_) d.EndInterval();
+}
+
+int64_t DiskArray::TotalCylinders() const {
+  int64_t total = 0;
+  for (const Disk& d : disks_) total += d.total_cylinders();
+  return total;
+}
+
+int64_t DiskArray::FreeCylinders() const {
+  int64_t free = 0;
+  for (const Disk& d : disks_) free += d.free_cylinders();
+  return free;
+}
+
+double DiskArray::MeanUtilization() const {
+  double sum = 0.0;
+  for (const Disk& d : disks_) sum += d.Utilization();
+  return sum / static_cast<double>(disks_.size());
+}
+
+double DiskArray::MaxUtilization() const {
+  double best = 0.0;
+  for (const Disk& d : disks_) best = std::max(best, d.Utilization());
+  return best;
+}
+
+double DiskArray::MinUtilization() const {
+  double best = 1.0;
+  for (const Disk& d : disks_) best = std::min(best, d.Utilization());
+  return best;
+}
+
+int64_t DiskArray::MaxUsedCylinders() const {
+  int64_t best = 0;
+  for (const Disk& d : disks_) best = std::max(best, d.used_cylinders());
+  return best;
+}
+
+int64_t DiskArray::MinUsedCylinders() const {
+  int64_t best = disks_.empty() ? 0 : disks_[0].used_cylinders();
+  for (const Disk& d : disks_) best = std::min(best, d.used_cylinders());
+  return best;
+}
+
+}  // namespace stagger

@@ -1,0 +1,76 @@
+// The farm of D disks.  Provides modular-adjacent idle-run queries used
+// by staggered-striping admission, aggregate capacity accounting, and
+// utilization reporting.
+
+#ifndef STAGGER_DISK_DISK_ARRAY_H_
+#define STAGGER_DISK_DISK_ARRAY_H_
+
+#include <optional>
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/disk_parameters.h"
+#include "util/result.h"
+
+namespace stagger {
+
+/// \brief A homogeneous array of `D` simulated disks.
+class DiskArray {
+ public:
+  /// \param num_disks  D; must be >= 1.
+  /// \param params     drive model shared by all disks.
+  static Result<DiskArray> Create(int32_t num_disks, const DiskParameters& params);
+
+  int32_t num_disks() const { return static_cast<int32_t>(disks_.size()); }
+  const DiskParameters& params() const { return params_; }
+
+  Disk& disk(DiskId id) { return disks_[static_cast<size_t>(Wrap(id))]; }
+  const Disk& disk(DiskId id) const { return disks_[static_cast<size_t>(Wrap(id))]; }
+
+  /// Maps any integer onto a valid disk id (modulo D).
+  DiskId Wrap(int64_t id) const {
+    return static_cast<DiskId>(PositiveMod(id, num_disks()));
+  }
+
+  /// True when all of disks start, start+1, ..., start+len-1 (mod D) are
+  /// idle this interval.
+  bool RunIsIdle(DiskId start, int32_t len) const;
+
+  /// Reserves the adjacent run [start, start+len) (mod D).
+  /// Precondition: RunIsIdle(start, len).
+  void ReserveRun(DiskId start, int32_t len);
+
+  /// Number of idle disks this interval.
+  int32_t IdleCount() const;
+
+  /// Ends the current interval on every disk (clears busy flags and
+  /// accumulates utilization counters).
+  void EndInterval();
+
+  // --- aggregate storage ------------------------------------------------
+  int64_t TotalCylinders() const;
+  int64_t FreeCylinders() const;
+  DataSize TotalCapacity() const {
+    return params_.cylinder_capacity * TotalCylinders();
+  }
+
+  /// Mean per-disk utilization over all elapsed intervals.
+  double MeanUtilization() const;
+  /// Max/min per-disk utilization — data-skew indicators (Section 3.2.2).
+  double MaxUtilization() const;
+  double MinUtilization() const;
+
+  /// Largest and smallest per-disk used storage, for skew analysis.
+  int64_t MaxUsedCylinders() const;
+  int64_t MinUsedCylinders() const;
+
+ private:
+  DiskArray(std::vector<Disk> disks, DiskParameters params)
+      : disks_(std::move(disks)), params_(params) {}
+  std::vector<Disk> disks_;
+  DiskParameters params_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_DISK_DISK_ARRAY_H_

@@ -1,0 +1,104 @@
+#include "disk/disk_parameters.h"
+
+#include <cmath>
+
+namespace stagger {
+
+DiskParameters DiskParameters::Sabre1_2GB() {
+  DiskParameters p;
+  p.num_cylinders = 1635;
+  p.cylinder_capacity = DataSize::Bytes(756000);
+  p.sector_size = DataSize::Bytes(512);
+  p.transfer_rate = Bandwidth::Mbps(24.19);
+  p.min_seek = SimTime::Millis(4);
+  p.avg_seek = SimTime::Millis(15);
+  p.max_seek = SimTime::Millis(35);
+  p.avg_latency = SimTime::Micros(8330);
+  p.max_latency = SimTime::Micros(16830);
+  return p;
+}
+
+DiskParameters DiskParameters::Evaluation() {
+  DiskParameters p;
+  p.num_cylinders = 3000;
+  p.cylinder_capacity = DataSize::MB(1.512);
+  p.sector_size = DataSize::Bytes(512);
+  // Table 3 specifies the *effective* B_Disk = 20 mbps directly; model it
+  // as the raw rate so one cylinder takes exactly 604.8 ms and 3000
+  // subobjects display in the paper's 1814 s.  Seek/latency figures are
+  // retained for T_switch-based admission pacing.
+  p.transfer_rate = Bandwidth::Mbps(20);
+  p.min_seek = SimTime::Millis(4);
+  p.avg_seek = SimTime::Millis(15);
+  p.max_seek = SimTime::Millis(35);
+  p.avg_latency = SimTime::Micros(8330);
+  p.max_latency = SimTime::Micros(16830);
+  return p;
+}
+
+Status DiskParameters::Validate() const {
+  if (num_cylinders <= 0) {
+    return Status::InvalidArgument("disk must have a positive cylinder count");
+  }
+  if (cylinder_capacity.bytes() <= 0) {
+    return Status::InvalidArgument("cylinder capacity must be positive");
+  }
+  if (sector_size.bytes() <= 0 || sector_size > cylinder_capacity) {
+    return Status::InvalidArgument("sector size must be in (0, cylinder]");
+  }
+  if (transfer_rate.bits_per_sec() <= 0) {
+    return Status::InvalidArgument("transfer rate must be positive");
+  }
+  if (min_seek < SimTime::Zero() || min_seek > avg_seek || avg_seek > max_seek) {
+    return Status::InvalidArgument("seek times must satisfy 0 <= min <= avg <= max");
+  }
+  if (avg_latency < SimTime::Zero() || avg_latency > max_latency) {
+    return Status::InvalidArgument("latency times must satisfy 0 <= avg <= max");
+  }
+  return Status::OK();
+}
+
+SimTime DiskParameters::FragmentTransferTime(int64_t cylinders) const {
+  STAGGER_CHECK(cylinders >= 1) << "fragment must span at least one cylinder";
+  return CylinderReadTime() * cylinders + min_seek * (cylinders - 1);
+}
+
+Bandwidth DiskParameters::EffectiveBandwidth(DataSize fragment_size) const {
+  STAGGER_CHECK(fragment_size.bytes() > 0);
+  const double size_bits = fragment_size.bits();
+  const double overhead_bits = TSwitch().seconds() * transfer_rate.bits_per_sec();
+  return transfer_rate * (size_bits / (size_bits + overhead_bits));
+}
+
+Bandwidth DiskParameters::EffectiveBandwidthCylinders(int64_t fragment_cylinders) const {
+  const DataSize size = cylinder_capacity * fragment_cylinders;
+  const double seconds = ServiceTime(fragment_cylinders).seconds();
+  return Bandwidth::BitsPerSec(size.bits() / seconds);
+}
+
+double DiskParameters::WastedBandwidthFraction(int64_t fragment_cylinders) const {
+  const SimTime service = ServiceTime(fragment_cylinders);
+  const SimTime overhead = TSwitch() + min_seek * (fragment_cylinders - 1);
+  return overhead.seconds() / service.seconds();
+}
+
+DataSize DiskParameters::MinBufferMemory(DataSize fragment_size) const {
+  const Bandwidth b_disk = EffectiveBandwidth(fragment_size);
+  const double seconds = (TSwitch() + TSector()).seconds();
+  return DataSize::Bytes(
+      static_cast<int64_t>(std::ceil(b_disk.bits_per_sec() * seconds / 8.0)));
+}
+
+SimTime DiskParameters::SeekTime(int64_t distance) const {
+  if (distance < 0) distance = -distance;
+  if (distance == 0) return SimTime::Zero();
+  if (distance >= num_cylinders - 1 || num_cylinders <= 2) return max_seek;
+  // Linear interpolation between single-track and full-stroke seeks.
+  const double frac = static_cast<double>(distance - 1) /
+                      static_cast<double>(num_cylinders - 2);
+  const double micros = static_cast<double>(min_seek.micros()) +
+                        frac * static_cast<double>((max_seek - min_seek).micros());
+  return SimTime::Micros(static_cast<int64_t>(micros + 0.5));
+}
+
+}  // namespace stagger

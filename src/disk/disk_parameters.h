@@ -1,0 +1,98 @@
+// Parametric magnetic-disk model.  Captures everything the paper uses
+// from a drive: geometry (cylinders), transfer rate, seek and rotational
+// latency envelopes — and derives the quantities of Section 3.1:
+// T_switch, effective bandwidth vs. fragment size, cluster service time
+// S(C_i), wasted-bandwidth fraction, and the minimum per-disk buffer
+// memory of Equation (1).
+//
+// Two presets are provided:
+//  * Sabre1_2GB()  — the IMPRIMIS Sabre 8" drive used for the Section 3.1
+//                    arithmetic (1635 cylinders x 756 000 B, 24.19 mbps).
+//  * Evaluation()  — the Table 3 simulation disk (3000 cylinders x
+//                    1.512 MB, effective B_Disk = 20 mbps).
+
+#ifndef STAGGER_DISK_DISK_PARAMETERS_H_
+#define STAGGER_DISK_DISK_PARAMETERS_H_
+
+#include <cstdint>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// \brief Static description of one disk drive model.
+struct DiskParameters {
+  int64_t num_cylinders = 0;
+  DataSize cylinder_capacity;
+  DataSize sector_size = DataSize::Bytes(512);
+  /// Raw media transfer rate (tfr in the paper).
+  Bandwidth transfer_rate;
+  SimTime min_seek;      ///< single-track (adjacent-cylinder) seek
+  SimTime avg_seek;
+  SimTime max_seek;      ///< full-stroke seek
+  SimTime avg_latency;   ///< half a rotation
+  SimTime max_latency;   ///< full rotation
+
+  /// The paper's Section 3.1 drive (IMPRIMIS Sabre, [Sab90]).
+  static DiskParameters Sabre1_2GB();
+  /// The Table 3 evaluation drive (4.54 GB, B_Disk = 20 mbps effective).
+  static DiskParameters Evaluation();
+
+  /// Validates internal consistency (positive sizes, seek ordering...).
+  Status Validate() const;
+
+  /// Total formatted capacity.
+  DataSize Capacity() const { return cylinder_capacity * num_cylinders; }
+
+  /// Worst-case head-repositioning delay when a cluster is activated:
+  /// T_switch = max seek + max rotational latency.
+  SimTime TSwitch() const { return max_seek + max_latency; }
+
+  /// Time to transfer one sector at the raw rate (T_sector).
+  SimTime TSector() const { return TransferTime(sector_size, transfer_rate); }
+
+  /// Time to read one full cylinder at the raw rate (the paper's 250 ms
+  /// for the Sabre).  A cylinder is read with no intervening seeks.
+  SimTime CylinderReadTime() const {
+    return TransferTime(cylinder_capacity, transfer_rate);
+  }
+
+  /// Transfer component of reading a fragment spanning `cylinders`
+  /// consecutive cylinders: full-speed reads plus a single-track seek
+  /// between consecutive cylinders.
+  SimTime FragmentTransferTime(int64_t cylinders) const;
+
+  /// Service time of a cluster activation, S(C_i) = T_switch + transfer.
+  /// With the Sabre and 1-cylinder fragments this is the paper's
+  /// 301.83 ms; with 2 cylinders, 555.83 ms.
+  SimTime ServiceTime(int64_t fragment_cylinders) const {
+    return TSwitch() + FragmentTransferTime(fragment_cylinders);
+  }
+
+  /// Effective sustained bandwidth for a given fragment size:
+  ///   B_disk = tfr * size / (size + T_switch * tfr).
+  Bandwidth EffectiveBandwidth(DataSize fragment_size) const;
+
+  /// Effective bandwidth when fragments span whole cylinders (accounts
+  /// for the inter-cylinder single-track seeks as well).
+  Bandwidth EffectiveBandwidthCylinders(int64_t fragment_cylinders) const;
+
+  /// Fraction of raw bandwidth lost to seek+latency per activation when
+  /// reading `fragment_cylinders` cylinders (the paper's 17.2 % / ~10 %).
+  double WastedBandwidthFraction(int64_t fragment_cylinders) const;
+
+  /// Equation (1): minimum per-disk buffer memory that hides a cluster
+  /// switch, B_disk * (T_switch + T_sector).
+  DataSize MinBufferMemory(DataSize fragment_size) const;
+
+  /// Seek time for a head movement of `distance` cylinders: 0 when the
+  /// head does not move, otherwise linear between min_seek (distance 1)
+  /// and max_seek (full stroke).
+  SimTime SeekTime(int64_t distance) const;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_DISK_DISK_PARAMETERS_H_

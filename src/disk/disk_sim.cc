@@ -1,0 +1,65 @@
+#include "disk/disk_sim.h"
+
+#include <string>
+#include <utility>
+
+namespace stagger {
+
+SimulatedDisk::SimulatedDisk(Simulator* sim, const DiskParameters& params,
+                             uint64_t seed)
+    : sim_(sim), params_(params), rng_(seed) {
+  STAGGER_CHECK(params_.Validate().ok()) << "invalid disk parameters";
+}
+
+Status SimulatedDisk::SubmitRead(int64_t cylinder, int64_t cylinders,
+                                 DoneFn done) {
+  if (cylinder < 0 || cylinders < 1 ||
+      cylinder + cylinders > params_.num_cylinders) {
+    return Status::InvalidArgument(
+        "read [" + std::to_string(cylinder) + ", " +
+        std::to_string(cylinder + cylinders) + ") outside the disk");
+  }
+  queue_.push_back(Request{cylinder, cylinders, std::move(done)});
+  if (!busy_) StartNext();
+  return Status::OK();
+}
+
+void SimulatedDisk::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+
+  const SimTime seek = params_.SeekTime(req.cylinder - head_);
+  // Rotational latency: uniform over one revolution, [0, max_latency].
+  const SimTime latency = SimTime::Micros(static_cast<int64_t>(
+      rng_.NextDouble() * static_cast<double>(params_.max_latency.micros())));
+  const SimTime transfer = params_.FragmentTransferTime(req.cylinders);
+  const SimTime service = seek + latency + transfer;
+
+  seek_time_ += seek;
+  latency_time_ += latency;
+  transfer_time_ += transfer;
+  head_ = req.cylinder + req.cylinders - 1;
+
+  sim_->ScheduleAfter(service, [this, req = std::move(req), service] {
+    ++completed_;
+    bytes_read_ += req.cylinders * params_.cylinder_capacity.bytes();
+    service_stats_.Add(service.seconds());
+    if (req.done) req.done(service);
+    StartNext();
+  });
+}
+
+Bandwidth SimulatedDisk::MeasuredEffectiveBandwidth() const {
+  const double busy_sec =
+      (seek_time_ + latency_time_ + transfer_time_).seconds();
+  if (busy_sec <= 0.0) return Bandwidth::BitsPerSec(0);
+  return Bandwidth::BitsPerSec(static_cast<double>(bytes_read_) * 8.0 /
+                               busy_sec);
+}
+
+}  // namespace stagger

@@ -1,0 +1,80 @@
+// Event-driven simulation of a single drive, below the interval
+// abstraction: every read pays an actual seek (distance-dependent), a
+// sampled rotational latency, and the transfer time.  Used to validate
+// the interval scheduler's worst-case T_switch budgeting and to answer
+// the paper's future-work question — "how much can we increase our
+// effective bandwidth" when the schedule does not have to assume the
+// maximum seek and latency (bench_seek_model).
+
+#ifndef STAGGER_DISK_DISK_SIM_H_
+#define STAGGER_DISK_DISK_SIM_H_
+
+#include <deque>
+#include <functional>
+
+#include "disk/disk_parameters.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace stagger {
+
+/// \brief One drive served FIFO on the discrete-event kernel.
+class SimulatedDisk {
+ public:
+  /// \param sim    kernel; must outlive the disk.
+  /// \param params drive model.
+  /// \param seed   rotational-latency sampling seed.
+  SimulatedDisk(Simulator* sim, const DiskParameters& params, uint64_t seed);
+
+  /// Completion callback: service time of this read (queueing excluded).
+  using DoneFn = std::function<void(SimTime)>;
+
+  /// Enqueues a read of `cylinders` consecutive cylinders starting at
+  /// `cylinder`.  Service = seek from current head position + one
+  /// rotational latency + transfer (with single-track seeks between
+  /// consecutive cylinders).
+  Status SubmitRead(int64_t cylinder, int64_t cylinders, DoneFn done);
+
+  int64_t completed_reads() const { return completed_; }
+  int64_t head_position() const { return head_; }
+  size_t queue_length() const { return queue_.size(); }
+  bool busy() const { return busy_; }
+
+  /// Total time spent seeking / rotating / transferring.
+  SimTime seek_time() const { return seek_time_; }
+  SimTime latency_time() const { return latency_time_; }
+  SimTime transfer_time() const { return transfer_time_; }
+
+  /// Bytes delivered per second of *device busy time* — the measured
+  /// effective bandwidth.
+  Bandwidth MeasuredEffectiveBandwidth() const;
+
+  /// Per-read service-time statistics (seconds).
+  const StreamingStats& service_stats() const { return service_stats_; }
+
+ private:
+  struct Request {
+    int64_t cylinder;
+    int64_t cylinders;
+    DoneFn done;
+  };
+  void StartNext();
+
+  Simulator* sim_;
+  DiskParameters params_;
+  Rng rng_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  int64_t head_ = 0;
+  int64_t completed_ = 0;
+  int64_t bytes_read_ = 0;
+  SimTime seek_time_;
+  SimTime latency_time_;
+  SimTime transfer_time_;
+  StreamingStats service_stats_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_DISK_DISK_SIM_H_

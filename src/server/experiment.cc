@@ -1,0 +1,188 @@
+#include "server/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "baseline/vdr_server.h"
+#include "disk/disk_array.h"
+#include "server/striped_server.h"
+#include "sim/simulator.h"
+#include "storage/catalog.h"
+#include "tertiary/tertiary_pool.h"
+#include "util/distributions.h"
+#include "workload/display_station.h"
+
+namespace stagger {
+
+std::string SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSimpleStriping: return "simple-striping";
+    case Scheme::kStaggered: return "staggered-striping";
+    case Scheme::kVdr: return "virtual-data-replication";
+  }
+  return "unknown";
+}
+
+Status ExperimentConfig::Validate() const {
+  if (num_disks < 1) return Status::InvalidArgument("need at least one disk");
+  STAGGER_RETURN_NOT_OK(disk.Validate());
+  STAGGER_RETURN_NOT_OK(tertiary.Validate());
+  if (fragment_cylinders < 1) {
+    return Status::InvalidArgument("fragment must span >= 1 cylinder");
+  }
+  if (num_objects < 1) return Status::InvalidArgument("need objects");
+  if (subobjects_per_object < 1) {
+    return Status::InvalidArgument("objects need subobjects");
+  }
+  if (display_bandwidth.bits_per_sec() <= 0) {
+    return Status::InvalidArgument("display bandwidth must be positive");
+  }
+  if (num_tertiary_devices < 1) {
+    return Status::InvalidArgument("need at least one tertiary device");
+  }
+  if (stations < 1) return Status::InvalidArgument("need stations");
+  if (geometric_mean <= 0) {
+    return Status::InvalidArgument("geometric mean must be positive");
+  }
+  if (measure <= SimTime::Zero()) {
+    return Status::InvalidArgument("measurement window must be positive");
+  }
+  if (Degree() > num_disks) {
+    return Status::InvalidArgument("degree of declustering exceeds D");
+  }
+  return Status::OK();
+}
+
+int32_t ExperimentConfig::Degree() const {
+  return static_cast<int32_t>(std::ceil(display_bandwidth.bits_per_sec() /
+                                            EffectiveDiskBandwidth().bits_per_sec() -
+                                        1e-9));
+}
+
+Bandwidth ExperimentConfig::EffectiveDiskBandwidth() const {
+  // Table 3 gives B_Disk directly as the (effective) transfer rate; the
+  // interval is one fragment at that rate, so the two are consistent.
+  return disk.transfer_rate;
+}
+
+SimTime ExperimentConfig::Interval() const {
+  return TransferTime(FragmentSize(), EffectiveDiskBandwidth());
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  STAGGER_RETURN_NOT_OK(config.Validate());
+
+  Simulator sim;
+  Catalog catalog = Catalog::Uniform(config.num_objects,
+                                     config.subobjects_per_object,
+                                     config.display_bandwidth);
+  STAGGER_ASSIGN_OR_RETURN(
+      DiskArray disks, DiskArray::Create(config.num_disks, config.disk));
+  STAGGER_ASSIGN_OR_RETURN(
+      std::unique_ptr<TertiaryPool> tertiary_pool,
+      TertiaryPool::Create(&sim, TertiaryDevice(config.tertiary),
+                           config.num_tertiary_devices));
+  MaterializationService& tertiary = *tertiary_pool;
+  STAGGER_ASSIGN_OR_RETURN(
+      TruncatedGeometric popularity,
+      TruncatedGeometric::FromMean(config.num_objects, config.geometric_mean));
+
+  std::unique_ptr<StripedServer> striped;
+  std::unique_ptr<VdrServer> vdr;
+  MediaService* service = nullptr;
+
+  if (config.scheme == Scheme::kVdr) {
+    VdrConfig vc;
+    vc.num_clusters = config.num_disks / config.Degree();
+    vc.cluster_degree = config.Degree();
+    vc.interval = config.Interval();
+    vc.fragment_size = config.FragmentSize();
+    // Whole objects per cluster under the disk capacities.
+    const int64_t per_disk_cylinders = config.disk.num_cylinders;
+    const int64_t object_cylinders_per_disk =
+        config.subobjects_per_object * config.fragment_cylinders;
+    vc.objects_per_cluster = static_cast<int32_t>(std::max<int64_t>(
+        1, per_disk_cylinders / object_cylinders_per_disk));
+    vc.enable_replication = config.enable_replication;
+    vc.replication_wait_threshold = config.replication_wait_threshold;
+    vc.preload_objects = config.preload_objects;
+    // Breadth-first preload (one replica per object, most popular
+    // first).  Depth-first alternatives (surplus replicas for hot
+    // objects at the cost of library coverage) measurably hurt: a miss
+    // costs a multi-thousand-second tertiary fetch, far more than any
+    // collision wait.  The run-time replication policy grows replica
+    // sets where demand persists.
+    STAGGER_ASSIGN_OR_RETURN(vdr,
+                             VdrServer::Create(&sim, &catalog, &tertiary, vc));
+    service = vdr.get();
+  } else {
+    StripedConfig sc;
+    sc.stride = config.scheme == Scheme::kSimpleStriping ? config.Degree()
+                                                         : config.stride;
+    sc.interval = config.Interval();
+    sc.fragment_size = config.FragmentSize();
+    sc.fragment_cylinders = config.fragment_cylinders;
+    sc.policy = config.policy;
+    sc.coalesce = config.coalesce;
+    sc.preload_objects = config.preload_objects;
+    sc.charge_materialization_writes = config.charge_materialization_writes;
+    sc.tertiary_bandwidth = config.tertiary.bandwidth;
+    STAGGER_ASSIGN_OR_RETURN(
+        striped,
+        StripedServer::Create(&sim, &catalog, &disks, &tertiary, sc));
+    service = striped.get();
+  }
+
+  StationPool stations(&sim, service, &popularity, config.stations,
+                       config.seed);
+  stations.SetMeasurementWindowStart(config.warmup);
+  stations.SetMeanThinkTime(config.mean_think_time);
+  stations.Start();
+  sim.RunUntil(config.warmup + config.measure);
+
+  ExperimentResult result;
+  result.displays_per_hour =
+      stations.metrics().ThroughputPerHour(config.warmup, sim.Now());
+  result.displays_completed =
+      stations.metrics().displays_completed_in_window;
+  result.mean_startup_latency_sec =
+      stations.metrics().startup_latency_sec_in_window.mean();
+  result.tertiary_utilization = tertiary.Utilization(sim.Now());
+  result.tertiary_queue_end = static_cast<int64_t>(tertiary.queue_length());
+  result.materializations = tertiary.completed();
+  result.unique_objects_referenced = stations.UniqueObjectsReferenced();
+
+  if (config.scheme == Scheme::kVdr) {
+    result.disk_utilization = vdr->MeanClusterUtilization();
+    result.replications = vdr->metrics().replications;
+    result.evictions = vdr->metrics().evictions;
+    result.resident_objects_end = vdr->ResidentObjectCount();
+  } else {
+    result.disk_utilization = disks.MeanUtilization();
+    result.hiccups = striped->scheduler_metrics().hiccups;
+    result.evictions = striped->object_manager().evictions();
+    result.resident_objects_end = striped->object_manager().ResidentCount();
+  }
+  return result;
+}
+
+Result<ReplicatedResult> RunReplicated(const ExperimentConfig& config,
+                                       int32_t replications) {
+  if (replications < 1) {
+    return Status::InvalidArgument("need at least one replication");
+  }
+  ReplicatedResult aggregate;
+  aggregate.replications = replications;
+  for (int32_t r = 0; r < replications; ++r) {
+    ExperimentConfig run = config;
+    run.seed = config.seed + static_cast<uint64_t>(r);
+    STAGGER_ASSIGN_OR_RETURN(ExperimentResult result, RunExperiment(run));
+    aggregate.displays_per_hour.Add(result.displays_per_hour);
+    aggregate.mean_startup_latency_sec.Add(result.mean_startup_latency_sec);
+    aggregate.disk_utilization.Add(result.disk_utilization);
+  }
+  return aggregate;
+}
+
+}  // namespace stagger

@@ -1,0 +1,117 @@
+// End-to-end experiment runner for the Section 4 evaluation: builds the
+// Table 3 system (disks, tertiary, catalog, server, stations), runs the
+// closed workload, and reports throughput and auxiliary statistics.
+// Used by the Figure 8 / Table 4 benchmark harnesses and the examples.
+
+#ifndef STAGGER_SERVER_EXPERIMENT_H_
+#define STAGGER_SERVER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/interval_scheduler.h"
+#include "disk/disk_parameters.h"
+#include "tertiary/tertiary_device.h"
+#include "util/result.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// Which server implementation to run.
+enum class Scheme {
+  kSimpleStriping,  ///< staggered striping with k = M (Section 4's "simple striping")
+  kStaggered,       ///< staggered striping with an arbitrary stride
+  kVdr,             ///< virtual data replication baseline
+};
+
+std::string SchemeName(Scheme scheme);
+
+/// \brief Full experiment configuration; defaults reproduce Table 3.
+struct ExperimentConfig {
+  Scheme scheme = Scheme::kSimpleStriping;
+
+  // System (Table 3).
+  int32_t num_disks = 1000;                     ///< D
+  DiskParameters disk = DiskParameters::Evaluation();
+  TertiaryParameters tertiary;                  ///< 40 mbps
+  int32_t num_tertiary_devices = 1;             ///< Table 3: 1
+  int64_t fragment_cylinders = 1;               ///< fragment = 1 cylinder
+
+  // Database (Table 3).
+  int32_t num_objects = 2000;
+  int64_t subobjects_per_object = 3000;
+  Bandwidth display_bandwidth = Bandwidth::Mbps(100);  ///< => M = 5
+
+  // Scheme parameters.
+  int32_t stride = 5;                           ///< k (ignored by VDR)
+  AdmissionPolicy policy = AdmissionPolicy::kContiguous;
+  bool coalesce = false;
+  /// Charge disk-side materialization writes (striped schemes only;
+  /// Section 3.2.4).
+  bool charge_materialization_writes = false;
+  bool enable_replication = true;               ///< VDR only
+  int32_t replication_wait_threshold = 1;       ///< VDR only
+
+  // Workload (Section 4.1).
+  int32_t stations = 16;
+  double geometric_mean = 10.0;                 ///< 10 / 20 / 43.5
+  /// Mean think time between displays (paper: zero, to stress).
+  SimTime mean_think_time = SimTime::Zero();
+  uint64_t seed = 20240101;
+
+  // Run control.
+  SimTime warmup = SimTime::Hours(2);
+  SimTime measure = SimTime::Hours(10);
+  /// Objects resident at t = 0 (both schemes), to shorten the cold
+  /// start; the paper's steady state is reached either way.
+  int32_t preload_objects = 200;
+
+  Status Validate() const;
+
+  /// M = ceil(B_Display / B_Disk) under the effective disk bandwidth.
+  int32_t Degree() const;
+  /// Effective per-disk bandwidth: fragment bits / interval seconds.
+  Bandwidth EffectiveDiskBandwidth() const;
+  /// S(C_i): one fragment transfer at the effective rate.
+  SimTime Interval() const;
+  DataSize FragmentSize() const {
+    return disk.cylinder_capacity * fragment_cylinders;
+  }
+};
+
+/// \brief Scalars reported by one run.
+struct ExperimentResult {
+  double displays_per_hour = 0.0;
+  int64_t displays_completed = 0;   ///< inside the measurement window
+  double mean_startup_latency_sec = 0.0;
+  double disk_utilization = 0.0;    ///< striping: mean disk; VDR: mean cluster
+  double tertiary_utilization = 0.0;
+  int64_t tertiary_queue_end = 0;
+  int64_t materializations = 0;
+  int64_t replications = 0;         ///< VDR only
+  int64_t evictions = 0;
+  int64_t hiccups = 0;              ///< striping only; must be zero
+  int64_t unique_objects_referenced = 0;
+  int32_t resident_objects_end = 0;
+};
+
+/// Runs one experiment to completion (warmup + measurement).
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+/// \brief Aggregate over independent replications (seeds seed+0..n-1).
+struct ReplicatedResult {
+  int32_t replications = 0;
+  StreamingStats displays_per_hour;
+  StreamingStats mean_startup_latency_sec;
+  StreamingStats disk_utilization;
+};
+
+/// Runs `replications` independent copies of the experiment, varying
+/// only the workload seed, and reports across-run statistics — for
+/// confidence intervals on Figure 8 points.
+Result<ReplicatedResult> RunReplicated(const ExperimentConfig& config,
+                                       int32_t replications);
+
+}  // namespace stagger
+
+#endif  // STAGGER_SERVER_EXPERIMENT_H_

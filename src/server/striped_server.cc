@@ -1,0 +1,216 @@
+#include "server/striped_server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace stagger {
+
+Status StripedConfig::Validate() const {
+  if (stride < 1) return Status::InvalidArgument("stride must be >= 1");
+  if (interval <= SimTime::Zero()) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  if (fragment_size.bytes() <= 0) {
+    return Status::InvalidArgument("fragment size must be positive");
+  }
+  if (fragment_cylinders < 1) {
+    return Status::InvalidArgument("fragment must span >= 1 cylinder");
+  }
+  if (preload_objects < 0) {
+    return Status::InvalidArgument("preload count must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StripedServer>> StripedServer::Create(
+    Simulator* sim, const Catalog* catalog, DiskArray* disks,
+    MaterializationService* tertiary, const StripedConfig& config) {
+  STAGGER_RETURN_NOT_OK(config.Validate());
+  if (config.stride > disks->num_disks()) {
+    return Status::InvalidArgument("stride exceeds the number of disks");
+  }
+  auto server = std::unique_ptr<StripedServer>(
+      new StripedServer(sim, catalog, disks, tertiary, config));
+
+  SchedulerConfig sched;
+  sched.stride = config.stride;
+  sched.interval = config.interval;
+  sched.policy = config.policy;
+  sched.coalesce = config.coalesce;
+  sched.fragmented_lookahead = config.fragmented_lookahead;
+  sched.buffer_capacity_fragments = config.buffer_capacity_fragments;
+  sched.allow_backfill = config.allow_backfill;
+  STAGGER_ASSIGN_OR_RETURN(server->scheduler_,
+                           IntervalScheduler::Create(sim, disks, sched));
+  STAGGER_RETURN_NOT_OK(server->Preload());
+  return server;
+}
+
+StripedServer::StripedServer(Simulator* sim, const Catalog* catalog,
+                             DiskArray* disks, MaterializationService* tertiary,
+                             StripedConfig config)
+    : sim_(sim), catalog_(catalog), disks_(disks), tertiary_(tertiary),
+      config_(config),
+      objects_(std::make_unique<ObjectManager>(catalog, disks,
+                                               config.fragment_cylinders)),
+      materializing_(static_cast<size_t>(catalog->size()), 0) {}
+
+Bandwidth StripedServer::EffectiveDiskBandwidth() const {
+  return Bandwidth::BitsPerSec(config_.fragment_size.bits() /
+                               config_.interval.seconds());
+}
+
+Status StripedServer::Preload() {
+  const int32_t count =
+      std::min(config_.preload_objects, catalog_->size());
+  for (ObjectId id = 0; id < count; ++id) {
+    Status st = objects_->MakeResident(id, MakeLayout(id));
+    if (st.IsResourceExhausted()) break;  // disk farm is full
+    STAGGER_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+int32_t StripedServer::NextStartDisk() {
+  // Deterministic rotation; the multiplier spreads consecutive objects
+  // far apart so concurrent displays rarely start on the same disks.
+  const int64_t d = disks_->num_disks();
+  const int64_t step = config_.align_start_to_stride
+                           ? static_cast<int64_t>(config_.stride)
+                           : 1;
+  const int64_t slots = d / step;
+  const int64_t slot = (placement_counter_++ * 7919) % slots;
+  return static_cast<int32_t>(slot * step);
+}
+
+StaggeredLayout StripedServer::MakeLayout(ObjectId object) {
+  const MediaObject& obj = catalog_->Get(object);
+  const int32_t degree = obj.DegreeOfDeclustering(EffectiveDiskBandwidth());
+  auto layout = StaggeredLayout::Create(disks_->num_disks(), NextStartDisk(),
+                                        config_.stride, degree);
+  STAGGER_CHECK(layout.ok()) << layout.status().ToString();
+  return *std::move(layout);
+}
+
+Status StripedServer::RequestDisplay(ObjectId object, StartedFn on_started,
+                                     CompletedFn on_completed) {
+  if (!catalog_->Contains(object)) {
+    return Status::NotFound("object " + std::to_string(object) +
+                            " not in catalog");
+  }
+  ++metrics_.requests;
+  objects_->RecordAccess(object);
+
+  if (objects_->IsResident(object)) {
+    ++metrics_.resident_hits;
+    SubmitDisplay(object, std::move(on_started), std::move(on_completed));
+    return Status::OK();
+  }
+
+  waiters_[object].push_back(
+      Waiter{std::move(on_started), std::move(on_completed)});
+  if (!materializing_[static_cast<size_t>(object)]) {
+    materializing_[static_cast<size_t>(object)] = 1;
+    ++metrics_.materializations_started;
+    const MediaObject& obj = catalog_->Get(object);
+    const DataSize size =
+        config_.fragment_size *
+        obj.NumFragments(EffectiveDiskBandwidth());
+    TertiaryManager::ServiceStartFn on_start;
+    if (config_.charge_materialization_writes) {
+      on_start = [this](ObjectId started, SimTime) {
+        SubmitWriteStream(started);
+      };
+    }
+    tertiary_->Enqueue(object, size,
+                       [this](ObjectId done) { OnMaterialized(done); },
+                       std::move(on_start));
+  }
+  return Status::OK();
+}
+
+const StaggeredLayout& StripedServer::PlannedLayout(ObjectId object) {
+  auto it = planned_layouts_.find(object);
+  if (it == planned_layouts_.end()) {
+    it = planned_layouts_.emplace(object, MakeLayout(object)).first;
+  }
+  return it->second;
+}
+
+void StripedServer::SubmitWriteStream(ObjectId object) {
+  // One stream of floor(B_Tertiary / B_Disk) disks walks the object's
+  // planned layout for the whole transfer, charging the exact aggregate
+  // write load (n * M fragment-writes).
+  const MediaObject& obj = catalog_->Get(object);
+  const StaggeredLayout& layout = PlannedLayout(object);
+  const int32_t width = std::max<int32_t>(
+      1, std::min<int32_t>(
+             disks_->num_disks(),
+             static_cast<int32_t>(config_.tertiary_bandwidth.bits_per_sec() /
+                                  EffectiveDiskBandwidth().bits_per_sec())));
+  DisplayRequest pass;
+  pass.object = object;
+  pass.degree = width;
+  pass.start_disk = layout.start_disk();
+  pass.num_subobjects =
+      CeilDiv(obj.NumFragments(EffectiveDiskBandwidth()), width);
+  pass.on_completed = [] {};
+  auto id = scheduler_->Submit(std::move(pass));
+  STAGGER_CHECK(id.ok()) << id.status();
+}
+
+void StripedServer::SubmitDisplay(ObjectId object, StartedFn on_started,
+                                  CompletedFn on_completed) {
+  const StaggeredLayout& layout = objects_->LayoutOf(object);
+  const MediaObject& obj = catalog_->Get(object);
+  objects_->Pin(object);
+
+  DisplayRequest req;
+  req.object = object;
+  req.start_disk = layout.FirstDiskFor(0);
+  req.degree = layout.degree();
+  req.num_subobjects = obj.num_subobjects;
+  req.on_started = std::move(on_started);
+  req.on_completed = [this, object, done = std::move(on_completed)] {
+    objects_->Unpin(object);
+    if (done) done();
+    RetryLandings();
+  };
+  Result<RequestId> id = scheduler_->Submit(std::move(req));
+  STAGGER_CHECK(id.ok()) << id.status().ToString();
+}
+
+void StripedServer::OnMaterialized(ObjectId object) {
+  Status st = objects_->MakeResident(object, PlannedLayout(object));
+  if (st.IsResourceExhausted()) {
+    // Every resident object is pinned; land when a display finishes.
+    ++metrics_.landings_deferred;
+    pending_landings_.push_back(object);
+    return;
+  }
+  STAGGER_CHECK(st.ok()) << st.ToString();
+  Land(object);
+}
+
+void StripedServer::Land(ObjectId object) {
+  materializing_[static_cast<size_t>(object)] = 0;
+  planned_layouts_.erase(object);
+  auto node = waiters_.extract(object);
+  if (node.empty()) return;
+  for (Waiter& w : node.mapped()) {
+    SubmitDisplay(object, std::move(w.on_started), std::move(w.on_completed));
+  }
+}
+
+void StripedServer::RetryLandings() {
+  while (!pending_landings_.empty()) {
+    const ObjectId object = pending_landings_.front();
+    Status st = objects_->MakeResident(object, PlannedLayout(object));
+    if (!st.ok()) return;  // still no space; keep waiting
+    pending_landings_.pop_front();
+    Land(object);
+  }
+}
+
+}  // namespace stagger

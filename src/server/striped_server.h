@@ -1,0 +1,135 @@
+// The striping media server: ties the interval scheduler (core), object
+// manager (storage), and tertiary manager together behind the
+// MediaService interface.  Simple striping is the stride = M
+// configuration; any other stride gives general staggered striping.
+//
+// Request lifecycle:
+//   resident object  -> pin -> scheduler admission -> display -> unpin
+//   absent object    -> queue behind a single materialization; when the
+//                       tertiary finishes, the object lands via the
+//                       object manager (evicting LFU victims) and every
+//                       waiter is submitted.  If all resident objects
+//                       are pinned, the landing retries as pins drain.
+
+#ifndef STAGGER_SERVER_STRIPED_SERVER_H_
+#define STAGGER_SERVER_STRIPED_SERVER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/interval_scheduler.h"
+#include "disk/disk_array.h"
+#include "storage/catalog.h"
+#include "storage/object_manager.h"
+#include "tertiary/tertiary_manager.h"
+#include "util/result.h"
+#include "workload/media_service.h"
+
+namespace stagger {
+
+/// \brief Striped-server configuration.
+struct StripedConfig {
+  int32_t stride = 1;  ///< k; set equal to M for simple striping
+  SimTime interval = SimTime::Millis(605);
+  DataSize fragment_size = DataSize::MB(1.512);
+  int64_t fragment_cylinders = 1;
+  AdmissionPolicy policy = AdmissionPolicy::kContiguous;
+  bool coalesce = false;
+  int64_t fragmented_lookahead = 16;
+  int64_t buffer_capacity_fragments = 0;
+  bool allow_backfill = true;
+  /// Start new objects on multiples of the stride, which makes the
+  /// k = M configuration behave exactly like physically clustered
+  /// simple striping.
+  bool align_start_to_stride = true;
+  /// Objects (by id, ascending) made resident before the run starts —
+  /// skips the cold-start transient.
+  int32_t preload_objects = 0;
+  /// Charge the disk-side write load of materializations (Section
+  /// 3.2.4): while the tertiary streams an object in, a write stream of
+  /// floor(B_Tertiary / B_Disk) disks walks the object's layout through
+  /// the regular scheduler.  Off by default (2 of 1000 disks in the
+  /// Table 3 system).
+  bool charge_materialization_writes = false;
+  /// B_Tertiary, used to size the write stream when charging.
+  Bandwidth tertiary_bandwidth = Bandwidth::Mbps(40);
+
+  Status Validate() const;
+};
+
+/// \brief Server-level counters (scheduler metrics live in the
+/// scheduler; tertiary metrics in the tertiary manager).
+struct StripedMetrics {
+  int64_t requests = 0;
+  int64_t resident_hits = 0;
+  int64_t materializations_started = 0;
+  int64_t landings_deferred = 0;  ///< MakeResident retries due to pins
+};
+
+/// \brief Staggered/simple striping media server.
+class StripedServer : public MediaService {
+ public:
+  /// All pointees must outlive the server.
+  static Result<std::unique_ptr<StripedServer>> Create(
+      Simulator* sim, const Catalog* catalog, DiskArray* disks,
+      MaterializationService* tertiary, const StripedConfig& config);
+
+  Status RequestDisplay(ObjectId object, StartedFn on_started,
+                        CompletedFn on_completed) override;
+
+  const StripedMetrics& metrics() const { return metrics_; }
+  const SchedulerMetrics& scheduler_metrics() const {
+    return scheduler_->metrics();
+  }
+  const ObjectManager& object_manager() const { return *objects_; }
+  IntervalScheduler* scheduler() { return scheduler_.get(); }
+  /// Effective per-disk bandwidth implied by fragment size and interval.
+  Bandwidth EffectiveDiskBandwidth() const;
+
+ private:
+  struct Waiter {
+    StartedFn on_started;
+    CompletedFn on_completed;
+  };
+
+  StripedServer(Simulator* sim, const Catalog* catalog, DiskArray* disks,
+                MaterializationService* tertiary, StripedConfig config);
+
+  Status Preload();
+  /// Picks the start disk for a newly landing object.
+  int32_t NextStartDisk();
+  StaggeredLayout MakeLayout(ObjectId object);
+  /// The layout a materializing object will land with (planned at
+  /// enqueue so the write stream matches the final placement).
+  const StaggeredLayout& PlannedLayout(ObjectId object);
+  void SubmitDisplay(ObjectId object, StartedFn on_started,
+                     CompletedFn on_completed);
+  /// Submits the Section 3.2.4 disk-side write stream.
+  void SubmitWriteStream(ObjectId object);
+  void OnMaterialized(ObjectId object);
+  void Land(ObjectId object);
+  /// Lands any deferred objects whose space is now reclaimable.
+  void RetryLandings();
+
+  Simulator* sim_;
+  const Catalog* catalog_;
+  DiskArray* disks_;
+  MaterializationService* tertiary_;
+  StripedConfig config_;
+  std::unique_ptr<ObjectManager> objects_;
+  std::unique_ptr<IntervalScheduler> scheduler_;
+  std::unordered_map<ObjectId, std::vector<Waiter>> waiters_;
+  std::vector<char> materializing_;
+  std::unordered_map<ObjectId, StaggeredLayout> planned_layouts_;
+  std::deque<ObjectId> pending_landings_;
+  int64_t placement_counter_ = 0;
+  StripedMetrics metrics_;
+
+  friend class StripedServerTestPeer;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_SERVER_STRIPED_SERVER_H_

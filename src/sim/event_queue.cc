@@ -1,0 +1,56 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace stagger {
+
+EventHandle EventQueue::Schedule(SimTime when, EventFn fn, int priority) {
+  const uint64_t id = next_seq_++;
+  heap_.push(Entry{when, priority, id, id, std::move(fn)});
+  live_ids_.insert(id);
+  return EventHandle(id);
+}
+
+bool EventQueue::Cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  // Lazy deletion: the heap entry stays put and is skipped when it
+  // surfaces.  Only live (scheduled, unfired, uncancelled) ids can be
+  // cancelled; anything else is a no-op returning false.
+  if (live_ids_.erase(handle.id_) == 0) return false;
+  cancelled_ids_.insert(handle.id_);
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_ids_.find(heap_.top().id);
+    if (it == cancelled_ids_.end()) return;
+    cancelled_ids_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  // Purging dead (cancelled) heap entries does not change observable
+  // state, so it is safe behind const.
+  auto* self = const_cast<EventQueue*>(this);
+  self->SkipCancelled();
+  if (heap_.empty()) return SimTime::Max();
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  SkipCancelled();
+  STAGGER_CHECK(!heap_.empty()) << "PopNext on empty event queue";
+  // priority_queue::top() is const; moving the callback out is safe
+  // because the entry is popped immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.fn)};
+  live_ids_.erase(top.id);
+  heap_.pop();
+  return fired;
+}
+
+}  // namespace stagger

@@ -1,0 +1,88 @@
+// Pending-event set for the discrete-event kernel: a binary heap keyed
+// by (time, priority, sequence number) so simultaneous events fire in a
+// deterministic, FIFO order.  Events can be cancelled in O(1) via
+// handles (lazy deletion).
+
+#ifndef STAGGER_SIM_EVENT_QUEUE_H_
+#define STAGGER_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace stagger {
+
+/// Callback executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// \brief Opaque handle to a scheduled event; used to cancel it.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(uint64_t id) : id_(id) {}
+  uint64_t id_ = 0;
+};
+
+/// \brief Time-ordered pending-event set.
+///
+/// Not thread-safe — the simulation is single-threaded by design
+/// (determinism over parallelism; see DESIGN.md).
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`.  Ties fire in ascending
+  /// `priority`, then insertion order.
+  EventHandle Schedule(SimTime when, EventFn fn, int priority = 0);
+
+  /// Cancels a previously scheduled event; a handle that already fired
+  /// or was cancelled is ignored.  Returns true if the event was live.
+  bool Cancel(EventHandle handle);
+
+  bool empty() const { return live_ids_.empty(); }
+  size_t size() const { return live_ids_.size(); }
+
+  /// Time of the earliest live event; Max() if empty.
+  SimTime NextTime() const;
+
+  /// Removes and returns the earliest live event.
+  /// Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventFn fn;
+  };
+  Fired PopNext();
+
+ private:
+  struct Entry {
+    SimTime time;
+    int priority;
+    uint64_t seq;
+    uint64_t id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<uint64_t> live_ids_;
+  std::unordered_set<uint64_t> cancelled_ids_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_SIM_EVENT_QUEUE_H_

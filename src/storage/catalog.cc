@@ -1,0 +1,43 @@
+#include "storage/catalog.h"
+
+namespace stagger {
+
+ObjectId Catalog::Add(MediaObject object) {
+  const ObjectId id = size();
+  object.id = id;
+  if (object.name.empty()) {
+    object.name = "obj" + std::to_string(id);
+  }
+  objects_.push_back(std::move(object));
+  return id;
+}
+
+Catalog Catalog::Uniform(int32_t count, int64_t num_subobjects,
+                         Bandwidth display_bandwidth) {
+  Catalog catalog;
+  for (int32_t i = 0; i < count; ++i) {
+    MediaObject obj;
+    obj.display_bandwidth = display_bandwidth;
+    obj.num_subobjects = num_subobjects;
+    catalog.Add(std::move(obj));
+  }
+  return catalog;
+}
+
+Catalog Catalog::Mixed(const std::vector<MediaTypeSpec>& types) {
+  Catalog catalog;
+  for (const MediaTypeSpec& type : types) {
+    for (int32_t i = 0; i < type.count; ++i) {
+      MediaObject obj;
+      obj.display_bandwidth = type.display_bandwidth;
+      obj.num_subobjects = type.num_subobjects;
+      if (!type.name_prefix.empty()) {
+        obj.name = type.name_prefix + std::to_string(i);
+      }
+      catalog.Add(std::move(obj));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace stagger

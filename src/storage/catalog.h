@@ -1,0 +1,55 @@
+// The database catalog: descriptors of every multimedia object.  The
+// full database permanently resides on tertiary store; the catalog is
+// the authoritative list the object manager and schedulers consult.
+
+#ifndef STAGGER_STORAGE_CATALOG_H_
+#define STAGGER_STORAGE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/media_object.h"
+#include "util/result.h"
+
+namespace stagger {
+
+/// \brief Immutable-after-construction set of MediaObject descriptors.
+class Catalog {
+ public:
+  /// Adds an object; its id is assigned sequentially and returned.
+  ObjectId Add(MediaObject object);
+
+  /// Builds the paper's single-media-type database: `count` objects,
+  /// each with `num_subobjects` stripes at `display_bandwidth`.
+  static Catalog Uniform(int32_t count, int64_t num_subobjects,
+                         Bandwidth display_bandwidth);
+
+  /// \brief One media type in a mixed database (Section 3.2's setting).
+  struct MediaTypeSpec {
+    std::string name_prefix;
+    int32_t count = 0;
+    int64_t num_subobjects = 0;
+    Bandwidth display_bandwidth;
+  };
+
+  /// Builds a mixed-media database; object ids run type by type in the
+  /// order given (e.g. Figure 5's Y / X / Z mix).
+  static Catalog Mixed(const std::vector<MediaTypeSpec>& types);
+
+  int32_t size() const { return static_cast<int32_t>(objects_.size()); }
+  bool Contains(ObjectId id) const { return id >= 0 && id < size(); }
+
+  const MediaObject& Get(ObjectId id) const {
+    STAGGER_CHECK(Contains(id)) << "unknown object " << id;
+    return objects_[static_cast<size_t>(id)];
+  }
+
+  const std::vector<MediaObject>& objects() const { return objects_; }
+
+ private:
+  std::vector<MediaObject> objects_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_STORAGE_CATALOG_H_

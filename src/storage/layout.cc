@@ -1,0 +1,88 @@
+#include "storage/layout.h"
+
+#include <algorithm>
+#include <string>
+
+namespace stagger {
+
+Result<StaggeredLayout> StaggeredLayout::Create(int32_t num_disks,
+                                                int32_t start_disk,
+                                                int32_t stride, int32_t degree) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("layout: need at least one disk");
+  }
+  if (start_disk < 0 || start_disk >= num_disks) {
+    return Status::InvalidArgument("layout: start disk out of range");
+  }
+  if (stride < 1 || stride > num_disks) {
+    return Status::InvalidArgument("layout: stride must be in [1, D]");
+  }
+  if (degree < 1 || degree > num_disks) {
+    return Status::InvalidArgument("layout: degree must be in [1, D]");
+  }
+  return StaggeredLayout(num_disks, start_disk, stride, degree);
+}
+
+int32_t StaggeredLayout::UniqueDisksUsed(int64_t num_subobjects) const {
+  std::vector<char> used(static_cast<size_t>(num_disks_), 0);
+  for (int64_t i = 0; i < num_subobjects; ++i) {
+    for (int32_t j = 0; j < degree_; ++j) {
+      used[static_cast<size_t>(DiskFor(i, j))] = 1;
+    }
+    // Once every disk is touched further subobjects change nothing; the
+    // walk revisits after at most D/gcd(D,k) steps.
+    if (i >= num_disks_) break;
+  }
+  return static_cast<int32_t>(std::count(used.begin(), used.end(), 1));
+}
+
+std::vector<int64_t> StaggeredLayout::FragmentsPerDisk(int64_t num_subobjects) const {
+  std::vector<int64_t> counts(static_cast<size_t>(num_disks_), 0);
+  // The start-disk walk has period P = D / gcd(D, k); count full periods
+  // in closed form and walk only the remainder.
+  const int64_t g = std::gcd(static_cast<int64_t>(num_disks_),
+                             static_cast<int64_t>(stride_));
+  const int64_t period = num_disks_ / g;
+  const int64_t full = num_subobjects / period;
+  const int64_t rest = num_subobjects % period;
+
+  auto add_subobject = [&](int64_t i, int64_t times) {
+    for (int32_t j = 0; j < degree_; ++j) {
+      counts[static_cast<size_t>(DiskFor(i, j))] += times;
+    }
+  };
+  if (full > 0) {
+    for (int64_t i = 0; i < period; ++i) add_subobject(i, full);
+  }
+  for (int64_t i = 0; i < rest; ++i) add_subobject(i, 1);
+  return counts;
+}
+
+bool StaggeredLayout::IsSkewFree(int64_t num_subobjects) const {
+  std::vector<int64_t> counts = FragmentsPerDisk(num_subobjects);
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  // A perfectly balanced object differs by at most one fragment across
+  // disks (exact equality is impossible unless D divides the total).
+  return *hi - *lo <= 1;
+}
+
+Result<ClusterLayout> ClusterLayout::Create(int32_t num_disks, int32_t cluster,
+                                            int32_t degree) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("cluster layout: need at least one disk");
+  }
+  if (degree < 1 || degree > num_disks) {
+    return Status::InvalidArgument("cluster layout: degree must be in [1, D]");
+  }
+  const int32_t num_clusters = num_disks / degree;
+  if (num_clusters < 1) {
+    return Status::InvalidArgument("cluster layout: no full cluster fits");
+  }
+  if (cluster < 0 || cluster >= num_clusters) {
+    return Status::InvalidArgument("cluster layout: cluster index out of range [0, " +
+                                   std::to_string(num_clusters) + ")");
+  }
+  return ClusterLayout(num_disks, cluster, degree);
+}
+
+}  // namespace stagger

@@ -1,0 +1,106 @@
+// Placement layouts: where each fragment of an object lives.
+//
+// Staggered striping (Section 3.2): fragment X_{i.j} of an object whose
+// first fragment starts on disk p is placed on disk (p + i*k + j) mod D,
+// where k is the system-wide stride.  Setting k = M_X yields simple
+// striping (Section 3.1); assigning whole objects to one physical
+// cluster yields the virtual-data-replication layout of [GS93]
+// (equivalently k = D).
+//
+// This header also carries the Section 3.2.2 skew analysis: the number
+// of distinct disks an object touches and the per-disk fragment-count
+// balance, both governed by gcd(D, k).
+
+#ifndef STAGGER_STORAGE_LAYOUT_H_
+#define STAGGER_STORAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "storage/media_object.h"
+#include "util/result.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// \brief Placement of one object under staggered striping.
+class StaggeredLayout {
+ public:
+  /// \param num_disks   D, total disks; >= 1.
+  /// \param start_disk  p, the disk holding fragment X_{0.0}.
+  /// \param stride      k in [1, D].
+  /// \param degree      M_X in [1, D].
+  static Result<StaggeredLayout> Create(int32_t num_disks, int32_t start_disk,
+                                        int32_t stride, int32_t degree);
+
+  int32_t num_disks() const { return num_disks_; }
+  int32_t start_disk() const { return start_disk_; }
+  int32_t stride() const { return stride_; }
+  int32_t degree() const { return degree_; }
+
+  /// Physical disk holding fragment X_{i.j}.
+  int32_t DiskFor(int64_t subobject, int32_t fragment) const {
+    STAGGER_DCHECK(fragment >= 0 && fragment < degree_);
+    return static_cast<int32_t>(PositiveMod(
+        start_disk_ + subobject * stride_ + fragment, num_disks_));
+  }
+
+  /// First disk of subobject i (X_{i.0}).
+  int32_t FirstDiskFor(int64_t subobject) const { return DiskFor(subobject, 0); }
+
+  /// Number of distinct disks touched by an object of `num_subobjects`
+  /// stripes (the Section 3.2.2 "28 disks" example).
+  int32_t UniqueDisksUsed(int64_t num_subobjects) const;
+
+  /// Fragments stored per disk for an object of `num_subobjects` stripes
+  /// (index = physical disk).  Uneven counts == data skew.
+  std::vector<int64_t> FragmentsPerDisk(int64_t num_subobjects) const;
+
+  /// True when this (D, k) pair guarantees no data skew for objects that
+  /// wrap the array: requires the walk {p + i*k mod D} to visit every
+  /// residue class, i.e. gcd(D, k) == 1 — or the subobject count to be a
+  /// multiple of D/gcd so the imbalance closes (the paper's GCD rule).
+  bool IsSkewFree(int64_t num_subobjects) const;
+
+ private:
+  StaggeredLayout(int32_t num_disks, int32_t start_disk, int32_t stride,
+                  int32_t degree)
+      : num_disks_(num_disks), start_disk_(start_disk), stride_(stride),
+        degree_(degree) {}
+  int32_t num_disks_;
+  int32_t start_disk_;
+  int32_t stride_;
+  int32_t degree_;
+};
+
+/// \brief Placement of one object under virtual data replication: the
+/// whole object lives in one physical cluster of `degree` disks, with
+/// fragment j of every subobject on the cluster's j-th disk.
+class ClusterLayout {
+ public:
+  /// \param num_disks    D.
+  /// \param cluster      cluster index in [0, D/degree).
+  /// \param degree       disks per cluster (M).
+  static Result<ClusterLayout> Create(int32_t num_disks, int32_t cluster,
+                                      int32_t degree);
+
+  int32_t cluster() const { return cluster_; }
+  int32_t degree() const { return degree_; }
+
+  int32_t DiskFor(int64_t /*subobject*/, int32_t fragment) const {
+    STAGGER_DCHECK(fragment >= 0 && fragment < degree_);
+    return cluster_ * degree_ + fragment;
+  }
+
+ private:
+  ClusterLayout(int32_t num_disks, int32_t cluster, int32_t degree)
+      : num_disks_(num_disks), cluster_(cluster), degree_(degree) {}
+  int32_t num_disks_;
+  int32_t cluster_;
+  int32_t degree_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_STORAGE_LAYOUT_H_

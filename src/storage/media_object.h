@@ -1,0 +1,63 @@
+// Media-object model.  An object X is a sequence of n subobjects; each
+// subobject is declustered into M_X fragments of one fixed system-wide
+// size (Table 2 of the paper).  M_X = ceil(B_Display(X) / B_Disk).
+
+#ifndef STAGGER_STORAGE_MEDIA_OBJECT_H_
+#define STAGGER_STORAGE_MEDIA_OBJECT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace stagger {
+
+using ObjectId = int32_t;
+constexpr ObjectId kInvalidObject = -1;
+
+/// \brief Immutable description of one multimedia object.
+struct MediaObject {
+  ObjectId id = kInvalidObject;
+  std::string name;
+  /// Constant display-bandwidth requirement (B_Display(X)).
+  Bandwidth display_bandwidth;
+  /// Number of subobjects (stripes) the object is divided into.
+  int64_t num_subobjects = 0;
+
+  /// Degree of declustering for this object under effective disk
+  /// bandwidth `b_disk`: M_X = ceil(B_Display / B_Disk).
+  int32_t DegreeOfDeclustering(Bandwidth b_disk) const {
+    STAGGER_DCHECK(b_disk.bits_per_sec() > 0);
+    return static_cast<int32_t>(
+        std::ceil(display_bandwidth.bits_per_sec() / b_disk.bits_per_sec() -
+                  1e-9));
+  }
+
+  /// Total fragments = subobjects * M_X.
+  int64_t NumFragments(Bandwidth b_disk) const {
+    return num_subobjects * DegreeOfDeclustering(b_disk);
+  }
+
+  /// Size of the whole object given the system fragment size.
+  DataSize TotalSize(DataSize fragment_size, Bandwidth b_disk) const {
+    return fragment_size * NumFragments(b_disk);
+  }
+
+  /// Wall-clock time to display the object once: one time interval per
+  /// subobject (each interval delivers one subobject at B_Display).
+  SimTime DisplayTime(SimTime interval) const { return interval * num_subobjects; }
+};
+
+/// \brief Identifies fragment X_{i.j}: subobject i, fragment j.
+struct FragmentId {
+  ObjectId object = kInvalidObject;
+  int64_t subobject = 0;
+  int32_t fragment = 0;
+
+  bool operator==(const FragmentId&) const = default;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_STORAGE_MEDIA_OBJECT_H_

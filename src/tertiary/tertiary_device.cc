@@ -1,0 +1,29 @@
+#include "tertiary/tertiary_device.h"
+
+namespace stagger {
+
+Status TertiaryParameters::Validate() const {
+  if (bandwidth.bits_per_sec() <= 0) {
+    return Status::InvalidArgument("tertiary bandwidth must be positive");
+  }
+  if (reposition < SimTime::Zero()) {
+    return Status::InvalidArgument("tertiary reposition time must be >= 0");
+  }
+  return Status::OK();
+}
+
+SimTime TertiaryDevice::SequentialLayoutTime(DataSize object_size,
+                                             DataSize burst) const {
+  STAGGER_CHECK(burst.bytes() > 0) << "burst must be positive";
+  const int64_t bursts = CeilDiv(object_size.bytes(), burst.bytes());
+  return TransferTime(object_size) + params_.reposition * bursts;
+}
+
+double TertiaryDevice::SequentialLayoutEfficiency(DataSize object_size,
+                                                  DataSize burst) const {
+  const double useful = TransferTime(object_size).seconds();
+  const double total = SequentialLayoutTime(object_size, burst).seconds();
+  return total == 0.0 ? 1.0 : useful / total;
+}
+
+}  // namespace stagger

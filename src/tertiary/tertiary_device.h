@@ -1,0 +1,66 @@
+// Tertiary storage device model (Section 3.2.4 and Table 3).  The
+// evaluation uses only its bandwidth (40 mbps) and a FIFO service queue;
+// the Section 3.2.4 analysis additionally needs the head-reposition
+// penalty that a layout mismatch between tape order and disk order
+// incurs, which we expose through the two *LayoutTime estimators.
+
+#ifndef STAGGER_TERTIARY_TERTIARY_DEVICE_H_
+#define STAGGER_TERTIARY_TERTIARY_DEVICE_H_
+
+#include <cstdint>
+
+#include "util/result.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// \brief Static description of the tertiary device.
+struct TertiaryParameters {
+  /// Sustained transfer bandwidth (B_Tertiary).
+  Bandwidth bandwidth = Bandwidth::Mbps(40);
+  /// Head-reposition (seek) delay, paid once per positioning.  "This
+  /// reposition time is typically very high for tertiary storage
+  /// devices and may exceed the duration of a time interval."
+  SimTime reposition = SimTime::Seconds(2.0);
+
+  Status Validate() const;
+};
+
+/// \brief Timing model of one tertiary drive.
+class TertiaryDevice {
+ public:
+  explicit TertiaryDevice(const TertiaryParameters& params) : params_(params) {}
+
+  const TertiaryParameters& params() const { return params_; }
+
+  /// Raw transfer time for `size` at B_Tertiary.
+  SimTime TransferTime(DataSize size) const {
+    return stagger::TransferTime(size, params_.bandwidth);
+  }
+
+  /// Materialization time when the tape is recorded in disk-delivery
+  /// order (Section 3.2.4's proposed layout): one initial reposition,
+  /// then a single sequential pass — no per-subobject repositioning.
+  SimTime StripedLayoutTime(DataSize object_size) const {
+    return params_.reposition + TransferTime(object_size);
+  }
+
+  /// Materialization time when the tape stores the object sequentially:
+  /// the device produces `burst` contiguous bytes, then must reposition
+  /// before the next burst (the layout mismatch of Section 3.2.4).
+  /// \param object_size total object size.
+  /// \param burst       contiguous bytes produced per positioning; the
+  ///                    paper's (B_Tertiary / B_Display) x subobject.
+  SimTime SequentialLayoutTime(DataSize object_size, DataSize burst) const;
+
+  /// Fraction of device time doing useful transfer (vs repositioning)
+  /// under the sequential layout.
+  double SequentialLayoutEfficiency(DataSize object_size, DataSize burst) const;
+
+ private:
+  TertiaryParameters params_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_TERTIARY_TERTIARY_DEVICE_H_

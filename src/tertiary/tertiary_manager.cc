@@ -1,0 +1,47 @@
+#include "tertiary/tertiary_manager.h"
+
+#include <utility>
+
+namespace stagger {
+
+void TertiaryManager::Enqueue(ObjectId object, DataSize size,
+                              CompletionFn on_complete,
+                              ServiceStartFn on_start) {
+  queue_.push_back(Request{object, size, std::move(on_complete),
+                           std::move(on_start), sim_->Now()});
+  if (!busy_) StartNext();
+}
+
+SimTime TertiaryManager::BusyTime(SimTime now) const {
+  SimTime busy = completed_busy_time_;
+  if (busy_) {
+    const SimTime elapsed = now - current_service_start_;
+    busy += elapsed < current_service_duration_ ? elapsed
+                                                : current_service_duration_;
+  }
+  return busy;
+}
+
+void TertiaryManager::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+
+  const SimTime service = device_.StripedLayoutTime(req.size);
+  current_service_start_ = sim_->Now();
+  current_service_duration_ = service;
+  if (req.on_start) req.on_start(req.object, service);
+  sim_->ScheduleAfter(service, [this, req = std::move(req)]() mutable {
+    ++completed_;
+    completed_busy_time_ += current_service_duration_;
+    latency_stats_.Add((sim_->Now() - req.enqueued_at).seconds());
+    if (req.on_complete) req.on_complete(req.object);
+    StartNext();
+  });
+}
+
+}  // namespace stagger

@@ -1,0 +1,100 @@
+// The Tertiary Manager of the paper's Centralized Scheduler: "maintains
+// a queue of requests waiting to be serviced by the tertiary storage
+// device".  Requests are served FIFO, one at a time; completion fires a
+// caller-supplied callback on the simulator.
+
+#ifndef STAGGER_TERTIARY_TERTIARY_MANAGER_H_
+#define STAGGER_TERTIARY_TERTIARY_MANAGER_H_
+
+#include <deque>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "storage/media_object.h"
+#include "tertiary/tertiary_device.h"
+#include "util/stats.h"
+
+namespace stagger {
+
+/// Invoked when a materialization finishes (object fully on disk).
+using MaterializationCompletionFn = std::function<void(ObjectId)>;
+/// Invoked when a device begins serving a materialization, with the
+/// service duration — lets the caller overlay the disk-side write
+/// stream (Section 3.2.4).
+using MaterializationStartFn = std::function<void(ObjectId, SimTime)>;
+
+/// \brief Interface shared by a single tertiary manager and a pool of
+/// them (tertiary_pool.h), so servers work with either.
+class MaterializationService {
+ public:
+  virtual ~MaterializationService() = default;
+  virtual void Enqueue(ObjectId object, DataSize size,
+                       MaterializationCompletionFn on_complete,
+                       MaterializationStartFn on_start) = 0;
+  /// Materializations completed so far.
+  virtual int64_t completed() const = 0;
+  /// Requests waiting (excluding the one in service).
+  virtual size_t queue_length() const = 0;
+  /// Mean device utilization over [0, now].
+  virtual double Utilization(SimTime now) const = 0;
+};
+
+/// \brief FIFO scheduler for one tertiary device.
+class TertiaryManager : public MaterializationService {
+ public:
+  /// \param sim     simulation kernel; must outlive the manager.
+  /// \param device  device timing model (copied).
+  TertiaryManager(Simulator* sim, TertiaryDevice device)
+      : sim_(sim), device_(device) {}
+
+  using CompletionFn = MaterializationCompletionFn;
+  using ServiceStartFn = MaterializationStartFn;
+
+  /// Queues a materialization of `size` bytes for `object`.  Service
+  /// time is the striped-layout time (the system records tapes in
+  /// delivery order, Section 3.2.4).
+  void Enqueue(ObjectId object, DataSize size, CompletionFn on_complete,
+               ServiceStartFn on_start) override;
+  void Enqueue(ObjectId object, DataSize size, CompletionFn on_complete) {
+    Enqueue(object, size, std::move(on_complete), nullptr);
+  }
+
+  bool busy() const { return busy_; }
+  size_t queue_length() const override { return queue_.size(); }
+  int64_t completed() const override { return completed_; }
+  /// Device time spent serving (reposition + transfer) through `now`,
+  /// counting only the elapsed part of an in-flight service.
+  SimTime BusyTime(SimTime now) const;
+  /// Device utilization over [0, now].
+  double Utilization(SimTime now) const override {
+    return now <= SimTime::Zero() ? 0.0
+                                  : BusyTime(now).seconds() / now.seconds();
+  }
+  /// Queueing + service latency of completed materializations (seconds).
+  const StreamingStats& latency_stats() const { return latency_stats_; }
+
+ private:
+  struct Request {
+    ObjectId object;
+    DataSize size;
+    CompletionFn on_complete;
+    ServiceStartFn on_start;
+    SimTime enqueued_at;
+  };
+
+  void StartNext();
+
+  Simulator* sim_;
+  TertiaryDevice device_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  int64_t completed_ = 0;
+  SimTime completed_busy_time_;
+  SimTime current_service_start_;
+  SimTime current_service_duration_;
+  StreamingStats latency_stats_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_TERTIARY_TERTIARY_MANAGER_H_

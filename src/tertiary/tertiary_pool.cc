@@ -1,0 +1,56 @@
+#include "tertiary/tertiary_pool.h"
+
+#include <limits>
+#include <utility>
+
+namespace stagger {
+
+Result<std::unique_ptr<TertiaryPool>> TertiaryPool::Create(
+    Simulator* sim, TertiaryDevice device, int32_t devices) {
+  if (devices < 1) {
+    return Status::InvalidArgument("tertiary pool needs at least one device");
+  }
+  STAGGER_RETURN_NOT_OK(device.params().Validate());
+  std::vector<std::unique_ptr<TertiaryManager>> managers;
+  managers.reserve(static_cast<size_t>(devices));
+  for (int32_t i = 0; i < devices; ++i) {
+    managers.push_back(std::make_unique<TertiaryManager>(sim, device));
+  }
+  return std::unique_ptr<TertiaryPool>(new TertiaryPool(std::move(managers)));
+}
+
+void TertiaryPool::Enqueue(ObjectId object, DataSize size,
+                           MaterializationCompletionFn on_complete,
+                           MaterializationStartFn on_start) {
+  // Least-loaded routing: fewest waiting requests, idle devices first.
+  TertiaryManager* best = devices_[0].get();
+  size_t best_load = std::numeric_limits<size_t>::max();
+  for (const auto& device : devices_) {
+    const size_t load = device->queue_length() + (device->busy() ? 1 : 0);
+    if (load < best_load) {
+      best_load = load;
+      best = device.get();
+    }
+  }
+  best->Enqueue(object, size, std::move(on_complete), std::move(on_start));
+}
+
+int64_t TertiaryPool::completed() const {
+  int64_t total = 0;
+  for (const auto& device : devices_) total += device->completed();
+  return total;
+}
+
+size_t TertiaryPool::queue_length() const {
+  size_t total = 0;
+  for (const auto& device : devices_) total += device->queue_length();
+  return total;
+}
+
+double TertiaryPool::Utilization(SimTime now) const {
+  double total = 0.0;
+  for (const auto& device : devices_) total += device->Utilization(now);
+  return total / static_cast<double>(devices_.size());
+}
+
+}  // namespace stagger

@@ -1,0 +1,46 @@
+// A pool of tertiary devices.  Table 3 carries "Number of Tertiary
+// Devices" as a system parameter (1 in the paper's runs); the pool
+// routes each materialization to the least-loaded device, which is how
+// the Section 4.2 tertiary bottleneck is relieved in practice.
+
+#ifndef STAGGER_TERTIARY_TERTIARY_POOL_H_
+#define STAGGER_TERTIARY_TERTIARY_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "tertiary/tertiary_manager.h"
+#include "util/result.h"
+
+namespace stagger {
+
+/// \brief N identical tertiary devices behind least-queue routing.
+class TertiaryPool : public MaterializationService {
+ public:
+  /// \param sim      simulation kernel; outlives the pool.
+  /// \param device   device model replicated across the pool.
+  /// \param devices  number of drives (>= 1).
+  static Result<std::unique_ptr<TertiaryPool>> Create(Simulator* sim,
+                                                      TertiaryDevice device,
+                                                      int32_t devices);
+
+  void Enqueue(ObjectId object, DataSize size,
+               TertiaryManager::CompletionFn on_complete,
+               TertiaryManager::ServiceStartFn on_start) override;
+
+  int64_t completed() const override;
+  size_t queue_length() const override;
+  double Utilization(SimTime now) const override;
+
+  int32_t num_devices() const { return static_cast<int32_t>(devices_.size()); }
+  const TertiaryManager& device(int32_t i) const { return *devices_[static_cast<size_t>(i)]; }
+
+ private:
+  explicit TertiaryPool(std::vector<std::unique_ptr<TertiaryManager>> devices)
+      : devices_(std::move(devices)) {}
+  std::vector<std::unique_ptr<TertiaryManager>> devices_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_TERTIARY_TERTIARY_POOL_H_

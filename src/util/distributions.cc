@@ -1,0 +1,130 @@
+#include "util/distributions.h"
+
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+namespace stagger {
+
+int64_t DiscreteDistribution::WorkingSetSize(double mass) const {
+  double acc = 0.0;
+  for (int64_t i = 0; i < size(); ++i) {
+    acc += Probability(i);
+    if (acc >= mass) return i + 1;
+  }
+  return size();
+}
+
+Result<AliasSampler> AliasSampler::Create(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("AliasSampler: empty weight vector");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("AliasSampler: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("AliasSampler: weights must have positive sum");
+  }
+
+  const int64_t n = static_cast<int64_t>(weights.size());
+  std::vector<double> prob(weights.size());
+  std::vector<int64_t> alias(weights.size(), 0);
+  std::vector<double> scaled(weights.size());
+  for (int64_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] / total * static_cast<double>(n);
+  }
+
+  std::deque<int64_t> small, large;
+  for (int64_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    int64_t s = small.front();
+    small.pop_front();
+    int64_t l = large.front();
+    large.pop_front();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (int64_t i : small) prob[i] = 1.0;
+  for (int64_t i : large) prob[i] = 1.0;
+
+  return AliasSampler(std::move(prob), std::move(alias));
+}
+
+int64_t AliasSampler::Sample(Rng* rng) const {
+  const int64_t n = size();
+  int64_t i = static_cast<int64_t>(rng->NextBounded(static_cast<uint64_t>(n)));
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+Result<TruncatedGeometric> TruncatedGeometric::FromMean(int64_t n, double mean) {
+  if (mean <= 0.0) {
+    return Status::InvalidArgument("TruncatedGeometric: mean must be > 0");
+  }
+  return FromP(n, 1.0 / (mean + 1.0));
+}
+
+Result<TruncatedGeometric> TruncatedGeometric::FromP(int64_t n, double p) {
+  if (n < 1) {
+    return Status::InvalidArgument("TruncatedGeometric: n must be >= 1");
+  }
+  if (p <= 0.0 || p > 1.0) {
+    return Status::InvalidArgument("TruncatedGeometric: p must be in (0, 1]");
+  }
+  // Weights (1-p)^i; the shared geometric factor makes the absolute scale
+  // irrelevant (AliasSampler normalizes).  Very deep tails underflow to 0,
+  // which is the correct truncated behaviour.
+  std::vector<double> weights(static_cast<size_t>(n));
+  double w = 1.0;
+  const double q = 1.0 - p;
+  for (int64_t i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] = w;
+    w *= q;
+  }
+  STAGGER_ASSIGN_OR_RETURN(AliasSampler sampler, AliasSampler::Create(weights));
+  return TruncatedGeometric(n, p, std::move(sampler));
+}
+
+double TruncatedGeometric::Probability(int64_t i) const {
+  STAGGER_CHECK(i >= 0 && i < n_);
+  const double q = 1.0 - p_;
+  // Normalizing constant of the truncation: sum_{j<n} q^j = (1-q^n)/(1-q).
+  const double norm = (p_ == 1.0) ? 1.0 : (1.0 - std::pow(q, static_cast<double>(n_))) / p_;
+  return std::pow(q, static_cast<double>(i)) / norm;
+}
+
+int64_t TruncatedGeometric::Sample(Rng* rng) const { return sampler_.Sample(rng); }
+
+Result<ZipfDistribution> ZipfDistribution::Create(int64_t n, double theta) {
+  if (n < 1) return Status::InvalidArgument("Zipf: n must be >= 1");
+  if (theta < 0.0) return Status::InvalidArgument("Zipf: theta must be >= 0");
+  std::vector<double> weights(static_cast<size_t>(n));
+  double norm = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    norm += weights[static_cast<size_t>(i)];
+  }
+  STAGGER_ASSIGN_OR_RETURN(AliasSampler sampler, AliasSampler::Create(weights));
+  return ZipfDistribution(n, theta, norm, std::move(sampler));
+}
+
+double ZipfDistribution::Probability(int64_t i) const {
+  STAGGER_CHECK(i >= 0 && i < n_);
+  return 1.0 / std::pow(static_cast<double>(i + 1), theta_) / norm_;
+}
+
+int64_t ZipfDistribution::Sample(Rng* rng) const { return sampler_.Sample(rng); }
+
+Result<UniformDistribution> UniformDistribution::Create(int64_t n) {
+  if (n < 1) return Status::InvalidArgument("Uniform: n must be >= 1");
+  return UniformDistribution(n);
+}
+
+}  // namespace stagger

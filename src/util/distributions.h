@@ -1,0 +1,121 @@
+// Object-popularity distributions.  The paper models reference
+// probabilities with a truncated geometric distribution whose mean is
+// varied (10 / 20 / 43.5) to move between highly skewed and near-uniform
+// access.  Zipf and uniform are provided for sensitivity studies.
+
+#ifndef STAGGER_UTIL_DISTRIBUTIONS_H_
+#define STAGGER_UTIL_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace stagger {
+
+/// \brief A discrete distribution over object indices [0, n).
+class DiscreteDistribution {
+ public:
+  virtual ~DiscreteDistribution() = default;
+
+  /// Number of distinct outcomes.
+  virtual int64_t size() const = 0;
+
+  /// Probability of outcome i (i in [0, size())).
+  virtual double Probability(int64_t i) const = 0;
+
+  /// Draws one outcome.
+  virtual int64_t Sample(Rng* rng) const = 0;
+
+  /// Smallest m such that outcomes [0, m) carry at least `mass`
+  /// probability — the paper's "number of unique objects referenced".
+  int64_t WorkingSetSize(double mass) const;
+};
+
+/// \brief Samples any DiscreteDistribution in O(1) via the alias method.
+///
+/// Used as the sampling engine by the concrete distributions below; also
+/// usable directly from an explicit weight vector.
+class AliasSampler {
+ public:
+  /// `weights` must be non-empty with non-negative entries and positive sum.
+  static Result<AliasSampler> Create(const std::vector<double>& weights);
+
+  int64_t Sample(Rng* rng) const;
+  int64_t size() const { return static_cast<int64_t>(prob_.size()); }
+
+ private:
+  AliasSampler(std::vector<double> prob, std::vector<int64_t> alias)
+      : prob_(std::move(prob)), alias_(std::move(alias)) {}
+  std::vector<double> prob_;
+  std::vector<int64_t> alias_;
+};
+
+/// \brief Truncated geometric distribution: P(i) ∝ (1-p)^i for i in [0, n).
+///
+/// The paper parameterizes by the mean of the *untruncated* geometric;
+/// `FromMean` sets p = 1/(mean+1) so that an untruncated draw has the
+/// requested mean, then renormalizes over the n objects.
+class TruncatedGeometric : public DiscreteDistribution {
+ public:
+  /// \param n     number of outcomes (objects); must be >= 1.
+  /// \param mean  mean of the untruncated geometric; must be > 0.
+  static Result<TruncatedGeometric> FromMean(int64_t n, double mean);
+
+  /// Directly from success probability p in (0, 1].
+  static Result<TruncatedGeometric> FromP(int64_t n, double p);
+
+  int64_t size() const override { return n_; }
+  double Probability(int64_t i) const override;
+  int64_t Sample(Rng* rng) const override;
+
+  double p() const { return p_; }
+
+ private:
+  TruncatedGeometric(int64_t n, double p, AliasSampler sampler)
+      : n_(n), p_(p), sampler_(std::move(sampler)) {}
+  int64_t n_;
+  double p_;
+  AliasSampler sampler_;
+};
+
+/// \brief Zipf distribution: P(i) ∝ 1/(i+1)^theta for i in [0, n).
+class ZipfDistribution : public DiscreteDistribution {
+ public:
+  static Result<ZipfDistribution> Create(int64_t n, double theta);
+
+  int64_t size() const override { return n_; }
+  double Probability(int64_t i) const override;
+  int64_t Sample(Rng* rng) const override;
+
+ private:
+  ZipfDistribution(int64_t n, double theta, double norm, AliasSampler sampler)
+      : n_(n), theta_(theta), norm_(norm), sampler_(std::move(sampler)) {}
+  int64_t n_;
+  double theta_;
+  double norm_;
+  AliasSampler sampler_;
+};
+
+/// \brief Uniform distribution over [0, n).
+class UniformDistribution : public DiscreteDistribution {
+ public:
+  static Result<UniformDistribution> Create(int64_t n);
+
+  int64_t size() const override { return n_; }
+  double Probability(int64_t) const override { return 1.0 / static_cast<double>(n_); }
+  int64_t Sample(Rng* rng) const override {
+    return static_cast<int64_t>(rng->NextBounded(static_cast<uint64_t>(n_)));
+  }
+
+ private:
+  explicit UniformDistribution(int64_t n) : n_(n) {}
+  int64_t n_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_UTIL_DISTRIBUTIONS_H_

@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace stagger {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kFatal: return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) { g_log_level.store(level, std::memory_order_relaxed); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), enabled_(level >= GetLogLevel() || level == LogLevel::kFatal) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace stagger

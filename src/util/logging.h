@@ -1,0 +1,88 @@
+// Minimal streaming logger plus CHECK macros, in the style of
+// glog / arrow::util::logging.  STAGGER_CHECK aborts on violated
+// invariants (programmer errors); recoverable errors use Status.
+
+#ifndef STAGGER_UTIL_LOGGING_H_
+#define STAGGER_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace stagger {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are discarded.
+/// Defaults to kWarning so library consumers are quiet by default.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when a log statement is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+/// Gives a streamed LogMessage expression type void inside the CHECK
+/// ternary.  `&` binds looser than `<<`, so user-streamed context chains
+/// onto the LogMessage before voidification.
+struct FatalStreamVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace stagger
+
+#define STAGGER_LOG(level)                                               \
+  ::stagger::internal::LogMessage(::stagger::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a diagnostic if `condition` is false.  Additional context
+/// may be streamed: STAGGER_CHECK(x > 0) << "x=" << x;
+#define STAGGER_CHECK(condition)                                         \
+  (condition) ? static_cast<void>(0)                                     \
+              : ::stagger::internal::FatalStreamVoidify() &              \
+                    ::stagger::internal::LogMessage(                     \
+                        ::stagger::LogLevel::kFatal, __FILE__, __LINE__) \
+                        << "Check failed: " #condition " "
+
+#define STAGGER_CHECK_EQ(a, b) STAGGER_CHECK((a) == (b))
+#define STAGGER_CHECK_NE(a, b) STAGGER_CHECK((a) != (b))
+#define STAGGER_CHECK_LT(a, b) STAGGER_CHECK((a) < (b))
+#define STAGGER_CHECK_LE(a, b) STAGGER_CHECK((a) <= (b))
+#define STAGGER_CHECK_GT(a, b) STAGGER_CHECK((a) > (b))
+#define STAGGER_CHECK_GE(a, b) STAGGER_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define STAGGER_DCHECK(condition) STAGGER_CHECK(condition)
+#else
+#define STAGGER_DCHECK(condition) \
+  while (false) STAGGER_CHECK(condition)
+#endif
+
+#endif  // STAGGER_UTIL_LOGGING_H_

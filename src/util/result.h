@@ -1,0 +1,85 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#ifndef STAGGER_UTIL_RESULT_H_
+#define STAGGER_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace stagger {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value could not be produced.
+///
+/// Accessors mirror arrow::Result: `ok()`, `status()`, `ValueOrDie()`,
+/// `operator*`.  Use STAGGER_ASSIGN_OR_RETURN to unwrap inside functions
+/// that themselves return Status/Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a non-OK status (implicit, enables
+  /// `return Status::InvalidArgument(...)`).  Passing an OK status is a
+  /// programmer error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    STAGGER_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error Status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    STAGGER_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    STAGGER_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    STAGGER_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// The value if present, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+#define STAGGER_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  STAGGER_ASSIGN_OR_RETURN_IMPL_(                                  \
+      STAGGER_CONCAT_(_stagger_result_, __COUNTER__), lhs, rexpr)
+
+#define STAGGER_CONCAT_INNER_(a, b) a##b
+#define STAGGER_CONCAT_(a, b) STAGGER_CONCAT_INNER_(a, b)
+#define STAGGER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace stagger
+
+#endif  // STAGGER_UTIL_RESULT_H_

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.  All stochastic
+// components of the simulator draw from an explicitly seeded Rng so
+// every experiment is reproducible bit-for-bit.
+//
+// The generator is xoshiro256**, seeded via splitmix64 — fast, high
+// quality, and independent of the standard library's unspecified
+// distributions (we implement our own in distributions.h).
+
+#ifndef STAGGER_UTIL_RNG_H_
+#define STAGGER_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace stagger {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound).  `bound` must be positive.  Uses rejection
+  /// sampling (Lemire) to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Exponential variate with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Forks an independently-seeded child stream; children of the same
+  /// parent state are distinct, and the parent advances by one draw.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_UTIL_RNG_H_

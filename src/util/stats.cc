@@ -1,0 +1,113 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace stagger {
+
+void StreamingStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(total);
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StreamingStats::Reset() { *this = StreamingStats(); }
+
+double StreamingStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets),
+      buckets_(static_cast<size_t>(buckets) + 2, 0) {
+  STAGGER_CHECK(hi > lo) << "Histogram: hi must exceed lo";
+  STAGGER_CHECK(buckets >= 1) << "Histogram: need at least one bucket";
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  stats_.Add(x);
+  size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = buckets_.size() - 1;
+  } else {
+    idx = 1 + static_cast<size_t>((x - lo_) / width_);
+    idx = std::min(idx, buckets_.size() - 2);
+  }
+  ++buckets_[idx];
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double acc = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = acc + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      if (i == 0) return lo_;                       // underflow bucket
+      if (i == buckets_.size() - 1) return hi_;     // overflow bucket
+      const double frac = (target - acc) / static_cast<double>(buckets_[i]);
+      return lo_ + width_ * (static_cast<double>(i - 1) + frac);
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "Histogram(n=" << count_ << ", mean=" << mean() << ", p50=" << Quantile(0.5)
+     << ", p95=" << Quantile(0.95) << ", p99=" << Quantile(0.99) << ", max=" << max()
+     << ")";
+  return os.str();
+}
+
+void TimeWeighted::Set(SimTime now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+    last_change_ = now;
+    value_ = value;
+    return;
+  }
+  STAGGER_CHECK(now >= last_change_) << "TimeWeighted: time went backwards";
+  weighted_sum_ += value_ * (now - last_change_).seconds();
+  last_change_ = now;
+  value_ = value;
+}
+
+double TimeWeighted::Average(SimTime now) const {
+  if (!started_ || now <= start_) return 0.0;
+  const double total =
+      weighted_sum_ + value_ * (now - last_change_).seconds();
+  return total / (now - start_).seconds();
+}
+
+}  // namespace stagger

@@ -1,0 +1,91 @@
+// Streaming statistics helpers used by the metrics layer: running
+// mean/variance (Welford), min/max, fixed-bucket histograms with
+// percentile queries, and time-weighted averages for utilizations.
+
+#ifndef STAGGER_UTIL_STATS_H_
+#define STAGGER_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace stagger {
+
+/// \brief Running count/mean/variance/min/max over a stream of doubles.
+class StreamingStats {
+ public:
+  void Add(double x);
+  /// Merges another accumulator into this one.
+  void Merge(const StreamingStats& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Mean of added samples; 0 if empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 if fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-width-bucket histogram over [lo, hi) with overflow buckets.
+class Histogram {
+ public:
+  /// \param lo       lower bound of the tracked range.
+  /// \param hi       upper bound of the tracked range (must exceed lo).
+  /// \param buckets  number of equal-width buckets (>= 1).
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+
+  /// Value at quantile q in [0, 1], interpolated within a bucket.
+  /// Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Multi-line textual rendering, for debug output.
+  std::string ToString() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<int64_t> buckets_;  // [underflow, b0..bN-1, overflow]
+  int64_t count_ = 0;
+  StreamingStats stats_;
+};
+
+/// \brief Time-weighted average of a piecewise-constant signal, e.g. the
+/// number of busy disks.  Call `Set(t, value)` at every change; `Average`
+/// integrates value over time between changes.
+class TimeWeighted {
+ public:
+  void Set(SimTime now, double value);
+  /// Time-average of the signal from the first Set through `now`.
+  double Average(SimTime now) const;
+  double current() const { return value_; }
+
+ private:
+  bool started_ = false;
+  SimTime last_change_;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  SimTime start_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_UTIL_STATS_H_

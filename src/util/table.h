@@ -1,0 +1,53 @@
+// Plain-text and CSV table rendering for the benchmark harnesses, so
+// every bench prints paper-style rows without ad-hoc formatting code.
+
+#ifndef STAGGER_UTIL_TABLE_H_
+#define STAGGER_UTIL_TABLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stagger {
+
+/// \brief Accumulates rows of string cells and renders them as an
+/// aligned ASCII table or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; its width must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with `Format`.
+  template <typename... Ts>
+  void AddRowValues(const Ts&... values) {
+    AddRow({Format(values)...});
+  }
+
+  /// Fixed-point with `digits` decimals, e.g. Format(3.14159, 2) == "3.14".
+  static std::string Format(double v, int digits = 2);
+  static std::string Format(int64_t v);
+  static std::string Format(int v) { return Format(static_cast<int64_t>(v)); }
+  static std::string Format(size_t v) { return Format(static_cast<int64_t>(v)); }
+  static std::string Format(const std::string& v) { return v; }
+  static std::string Format(const char* v) { return v; }
+
+  /// Renders an aligned table with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of commas — cells are numeric
+  /// or simple identifiers by construction).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_UTIL_TABLE_H_

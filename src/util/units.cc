@@ -1,0 +1,55 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace stagger {
+
+std::string SimTime::ToString() const {
+  std::ostringstream os;
+  if (micros_ % 1000000 == 0) {
+    os << micros_ / 1000000 << "s";
+  } else if (micros_ % 1000 == 0) {
+    os << micros_ / 1000 << "ms";
+  } else {
+    os << micros_ << "us";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.ToString(); }
+
+std::string DataSize::ToString() const {
+  std::ostringstream os;
+  if (bytes_ >= 1000000000 && bytes_ % 1000000 == 0) {
+    os << static_cast<double>(bytes_) / 1e9 << "GB";
+  } else if (bytes_ >= 1000000) {
+    os << static_cast<double>(bytes_) / 1e6 << "MB";
+  } else {
+    os << bytes_ << "B";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, DataSize s) { return os << s.ToString(); }
+
+std::string Bandwidth::ToString() const {
+  std::ostringstream os;
+  os << mbps() << "mbps";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Bandwidth b) { return os << b.ToString(); }
+
+SimTime TransferTime(DataSize size, Bandwidth bw) {
+  STAGGER_CHECK(bw.bits_per_sec() > 0) << "transfer at zero bandwidth";
+  double seconds = size.bits() / bw.bits_per_sec();
+  return SimTime::Micros(static_cast<int64_t>(std::ceil(seconds * 1e6)));
+}
+
+DataSize DataMoved(Bandwidth bw, SimTime t) {
+  double bits = bw.bits_per_sec() * t.seconds();
+  return DataSize::Bytes(static_cast<int64_t>(bits / 8.0));
+}
+
+}  // namespace stagger

@@ -1,0 +1,163 @@
+// Strongly-typed physical quantities used throughout the simulator:
+// simulated time (integer microseconds), data sizes (bytes), and
+// bandwidths (bits per second).  Keeping time integral makes event
+// ordering exact and runs reproducible.
+//
+// Conventions follow the paper: "mbps" means 1e6 bits per second,
+// "megabyte" means 1e6 bytes (the paper's 1.512 megabyte cylinder).
+
+#ifndef STAGGER_UTIL_UNITS_H_
+#define STAGGER_UTIL_UNITS_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/logging.h"
+
+namespace stagger {
+
+/// \brief Simulated time as a count of microseconds since simulation start.
+///
+/// Arithmetic (+, -, scaling) is supported; multiplication of two times is
+/// deliberately not.  Use the factory helpers (Micros/Millis/Seconds) rather
+/// than raw constructors in application code.
+class SimTime {
+ public:
+  constexpr SimTime() : micros_(0) {}
+  constexpr explicit SimTime(int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Micros(int64_t us) { return SimTime(us); }
+  static constexpr SimTime Millis(int64_t ms) { return SimTime(ms * 1000); }
+  static constexpr SimTime Seconds(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimTime Minutes(double m) { return Seconds(m * 60.0); }
+  static constexpr SimTime Hours(double h) { return Seconds(h * 3600.0); }
+  /// Largest representable time; used as "never" for deadlines.
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double millis() const { return static_cast<double>(micros_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double hours() const { return seconds() / 3600.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime other) const { return SimTime(micros_ + other.micros_); }
+  constexpr SimTime operator-(SimTime other) const { return SimTime(micros_ - other.micros_); }
+  constexpr SimTime operator*(int64_t n) const { return SimTime(micros_ * n); }
+  SimTime& operator+=(SimTime other) { micros_ += other.micros_; return *this; }
+  SimTime& operator-=(SimTime other) { micros_ -= other.micros_; return *this; }
+
+  /// Integer division: how many whole `unit`s fit in this duration.
+  constexpr int64_t DivFloor(SimTime unit) const {
+    STAGGER_DCHECK(unit.micros_ > 0);
+    int64_t q = micros_ / unit.micros_;
+    if ((micros_ % unit.micros_ != 0) && ((micros_ < 0) != (unit.micros_ < 0))) --q;
+    return q;
+  }
+
+  std::string ToString() const;
+
+ private:
+  int64_t micros_;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+/// \brief Data size in bytes (decimal units: 1 MB = 1e6 bytes, as the paper).
+class DataSize {
+ public:
+  constexpr DataSize() : bytes_(0) {}
+  constexpr explicit DataSize(int64_t bytes) : bytes_(bytes) {}
+
+  static constexpr DataSize Bytes(int64_t b) { return DataSize(b); }
+  static constexpr DataSize KB(double kb) {
+    return DataSize(static_cast<int64_t>(kb * 1e3 + 0.5));
+  }
+  static constexpr DataSize MB(double mb) {
+    return DataSize(static_cast<int64_t>(mb * 1e6 + 0.5));
+  }
+  static constexpr DataSize GB(double gb) {
+    return DataSize(static_cast<int64_t>(gb * 1e9 + 0.5));
+  }
+
+  constexpr int64_t bytes() const { return bytes_; }
+  constexpr double megabytes() const { return static_cast<double>(bytes_) / 1e6; }
+  constexpr double gigabytes() const { return static_cast<double>(bytes_) / 1e9; }
+  constexpr double bits() const { return static_cast<double>(bytes_) * 8.0; }
+  constexpr double megabits() const { return bits() / 1e6; }
+
+  constexpr auto operator<=>(const DataSize&) const = default;
+  constexpr DataSize operator+(DataSize o) const { return DataSize(bytes_ + o.bytes_); }
+  constexpr DataSize operator-(DataSize o) const { return DataSize(bytes_ - o.bytes_); }
+  constexpr DataSize operator*(int64_t n) const { return DataSize(bytes_ * n); }
+  DataSize& operator+=(DataSize o) { bytes_ += o.bytes_; return *this; }
+  DataSize& operator-=(DataSize o) { bytes_ -= o.bytes_; return *this; }
+
+  std::string ToString() const;
+
+ private:
+  int64_t bytes_;
+};
+
+std::ostream& operator<<(std::ostream& os, DataSize s);
+
+/// \brief Bandwidth in bits per second.  `Bandwidth::Mbps(20)` is the
+/// paper's B_Disk.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() : bits_per_sec_(0) {}
+  constexpr explicit Bandwidth(double bits_per_sec) : bits_per_sec_(bits_per_sec) {}
+
+  static constexpr Bandwidth BitsPerSec(double bps) { return Bandwidth(bps); }
+  static constexpr Bandwidth Mbps(double mbps) { return Bandwidth(mbps * 1e6); }
+
+  constexpr double bits_per_sec() const { return bits_per_sec_; }
+  constexpr double mbps() const { return bits_per_sec_ / 1e6; }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+  constexpr Bandwidth operator+(Bandwidth o) const {
+    return Bandwidth(bits_per_sec_ + o.bits_per_sec_);
+  }
+  constexpr Bandwidth operator-(Bandwidth o) const {
+    return Bandwidth(bits_per_sec_ - o.bits_per_sec_);
+  }
+  constexpr Bandwidth operator*(double f) const { return Bandwidth(bits_per_sec_ * f); }
+  constexpr double operator/(Bandwidth o) const { return bits_per_sec_ / o.bits_per_sec_; }
+
+  std::string ToString() const;
+
+ private:
+  double bits_per_sec_;
+};
+
+std::ostream& operator<<(std::ostream& os, Bandwidth b);
+
+/// Time to move `size` at rate `bw`; rounds up to whole microseconds so
+/// transfers never finish early.
+SimTime TransferTime(DataSize size, Bandwidth bw);
+
+/// Data moved in `t` at rate `bw` (rounded down to whole bytes).
+DataSize DataMoved(Bandwidth bw, SimTime t);
+
+/// ceil(a / b) for positive integers.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) {
+  STAGGER_DCHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Non-negative remainder: PositiveMod(-1, 10) == 9.
+constexpr int64_t PositiveMod(int64_t a, int64_t m) {
+  STAGGER_DCHECK(m > 0);
+  int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace stagger
+
+#endif  // STAGGER_UTIL_UNITS_H_

@@ -1,0 +1,56 @@
+#include "workload/display_station.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace stagger {
+
+StationPool::StationPool(Simulator* sim, MediaService* service,
+                         const DiscreteDistribution* distribution,
+                         int32_t num_stations, uint64_t seed)
+    : sim_(sim), service_(service), distribution_(distribution),
+      num_stations_(num_stations), rng_(seed),
+      referenced_(static_cast<size_t>(distribution->size()), 0) {
+  STAGGER_CHECK(num_stations_ >= 1) << "need at least one station";
+}
+
+void StationPool::Start() {
+  for (int32_t i = 0; i < num_stations_; ++i) IssueRequest(i);
+}
+
+int64_t StationPool::UniqueObjectsReferenced() const {
+  return static_cast<int64_t>(
+      std::count(referenced_.begin(), referenced_.end(), 1));
+}
+
+void StationPool::IssueRequest(int32_t station) {
+  const ObjectId object = static_cast<ObjectId>(distribution_->Sample(&rng_));
+  referenced_[static_cast<size_t>(object)] = 1;
+  ++metrics_.requests_issued;
+  const SimTime issued_at = sim_->Now();
+
+  Status st = service_->RequestDisplay(
+      object,
+      [this, issued_at](SimTime latency) {
+        metrics_.startup_latency_sec.Add(latency.seconds());
+        if (issued_at >= window_start_) {
+          metrics_.startup_latency_sec_in_window.Add(latency.seconds());
+        }
+      },
+      [this, station, issued_at] {
+        ++metrics_.displays_completed;
+        if (issued_at >= window_start_) ++metrics_.displays_completed_in_window;
+        if (mean_think_ <= SimTime::Zero()) {
+          // Closed loop, zero think time: request again immediately.
+          IssueRequest(station);
+        } else {
+          const SimTime think = SimTime::Seconds(
+              rng_.NextExponential(mean_think_.seconds()));
+          sim_->ScheduleAfter(think, [this, station] { IssueRequest(station); });
+        }
+      });
+  STAGGER_CHECK(st.ok()) << "RequestDisplay failed: " << st.ToString();
+}
+
+}  // namespace stagger

@@ -1,0 +1,90 @@
+// Display stations (Section 4.1): "a closed system where once a display
+// station issues a request, it does not issue another until the first
+// one is serviced", with zero think time between requests.  Each station
+// draws object references from a shared popularity distribution.
+
+#ifndef STAGGER_WORKLOAD_DISPLAY_STATION_H_
+#define STAGGER_WORKLOAD_DISPLAY_STATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/media_service.h"
+
+namespace stagger {
+
+/// \brief Aggregate workload counters, with a measurement window that
+/// excludes warm-up (throughput is reported over the window only).
+struct WorkloadMetrics {
+  int64_t requests_issued = 0;
+  int64_t displays_completed = 0;
+  /// Completions with start time inside the measurement window.
+  int64_t displays_completed_in_window = 0;
+  StreamingStats startup_latency_sec;
+  StreamingStats startup_latency_sec_in_window;
+
+  /// Displays per hour over [window_start, now].
+  double ThroughputPerHour(SimTime window_start, SimTime now) const {
+    const double hours = (now - window_start).hours();
+    return hours <= 0.0
+               ? 0.0
+               : static_cast<double>(displays_completed_in_window) / hours;
+  }
+};
+
+/// \brief A pool of closed-loop display stations driving one service.
+class StationPool {
+ public:
+  /// \param sim           simulation kernel; outlives the pool.
+  /// \param service       server under test; outlives the pool.
+  /// \param distribution  object popularity; outlives the pool.
+  /// \param num_stations  stations issuing requests (>= 1).
+  /// \param seed          workload RNG seed.
+  StationPool(Simulator* sim, MediaService* service,
+              const DiscreteDistribution* distribution, int32_t num_stations,
+              uint64_t seed);
+
+  StationPool(const StationPool&) = delete;
+  StationPool& operator=(const StationPool&) = delete;
+
+  /// Starts every station (issues the first round of requests at the
+  /// current simulated time).
+  void Start();
+
+  /// Completions whose *start* falls at or after `start` count toward
+  /// windowed throughput.  Defaults to 0 (no warm-up exclusion).
+  void SetMeasurementWindowStart(SimTime start) { window_start_ = start; }
+  SimTime window_start() const { return window_start_; }
+
+  /// Mean think time between a completion and the next request
+  /// (exponentially distributed; the paper's stress configuration is
+  /// the zero default).  Call before Start().
+  void SetMeanThinkTime(SimTime mean) { mean_think_ = mean; }
+
+  const WorkloadMetrics& metrics() const { return metrics_; }
+  int32_t num_stations() const { return num_stations_; }
+
+  /// Distinct objects referenced so far (the paper's working-set size).
+  int64_t UniqueObjectsReferenced() const;
+
+ private:
+  void IssueRequest(int32_t station);
+
+  Simulator* sim_;
+  MediaService* service_;
+  const DiscreteDistribution* distribution_;
+  int32_t num_stations_;
+  Rng rng_;
+  SimTime window_start_;
+  SimTime mean_think_;
+  WorkloadMetrics metrics_;
+  std::vector<char> referenced_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_WORKLOAD_DISPLAY_STATION_H_

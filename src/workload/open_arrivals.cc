@@ -1,0 +1,40 @@
+#include "workload/open_arrivals.h"
+
+namespace stagger {
+
+OpenArrivals::OpenArrivals(Simulator* sim, MediaService* service,
+                           const DiscreteDistribution* distribution,
+                           SimTime mean_interarrival, uint64_t seed)
+    : sim_(sim), service_(service), distribution_(distribution),
+      mean_interarrival_(mean_interarrival), rng_(seed) {
+  STAGGER_CHECK(mean_interarrival_ > SimTime::Zero())
+      << "mean interarrival must be positive";
+}
+
+void OpenArrivals::Start() {
+  STAGGER_CHECK(!running_) << "arrival stream already running";
+  running_ = true;
+  ScheduleNext();
+}
+
+void OpenArrivals::ScheduleNext() {
+  const SimTime gap =
+      SimTime::Seconds(rng_.NextExponential(mean_interarrival_.seconds()));
+  sim_->ScheduleAfter(gap, [this] {
+    if (!running_) return;
+    Issue();
+    ScheduleNext();
+  });
+}
+
+void OpenArrivals::Issue() {
+  const ObjectId object = static_cast<ObjectId>(distribution_->Sample(&rng_));
+  ++requests_;
+  Status st = service_->RequestDisplay(
+      object,
+      [this](SimTime latency) { latency_.Add(latency.seconds()); },
+      [this] { ++completed_; });
+  STAGGER_CHECK(st.ok()) << "RequestDisplay failed: " << st.ToString();
+}
+
+}  // namespace stagger

@@ -1,0 +1,65 @@
+// Open workload: requests arrive in a Poisson stream at rate lambda,
+// independent of completions — the complement of the paper's closed
+// station model, used for latency-vs-load studies where the offered
+// load must not throttle itself.
+
+#ifndef STAGGER_WORKLOAD_OPEN_ARRIVALS_H_
+#define STAGGER_WORKLOAD_OPEN_ARRIVALS_H_
+
+#include <memory>
+
+#include "sim/simulator.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/media_service.h"
+
+namespace stagger {
+
+/// \brief Poisson request generator over a MediaService.
+class OpenArrivals {
+ public:
+  /// \param sim              kernel; outlives the generator.
+  /// \param service          server under test; outlives it.
+  /// \param distribution     object popularity; outlives it.
+  /// \param mean_interarrival  mean time between requests (> 0).
+  /// \param seed             arrival/popularity RNG seed.
+  OpenArrivals(Simulator* sim, MediaService* service,
+               const DiscreteDistribution* distribution,
+               SimTime mean_interarrival, uint64_t seed);
+
+  OpenArrivals(const OpenArrivals&) = delete;
+  OpenArrivals& operator=(const OpenArrivals&) = delete;
+
+  /// Schedules the first arrival; the stream then runs until Stop().
+  void Start();
+  void Stop() { running_ = false; }
+
+  int64_t requests_issued() const { return requests_; }
+  int64_t displays_completed() const { return completed_; }
+  /// Requests issued but not yet completed (system occupancy).
+  int64_t in_flight() const { return requests_ - completed_; }
+  const StreamingStats& startup_latency_sec() const { return latency_; }
+  /// Offered load rate (requests per hour).
+  double OfferedRatePerHour() const {
+    return 3600.0 / mean_interarrival_.seconds();
+  }
+
+ private:
+  void ScheduleNext();
+  void Issue();
+
+  Simulator* sim_;
+  MediaService* service_;
+  const DiscreteDistribution* distribution_;
+  SimTime mean_interarrival_;
+  Rng rng_;
+  bool running_ = false;
+  int64_t requests_ = 0;
+  int64_t completed_ = 0;
+  StreamingStats latency_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_WORKLOAD_OPEN_ARRIVALS_H_

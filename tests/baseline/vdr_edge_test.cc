@@ -1,0 +1,155 @@
+// VDR baseline edge cases: multi-object clusters, queue pressure
+// metrics, destination starvation, and replica bookkeeping under
+// eviction.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/vdr_server.h"
+#include "sim/simulator.h"
+
+namespace stagger {
+namespace {
+
+constexpr SimTime kInterval = SimTime::Millis(605);
+
+class VdrEdgeTest : public ::testing::Test {
+ protected:
+  void MakeServer(VdrConfig config, int32_t num_objects = 10,
+                  int64_t subobjects = 10) {
+    catalog_ = Catalog::Uniform(num_objects, subobjects, Bandwidth::Mbps(100));
+    TertiaryParameters tp;
+    tp.bandwidth = Bandwidth::Mbps(40);
+    tp.reposition = SimTime::Zero();
+    tertiary_ = std::make_unique<TertiaryManager>(&sim_, TertiaryDevice(tp));
+    auto server = VdrServer::Create(&sim_, &catalog_, tertiary_.get(), config);
+    ASSERT_TRUE(server.ok()) << server.status();
+    server_ = *std::move(server);
+  }
+
+  VdrConfig BaseConfig() {
+    VdrConfig config;
+    config.num_clusters = 4;
+    config.cluster_degree = 5;
+    config.interval = kInterval;
+    config.fragment_size = DataSize::MB(1.512);
+    return config;
+  }
+
+  Simulator sim_;
+  Catalog catalog_;
+  std::unique_ptr<TertiaryManager> tertiary_;
+  std::unique_ptr<VdrServer> server_;
+};
+
+TEST_F(VdrEdgeTest, MultipleObjectsPerCluster) {
+  VdrConfig config = BaseConfig();
+  config.objects_per_cluster = 2;
+  config.preload_objects = 8;  // fills 4 clusters x 2 objects
+  MakeServer(config);
+  EXPECT_EQ(server_->ResidentObjectCount(), 8);
+  // Displays of co-resident objects contend for the one cluster.
+  bool a_started = false, b_started = false;
+  ASSERT_TRUE(server_
+                  ->RequestDisplay(0, [&](SimTime) { a_started = true; },
+                                   [] {})
+                  .ok());
+  ASSERT_TRUE(server_
+                  ->RequestDisplay(4, [&](SimTime) { b_started = true; },
+                                   [] {})
+                  .ok());
+  // Objects 0 and 4 share cluster 0 under round-robin preload.
+  EXPECT_TRUE(a_started);
+  EXPECT_FALSE(b_started);
+  sim_.RunUntil(kInterval * 12);
+  EXPECT_TRUE(b_started);
+}
+
+TEST_F(VdrEdgeTest, QueueLengthMetricRisesUnderContention) {
+  VdrConfig config = BaseConfig();
+  config.preload_objects = 4;
+  config.enable_replication = false;
+  MakeServer(config);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server_->RequestDisplay(0, nullptr, [] {}).ok());
+  }
+  sim_.RunUntil(kInterval * 20);
+  EXPECT_GT(server_->metrics().queue_length.Average(sim_.Now()), 1.0);
+}
+
+TEST_F(VdrEdgeTest, MissWaitsWhenNoClusterClaimable) {
+  VdrConfig config = BaseConfig();
+  config.preload_objects = 4;
+  config.enable_replication = false;
+  MakeServer(config);
+  // Occupy all four clusters with displays.
+  for (ObjectId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(server_->RequestDisplay(id, nullptr, [] {}).ok());
+  }
+  // A miss cannot claim a destination while every cluster is busy.
+  bool miss_started = false;
+  ASSERT_TRUE(server_
+                  ->RequestDisplay(7, [&](SimTime) { miss_started = true; },
+                                   [] {})
+                  .ok());
+  sim_.RunUntil(kInterval * 3);
+  EXPECT_EQ(server_->metrics().materializations, 0);
+  EXPECT_FALSE(miss_started);
+  // After the displays end, the materialization claims a cluster and
+  // the miss eventually plays (15.1 s transfer + display).
+  sim_.RunUntil(SimTime::Minutes(2));
+  EXPECT_EQ(server_->metrics().materializations, 1);
+  EXPECT_TRUE(miss_started);
+}
+
+TEST_F(VdrEdgeTest, EvictionUpdatesReplicaCount) {
+  VdrConfig config = BaseConfig();
+  config.preload_objects = 4;
+  MakeServer(config);
+  // Touch 0..2; object 3 is the never-accessed victim for a miss.
+  for (ObjectId id = 0; id < 3; ++id) {
+    ASSERT_TRUE(server_->RequestDisplay(id, nullptr, [] {}).ok());
+  }
+  sim_.RunUntil(kInterval * 12);
+  EXPECT_EQ(server_->ReplicaCount(3), 1);
+  ASSERT_TRUE(server_->RequestDisplay(8, nullptr, [] {}).ok());
+  sim_.RunUntil(SimTime::Minutes(2));
+  EXPECT_EQ(server_->ReplicaCount(3), 0);
+  EXPECT_EQ(server_->ReplicaCount(8), 1);
+  EXPECT_EQ(server_->ResidentObjectCount(), 4);
+}
+
+TEST_F(VdrEdgeTest, WaitingObjectsAreNeverEvicted) {
+  VdrConfig config = BaseConfig();
+  config.preload_objects = 4;
+  config.enable_replication = false;
+  MakeServer(config);
+  // Two requests for object 3: one displays, one waits.  The waiting
+  // demand must protect object 3 from eviction by a miss.
+  ASSERT_TRUE(server_->RequestDisplay(3, nullptr, [] {}).ok());
+  ASSERT_TRUE(server_->RequestDisplay(3, nullptr, [] {}).ok());
+  ASSERT_TRUE(server_->RequestDisplay(7, nullptr, [] {}).ok());  // miss
+  sim_.RunUntil(SimTime::Minutes(2));
+  EXPECT_EQ(server_->ReplicaCount(3), 1);  // survived
+  EXPECT_EQ(server_->ReplicaCount(7), 1);  // landed elsewhere (victim 0/1/2)
+}
+
+TEST_F(VdrEdgeTest, UtilizationCountsCopyDestinations) {
+  VdrConfig config = BaseConfig();
+  config.preload_objects = 2;
+  MakeServer(config);
+  // Four requests for object 0: the first display runs alone (no
+  // waiters existed when it started); the second starts with two still
+  // queued and spawns a piggyback copy — two clusters busy.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server_->RequestDisplay(0, nullptr, [] {}).ok());
+  }
+  sim_.RunUntil(kInterval * 20);  // through the second display
+  EXPECT_GE(server_->metrics().replications, 1);
+  // Average: 1 cluster for the first display, 2 for the second, of 4.
+  EXPECT_GT(server_->MeanClusterUtilization(), 0.3);
+}
+
+}  // namespace
+}  // namespace stagger

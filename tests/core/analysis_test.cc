@@ -1,0 +1,105 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "server/experiment.h"
+
+namespace stagger {
+namespace {
+
+SystemModel Table3Model() {
+  SystemModel m;
+  m.num_disks = 1000;
+  m.disk = DiskParameters::Evaluation();
+  m.fragment_cylinders = 1;
+  m.display_bandwidth = Bandwidth::Mbps(100);
+  m.subobjects_per_object = 3000;
+  m.transfer_rate_is_effective = true;  // Table 3's 20 mbps is net
+  return m;
+}
+
+TEST(SystemModelTest, Validation) {
+  EXPECT_TRUE(Table3Model().Validate().ok());
+  SystemModel m = Table3Model();
+  m.num_disks = 0;
+  EXPECT_FALSE(m.Validate().ok());
+  m = Table3Model();
+  m.display_bandwidth = Bandwidth::Mbps(0);
+  EXPECT_FALSE(m.Validate().ok());
+  m = Table3Model();
+  m.num_disks = 4;  // degree 5 > D
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(SystemModelTest, Table3DerivedQuantities) {
+  const SystemModel m = Table3Model();
+  EXPECT_EQ(m.Degree(), 5);
+  EXPECT_EQ(m.NumClusters(), 200);
+  EXPECT_EQ(m.MaxConcurrentDisplays(), 200);
+  EXPECT_NEAR(m.DisplayTime().seconds(), 1814.0, 0.5);
+  EXPECT_NEAR(m.ObjectSize().gigabytes(), 22.68, 0.01);
+  EXPECT_EQ(m.MaxResidentObjects(), 200);
+  // Throughput ceiling: 200 / (1814 s / 3600) ~ 397 displays/hour.
+  EXPECT_NEAR(m.MaxDisplaysPerHour(), 396.9, 1.0);
+  // Worst-case initiation delay: 199 intervals ~ 120 s.
+  EXPECT_NEAR(m.WorstCaseInitiationDelay().seconds(), 199 * 0.6048, 0.5);
+}
+
+TEST(SystemModelTest, SabreSection31Numbers) {
+  SystemModel m;
+  m.num_disks = 90;
+  m.disk = DiskParameters::Sabre1_2GB();
+  m.fragment_cylinders = 1;
+  // Media type with M = 3 on the Sabre's ~20 mbps effective bandwidth.
+  m.display_bandwidth = Bandwidth::Mbps(60);
+  m.subobjects_per_object = 500;
+  ASSERT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.Degree(), 3);
+  EXPECT_EQ(m.NumClusters(), 30);
+  // "the worst case transfer initiation delay would be about 9 seconds"
+  EXPECT_NEAR(m.WorstCaseInitiationDelay().seconds(), 8.75, 0.1);
+  m.fragment_cylinders = 2;
+  EXPECT_NEAR(m.WorstCaseInitiationDelay().seconds(), 16.1, 0.1);
+}
+
+// Cross-validation: the simulator approaches the analytical throughput
+// ceiling when stations outnumber cluster slots.
+TEST(SystemModelTest, SimulatorApproachesAnalyticalCeiling) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kSimpleStriping;
+  cfg.num_disks = 50;           // 10 clusters
+  cfg.num_objects = 50;
+  cfg.subobjects_per_object = 200;  // ~2 min displays
+  cfg.preload_objects = 10;
+  cfg.stations = 40;            // 4x oversubscribed
+  cfg.geometric_mean = 3.0;
+  cfg.warmup = SimTime::Minutes(30);
+  cfg.measure = SimTime::Hours(2);
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  SystemModel m;
+  m.num_disks = cfg.num_disks;
+  m.disk = cfg.disk;
+  m.fragment_cylinders = cfg.fragment_cylinders;
+  m.display_bandwidth = cfg.display_bandwidth;
+  m.subobjects_per_object = cfg.subobjects_per_object;
+  // Note: the experiment treats Table 3's 20 mbps as already effective,
+  // so compare against the raw-rate interval the experiment uses.
+  const double ceiling =
+      (cfg.num_disks / cfg.Degree()) /
+      (cfg.Interval() * cfg.subobjects_per_object).hours();
+  EXPECT_LE(result->displays_per_hour, ceiling * 1.01);
+  EXPECT_GE(result->displays_per_hour, ceiling * 0.85);
+  (void)m;
+}
+
+TEST(SystemModelTest, BufferMemoryScalesWithDisks) {
+  SystemModel m = Table3Model();
+  const DataSize per_disk =
+      m.disk.MinBufferMemory(m.disk.cylinder_capacity * m.fragment_cylinders);
+  EXPECT_EQ(m.MinTotalBufferMemory().bytes(), per_disk.bytes() * 1000);
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,164 @@
+#include "core/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fast_forward.h"
+#include "core/low_bandwidth.h"
+
+namespace stagger {
+namespace {
+
+TEST(BufferPoolTest, UnlimitedWhenCapacityNonPositive) {
+  BufferPool pool(0);
+  EXPECT_TRUE(pool.unlimited());
+  EXPECT_TRUE(pool.TryReserve(1 << 30));
+  EXPECT_EQ(pool.reserved(), 1 << 30);
+}
+
+TEST(BufferPoolTest, EnforcesBudget) {
+  BufferPool pool(10);
+  EXPECT_TRUE(pool.TryReserve(6));
+  EXPECT_TRUE(pool.TryReserve(4));
+  EXPECT_FALSE(pool.TryReserve(1));
+  EXPECT_EQ(pool.reserved(), 10);
+  pool.Release(5);
+  EXPECT_TRUE(pool.TryReserve(5));
+}
+
+TEST(BufferPoolTest, TracksPeak) {
+  BufferPool pool(100);
+  pool.TryReserve(30);
+  pool.Release(20);
+  pool.TryReserve(5);
+  EXPECT_EQ(pool.peak_reserved(), 30);
+  pool.TryReserve(50);
+  EXPECT_EQ(pool.peak_reserved(), 65);
+}
+
+TEST(BufferPoolTest, ZeroReservationAlwaysSucceeds) {
+  BufferPool pool(1);
+  pool.TryReserve(1);
+  EXPECT_TRUE(pool.TryReserve(0));
+}
+
+TEST(BufferPoolDeathTest, OverReleaseAborts) {
+  BufferPool pool(10);
+  pool.TryReserve(3);
+  EXPECT_DEATH(pool.Release(4), "more than reserved");
+}
+
+TEST(FastForwardTest, ReplicaSizing) {
+  MediaObject movie;
+  movie.name = "m";
+  movie.display_bandwidth = Bandwidth::Mbps(100);
+  movie.num_subobjects = 3000;
+  auto replica = MakeFastForwardReplica(movie, 16);
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(replica->object.num_subobjects, 188);  // ceil(3000/16)
+  EXPECT_EQ(replica->object.name, "m.ff16");
+  EXPECT_EQ(replica->object.id, kInvalidObject);
+  EXPECT_NEAR(replica->StorageOverhead(movie), 188.0 / 3000.0, 1e-12);
+  EXPECT_DOUBLE_EQ(replica->object.display_bandwidth.mbps(), 100.0);
+}
+
+TEST(FastForwardTest, PositionMapping) {
+  MediaObject movie;
+  movie.num_subobjects = 3000;
+  movie.display_bandwidth = Bandwidth::Mbps(100);
+  auto replica = MakeFastForwardReplica(movie, 16);
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(replica->ToReplica(0), 0);
+  EXPECT_EQ(replica->ToReplica(15), 0);
+  EXPECT_EQ(replica->ToReplica(16), 1);
+  EXPECT_EQ(replica->FromReplica(1), 16);
+  // Round trip lands at the covering frame.
+  for (int64_t i : {0, 99, 1777, 2999}) {
+    const int64_t mapped = replica->FromReplica(replica->ToReplica(i));
+    EXPECT_LE(mapped, i);
+    EXPECT_GT(mapped + 16, i);
+  }
+}
+
+TEST(FastForwardTest, SpeedupOneIsIdentity) {
+  MediaObject movie;
+  movie.num_subobjects = 100;
+  movie.display_bandwidth = Bandwidth::Mbps(100);
+  auto replica = MakeFastForwardReplica(movie, 1);
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(replica->object.num_subobjects, 100);
+  EXPECT_EQ(replica->ToReplica(42), 42);
+}
+
+TEST(FastForwardTest, RejectsBadInput) {
+  MediaObject movie;
+  movie.num_subobjects = 100;
+  EXPECT_FALSE(MakeFastForwardReplica(movie, 0).ok());
+  movie.num_subobjects = 0;
+  EXPECT_FALSE(MakeFastForwardReplica(movie, 16).ok());
+}
+
+TEST(LowBandwidthTest, IntegralWasteExamples) {
+  const Bandwidth disk = Bandwidth::Mbps(20);
+  // Paper: 30 mbps on 20 mbps disks wastes 25% of two disks.
+  EXPECT_NEAR(IntegralDiskWaste(Bandwidth::Mbps(30), disk), 0.25, 1e-12);
+  EXPECT_NEAR(IntegralDiskWaste(Bandwidth::Mbps(20), disk), 0.0, 1e-12);
+  EXPECT_NEAR(IntegralDiskWaste(Bandwidth::Mbps(10), disk), 0.5, 1e-12);
+  EXPECT_NEAR(IntegralDiskWaste(Bandwidth::Mbps(100), disk), 0.0, 1e-12);
+  EXPECT_NEAR(IntegralDiskWaste(Bandwidth::Mbps(110), disk), 1.0 / 12.0, 1e-12);
+}
+
+TEST(LowBandwidthTest, LogicalAllocationExactFit) {
+  // Paper: B_Display = 3/2 B_Disk fits exactly with L = 2.
+  auto alloc = AllocateLogical(Bandwidth::Mbps(30), Bandwidth::Mbps(20), 2);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->units, 3);
+  EXPECT_EQ(alloc->disks, 2);
+  EXPECT_NEAR(alloc->wasted_fraction, 0.0, 1e-12);
+}
+
+TEST(LowBandwidthTest, HalfRateLaneBuffersHalfSubobject) {
+  auto alloc = AllocateLogical(Bandwidth::Mbps(10), Bandwidth::Mbps(20), 2);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->units, 1);
+  EXPECT_EQ(alloc->disks, 1);
+  EXPECT_NEAR(alloc->buffer_subobject_fraction, 0.5, 1e-12);
+}
+
+TEST(LowBandwidthTest, WholeDiskLanesBufferNothing) {
+  auto alloc = AllocateLogical(Bandwidth::Mbps(40), Bandwidth::Mbps(20), 2);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->units, 4);
+  EXPECT_NEAR(alloc->buffer_subobject_fraction, 0.0, 1e-12);
+}
+
+TEST(LowBandwidthTest, LIsOneMatchesIntegralAllocation) {
+  for (double mbps : {5.0, 15.0, 30.0, 45.0}) {
+    auto alloc = AllocateLogical(Bandwidth::Mbps(mbps), Bandwidth::Mbps(20), 1);
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_EQ(alloc->units, alloc->disks);
+    EXPECT_NEAR(alloc->wasted_fraction,
+                IntegralDiskWaste(Bandwidth::Mbps(mbps), Bandwidth::Mbps(20)),
+                1e-12);
+  }
+}
+
+TEST(LowBandwidthTest, FinerSplitsNeverIncreaseWaste) {
+  for (double mbps : {3.0, 7.0, 13.0, 27.0, 55.0}) {
+    double prev = 2.0;
+    for (int32_t l : {1, 2, 4, 8}) {
+      auto alloc = AllocateLogical(Bandwidth::Mbps(mbps), Bandwidth::Mbps(20), l);
+      ASSERT_TRUE(alloc.ok());
+      EXPECT_LE(alloc->wasted_fraction, prev + 1e-12);
+      prev = alloc->wasted_fraction;
+    }
+  }
+}
+
+TEST(LowBandwidthTest, RejectsBadInput) {
+  EXPECT_FALSE(AllocateLogical(Bandwidth::Mbps(0), Bandwidth::Mbps(20), 2).ok());
+  EXPECT_FALSE(AllocateLogical(Bandwidth::Mbps(10), Bandwidth::Mbps(0), 2).ok());
+  EXPECT_FALSE(AllocateLogical(Bandwidth::Mbps(10), Bandwidth::Mbps(20), 0).ok());
+}
+
+}  // namespace
+}  // namespace stagger

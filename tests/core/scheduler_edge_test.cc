@@ -1,0 +1,220 @@
+// Edge cases of the interval scheduler beyond the main suite: extreme
+// strides, degree-1 streams, observer accounting, pending-request
+// control operations, and exact completion timing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/interval_scheduler.h"
+#include "disk/disk_array.h"
+#include "sim/simulator.h"
+
+namespace stagger {
+namespace {
+
+constexpr SimTime kInterval = SimTime::Millis(605);
+
+class SchedulerEdgeTest : public ::testing::Test {
+ protected:
+  void Init(int32_t num_disks, int32_t stride, SchedulerConfig base = {}) {
+    auto disks = DiskArray::Create(num_disks, DiskParameters::Evaluation());
+    ASSERT_TRUE(disks.ok());
+    disks_ = std::make_unique<DiskArray>(*std::move(disks));
+    base.stride = stride;
+    base.interval = kInterval;
+    auto sched = IntervalScheduler::Create(&sim_, disks_.get(), base);
+    ASSERT_TRUE(sched.ok()) << sched.status();
+    sched_ = *std::move(sched);
+  }
+
+  Simulator sim_;
+  std::unique_ptr<DiskArray> disks_;
+  std::unique_ptr<IntervalScheduler> sched_;
+};
+
+TEST_F(SchedulerEdgeTest, CancelUnknownIdIsNotFound) {
+  Init(4, 1);
+  EXPECT_TRUE(sched_->Cancel(12345).IsNotFound());
+}
+
+TEST_F(SchedulerEdgeTest, SeekOnPendingRequestFails) {
+  Init(4, 1);
+  DisplayRequest blocker;
+  blocker.degree = 4;
+  blocker.num_subobjects = 50;
+  blocker.on_completed = [] {};
+  ASSERT_TRUE(sched_->Submit(std::move(blocker)).ok());
+  sim_.RunUntil(kInterval);
+  DisplayRequest queued;
+  queued.degree = 2;
+  queued.num_subobjects = 5;
+  queued.on_completed = [] {};
+  auto id = sched_->Submit(std::move(queued));
+  ASSERT_TRUE(id.ok());
+  sim_.RunUntil(kInterval * 2);
+  EXPECT_TRUE(sched_->Seek(*id, 0, 3).status().IsFailedPrecondition());
+}
+
+TEST_F(SchedulerEdgeTest, DegreeOneStream) {
+  Init(3, 1);
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    DisplayRequest req;
+    req.object = i;
+    req.degree = 1;
+    req.start_disk = i;
+    req.num_subobjects = 10;
+    req.on_completed = [&completed] { ++completed; };
+    ASSERT_TRUE(sched_->Submit(std::move(req)).ok());
+  }
+  sim_.RunUntil(kInterval * 12);
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(sched_->metrics().hiccups, 0);
+}
+
+TEST_F(SchedulerEdgeTest, StrideDPinsDisplaysToFixedDisks) {
+  // k = D: virtual disks never move; two displays on disjoint disk sets
+  // coexist, and their reads always hit the same physical disks.
+  int64_t reads = 0;
+  bool disjoint = true;
+  SchedulerConfig config;
+  config.read_observer = [&](int64_t, ObjectId o, int64_t, int32_t,
+                             int32_t d) {
+    ++reads;
+    // Object 0 must only read disks 0..3; object 1 only 4..7.
+    if ((o == 0) != (d < 4)) disjoint = false;
+  };
+  Init(8, 8, config);
+  int completed = 0;
+  for (int i = 0; i < 2; ++i) {
+    DisplayRequest req;
+    req.object = i;
+    req.degree = 4;
+    req.start_disk = 4 * i;
+    req.num_subobjects = 6;
+    req.on_completed = [&completed] { ++completed; };
+    ASSERT_TRUE(sched_->Submit(std::move(req)).ok());
+  }
+  sim_.RunUntil(kInterval * 10);
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(reads, 2 * 4 * 6);
+  EXPECT_TRUE(disjoint);
+}
+
+TEST_F(SchedulerEdgeTest, ObserverSeesEveryFragmentRead) {
+  int64_t reads = 0;
+  SchedulerConfig config;
+  config.read_observer = [&reads](int64_t, ObjectId, int64_t, int32_t,
+                                  int32_t) { ++reads; };
+  Init(10, 1, config);
+  DisplayRequest req;
+  req.degree = 4;
+  req.num_subobjects = 25;
+  req.on_completed = [] {};
+  ASSERT_TRUE(sched_->Submit(std::move(req)).ok());
+  sim_.RunUntil(SimTime::Minutes(1));
+  EXPECT_EQ(reads, 4 * 25);
+}
+
+TEST_F(SchedulerEdgeTest, QueueLengthMetricTracksContention) {
+  Init(4, 1);
+  for (int i = 0; i < 3; ++i) {
+    DisplayRequest req;
+    req.object = i;
+    req.degree = 4;  // whole array: strictly serialized
+    req.num_subobjects = 10;
+    req.on_completed = [] {};
+    ASSERT_TRUE(sched_->Submit(std::move(req)).ok());
+  }
+  sim_.RunUntil(kInterval * 15);  // second display mid-flight
+  EXPECT_GT(sched_->metrics().queue_length.Average(sim_.Now()), 0.5);
+  sim_.RunUntil(SimTime::Minutes(2));
+  EXPECT_EQ(sched_->metrics().displays_completed, 3);
+}
+
+TEST_F(SchedulerEdgeTest, FragmentedPrefersContiguousWhenAvailable) {
+  SchedulerConfig config;
+  config.policy = AdmissionPolicy::kFragmented;
+  Init(10, 1, config);
+  DisplayRequest req;
+  req.degree = 5;
+  req.num_subobjects = 10;
+  req.on_completed = [] {};
+  ASSERT_TRUE(sched_->Submit(std::move(req)).ok());
+  sim_.RunUntil(SimTime::Minutes(1));
+  EXPECT_EQ(sched_->metrics().displays_completed, 1);
+  EXPECT_EQ(sched_->metrics().fragmented_admissions, 0);
+  EXPECT_EQ(sched_->metrics().peak_buffered_fragments, 0);
+}
+
+TEST_F(SchedulerEdgeTest, CompletionTimeIsExact) {
+  Init(6, 1);
+  SimTime completed_at;
+  DisplayRequest req;
+  req.degree = 2;
+  req.num_subobjects = 7;
+  req.on_completed = [&] { completed_at = sim_.Now(); };
+  ASSERT_TRUE(sched_->Submit(std::move(req)).ok());
+  sim_.RunUntil(SimTime::Minutes(1));
+  // Admitted at interval 0 with delta 0: last subobject delivered at
+  // interval 6's tick.
+  EXPECT_EQ(completed_at, kInterval * 6);
+}
+
+TEST_F(SchedulerEdgeTest, DisksReusableImmediatelyAfterCancel) {
+  Init(4, 1);
+  DisplayRequest a;
+  a.degree = 4;
+  a.num_subobjects = 100;
+  a.on_completed = [] {};
+  auto id = sched_->Submit(std::move(a));
+  ASSERT_TRUE(id.ok());
+  sim_.RunUntil(kInterval * 3);
+  ASSERT_TRUE(sched_->Cancel(*id).ok());
+
+  int completed = 0;
+  DisplayRequest b;
+  b.degree = 4;
+  b.num_subobjects = 5;
+  b.on_completed = [&completed] { ++completed; };
+  ASSERT_TRUE(sched_->Submit(std::move(b)).ok());
+  sim_.RunUntil(kInterval * 12);
+  EXPECT_EQ(completed, 1);
+}
+
+TEST_F(SchedulerEdgeTest, ZeroLookaheadMatchesContiguousLatency) {
+  // With lookahead 0 the fragmented policy can only pick the disks that
+  // are aligned right now — exactly the contiguous rule.
+  for (bool fragmented : {false, true}) {
+    SchedulerConfig config;
+    config.policy = fragmented ? AdmissionPolicy::kFragmented
+                               : AdmissionPolicy::kContiguous;
+    config.fragmented_lookahead = 0;
+    Simulator sim;
+    auto disks = DiskArray::Create(6, DiskParameters::Evaluation());
+    config.stride = 1;
+    config.interval = kInterval;
+    auto sched = IntervalScheduler::Create(&sim, &*disks, config);
+    ASSERT_TRUE(sched.ok());
+    SimTime latency_a, latency_b;
+    DisplayRequest a;
+    a.degree = 4;
+    a.num_subobjects = 8;
+    a.on_started = [&latency_a](SimTime l) { latency_a = l; };
+    a.on_completed = [] {};
+    ASSERT_TRUE((*sched)->Submit(std::move(a)).ok());
+    DisplayRequest b;
+    b.degree = 4;
+    b.num_subobjects = 8;
+    b.on_started = [&latency_b](SimTime l) { latency_b = l; };
+    b.on_completed = [] {};
+    ASSERT_TRUE((*sched)->Submit(std::move(b)).ok());
+    sim.RunUntil(SimTime::Minutes(1));
+    EXPECT_EQ(latency_a, SimTime::Zero());
+    EXPECT_GT(latency_b, SimTime::Zero());
+  }
+}
+
+}  // namespace
+}  // namespace stagger

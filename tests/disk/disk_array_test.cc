@@ -1,0 +1,116 @@
+#include "disk/disk_array.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/disk.h"
+
+namespace stagger {
+namespace {
+
+DiskArray MakeArray(int32_t n) {
+  auto array = DiskArray::Create(n, DiskParameters::Evaluation());
+  STAGGER_CHECK(array.ok());
+  return *std::move(array);
+}
+
+TEST(DiskTest, StorageAllocation) {
+  Disk d(0, DiskParameters::Evaluation());
+  EXPECT_EQ(d.total_cylinders(), 3000);
+  EXPECT_EQ(d.free_cylinders(), 3000);
+  EXPECT_TRUE(d.AllocateStorage(1000).ok());
+  EXPECT_EQ(d.free_cylinders(), 2000);
+  EXPECT_EQ(d.used_cylinders(), 1000);
+  d.FreeStorage(500);
+  EXPECT_EQ(d.free_cylinders(), 2500);
+}
+
+TEST(DiskTest, AllocationFailsWhenFull) {
+  Disk d(0, DiskParameters::Evaluation());
+  EXPECT_TRUE(d.AllocateStorage(3000).ok());
+  Status st = d.AllocateStorage(1);
+  EXPECT_TRUE(st.IsResourceExhausted());
+  // Failed allocation does not change accounting.
+  EXPECT_EQ(d.free_cylinders(), 0);
+}
+
+TEST(DiskDeathTest, OverFreeingAborts) {
+  Disk d(0, DiskParameters::Evaluation());
+  EXPECT_DEATH(d.FreeStorage(1), "freed more storage");
+}
+
+TEST(DiskTest, UtilizationCountsBusyIntervals) {
+  Disk d(0, DiskParameters::Evaluation());
+  d.Reserve();
+  d.EndInterval();  // busy
+  d.EndInterval();  // idle
+  d.Reserve();
+  d.EndInterval();  // busy
+  d.EndInterval();  // idle
+  EXPECT_EQ(d.busy_intervals(), 2);
+  EXPECT_EQ(d.total_intervals(), 4);
+  EXPECT_DOUBLE_EQ(d.Utilization(), 0.5);
+}
+
+TEST(DiskDeathTest, DoubleReserveAborts) {
+  Disk d(0, DiskParameters::Evaluation());
+  d.Reserve();
+  EXPECT_DEATH(d.Reserve(), "reserved twice");
+}
+
+TEST(DiskArrayTest, CreateValidates) {
+  EXPECT_FALSE(DiskArray::Create(0, DiskParameters::Evaluation()).ok());
+  DiskParameters bad = DiskParameters::Evaluation();
+  bad.num_cylinders = -1;
+  EXPECT_FALSE(DiskArray::Create(10, bad).ok());
+}
+
+TEST(DiskArrayTest, WrapIsModular) {
+  DiskArray array = MakeArray(10);
+  EXPECT_EQ(array.Wrap(3), 3);
+  EXPECT_EQ(array.Wrap(13), 3);
+  EXPECT_EQ(array.Wrap(-1), 9);
+  EXPECT_EQ(array.Wrap(10), 0);
+}
+
+TEST(DiskArrayTest, RunIsIdleAndReserve) {
+  DiskArray array = MakeArray(8);
+  EXPECT_TRUE(array.RunIsIdle(6, 4));  // wraps over 6,7,0,1
+  array.ReserveRun(6, 4);
+  EXPECT_FALSE(array.RunIsIdle(0, 1));
+  EXPECT_FALSE(array.RunIsIdle(5, 2));
+  EXPECT_TRUE(array.RunIsIdle(2, 4));
+  EXPECT_EQ(array.IdleCount(), 4);
+  array.EndInterval();
+  EXPECT_EQ(array.IdleCount(), 8);
+}
+
+TEST(DiskArrayTest, AggregateCapacity) {
+  DiskArray array = MakeArray(4);
+  EXPECT_EQ(array.TotalCylinders(), 12000);
+  EXPECT_TRUE(array.disk(2).AllocateStorage(100).ok());
+  EXPECT_EQ(array.FreeCylinders(), 11900);
+  EXPECT_NEAR(array.TotalCapacity().gigabytes(), 4 * 4.536, 0.01);
+}
+
+TEST(DiskArrayTest, UtilizationSkewReporting) {
+  DiskArray array = MakeArray(4);
+  for (int t = 0; t < 10; ++t) {
+    array.disk(0).Reserve();
+    if (t < 5) array.disk(1).Reserve();
+    array.EndInterval();
+  }
+  EXPECT_DOUBLE_EQ(array.MaxUtilization(), 1.0);
+  EXPECT_DOUBLE_EQ(array.MinUtilization(), 0.0);
+  EXPECT_DOUBLE_EQ(array.MeanUtilization(), (1.0 + 0.5) / 4.0);
+}
+
+TEST(DiskArrayTest, StorageSkewReporting) {
+  DiskArray array = MakeArray(3);
+  EXPECT_TRUE(array.disk(0).AllocateStorage(300).ok());
+  EXPECT_TRUE(array.disk(1).AllocateStorage(100).ok());
+  EXPECT_EQ(array.MaxUsedCylinders(), 300);
+  EXPECT_EQ(array.MinUsedCylinders(), 0);
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,132 @@
+#include "disk/disk_parameters.h"
+
+#include <gtest/gtest.h>
+
+namespace stagger {
+namespace {
+
+TEST(DiskParametersTest, PresetsValidate) {
+  EXPECT_TRUE(DiskParameters::Sabre1_2GB().Validate().ok());
+  EXPECT_TRUE(DiskParameters::Evaluation().Validate().ok());
+}
+
+TEST(DiskParametersTest, ValidateRejectsBadValues) {
+  DiskParameters p = DiskParameters::Evaluation();
+  p.num_cylinders = 0;
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+
+  p = DiskParameters::Evaluation();
+  p.cylinder_capacity = DataSize::Bytes(0);
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+
+  p = DiskParameters::Evaluation();
+  p.transfer_rate = Bandwidth::Mbps(0);
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+
+  p = DiskParameters::Evaluation();
+  p.min_seek = SimTime::Millis(50);  // min > avg
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+
+  p = DiskParameters::Evaluation();
+  p.avg_latency = SimTime::Millis(20);  // avg > max
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+
+  p = DiskParameters::Evaluation();
+  p.sector_size = p.cylinder_capacity + DataSize::Bytes(1);
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+// Section 3.1, verbatim: "a typical 1.2 gigabyte disk drive consists of
+// 1635 cylinders, each with a capacity of 756000 bytes."
+TEST(DiskParametersTest, SabreGeometry) {
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  EXPECT_EQ(p.num_cylinders, 1635);
+  EXPECT_EQ(p.cylinder_capacity.bytes(), 756000);
+  EXPECT_NEAR(p.Capacity().gigabytes(), 1.236, 0.001);
+}
+
+TEST(DiskParametersTest, SabreTSwitchIs51_83Ms) {
+  // "the highest overhead due to seeks and latency is 16.83 + 35 =
+  // 51.83 milliseconds"
+  EXPECT_NEAR(DiskParameters::Sabre1_2GB().TSwitch().millis(), 51.83, 0.01);
+}
+
+TEST(DiskParametersTest, SabreCylinderReadIs250Ms) {
+  // "the time to read one cylinder is 250 milliseconds"
+  EXPECT_NEAR(DiskParameters::Sabre1_2GB().CylinderReadTime().millis(), 250.0,
+              0.5);
+}
+
+TEST(DiskParametersTest, SabreServiceTimes) {
+  // "S(C_i) = 301.83 msec" (1 cylinder); "S(C_i) = 555.83" (2 cylinders,
+  // including the single-track seek between them).
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  EXPECT_NEAR(p.ServiceTime(1).millis(), 301.83, 0.5);
+  EXPECT_NEAR(p.ServiceTime(2).millis(), 555.83, 0.5);
+}
+
+TEST(DiskParametersTest, SabreWastedBandwidth) {
+  // "on the average, 17.2 percentage of disk bandwidth is wasted";
+  // "the wasted bandwidth will be only about 10 percent".
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  EXPECT_NEAR(p.WastedBandwidthFraction(1), 0.172, 0.002);
+  EXPECT_NEAR(p.WastedBandwidthFraction(2), 0.100, 0.002);
+}
+
+TEST(DiskParametersTest, EvaluationIntervalIs604_8Ms) {
+  // Table 3 disk: 1.512 MB cylinder at effective 20 mbps; 3000
+  // subobjects display in 1814 s.
+  const DiskParameters p = DiskParameters::Evaluation();
+  EXPECT_EQ(p.CylinderReadTime().micros(), 604800);
+  EXPECT_NEAR((p.CylinderReadTime() * 3000).seconds(), 1814.0, 0.5);
+  EXPECT_NEAR(p.Capacity().gigabytes(), 4.536, 0.001);
+}
+
+TEST(DiskParametersTest, EffectiveBandwidthFormula) {
+  // B_disk = tfr * size / (size + T_switch * tfr), Section 3.1.
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  const DataSize cylinder = p.cylinder_capacity;
+  const double size_bits = cylinder.bits();
+  const double overhead = p.TSwitch().seconds() * p.transfer_rate.bits_per_sec();
+  const double expected = p.transfer_rate.bits_per_sec() * size_bits /
+                          (size_bits + overhead);
+  EXPECT_NEAR(p.EffectiveBandwidth(cylinder).bits_per_sec(), expected, 1.0);
+}
+
+TEST(DiskParametersTest, EffectiveBandwidthIncreasesWithFragmentSize) {
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  double prev = 0;
+  for (int64_t cyl = 1; cyl <= 10; ++cyl) {
+    const double bw = p.EffectiveBandwidthCylinders(cyl).bits_per_sec();
+    EXPECT_GT(bw, prev);
+    EXPECT_LT(bw, p.transfer_rate.bits_per_sec());
+    prev = bw;
+  }
+}
+
+TEST(DiskParametersTest, MinBufferMemoryEquation1) {
+  // Equation (1): B_disk * (T_switch + T_sector).
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  const DataSize frag = p.cylinder_capacity;
+  const double b_disk = p.EffectiveBandwidth(frag).bits_per_sec();
+  const double seconds = (p.TSwitch() + p.TSector()).seconds();
+  EXPECT_NEAR(static_cast<double>(p.MinBufferMemory(frag).bytes()),
+              b_disk * seconds / 8.0, 2.0);
+}
+
+TEST(DiskParametersTest, SeekTimeModel) {
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  EXPECT_EQ(p.SeekTime(0), SimTime::Zero());
+  EXPECT_EQ(p.SeekTime(1), p.min_seek);
+  EXPECT_EQ(p.SeekTime(p.num_cylinders - 1), p.max_seek);
+  EXPECT_EQ(p.SeekTime(-1), p.min_seek);  // distance is absolute
+  // Monotone nondecreasing in distance.
+  SimTime prev = SimTime::Zero();
+  for (int64_t d = 1; d < p.num_cylinders; d += 100) {
+    EXPECT_GE(p.SeekTime(d), prev);
+    prev = p.SeekTime(d);
+  }
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,112 @@
+#include "disk/disk_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stagger {
+namespace {
+
+class SimulatedDiskTest : public ::testing::Test {
+ protected:
+  SimulatedDiskTest() : disk_(&sim_, DiskParameters::Sabre1_2GB(), 42) {}
+  Simulator sim_;
+  SimulatedDisk disk_;
+};
+
+TEST_F(SimulatedDiskTest, RejectsOutOfRangeReads) {
+  EXPECT_TRUE(disk_.SubmitRead(-1, 1, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(disk_.SubmitRead(0, 0, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(disk_.SubmitRead(1634, 2, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(disk_.SubmitRead(1635, 1, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(disk_.SubmitRead(1634, 1, nullptr).ok());
+}
+
+TEST_F(SimulatedDiskTest, ServiceTimeWithinModelBounds) {
+  std::vector<double> services;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(disk_
+                    .SubmitRead((i * 37) % 1600, 1,
+                                [&](SimTime s) { services.push_back(s.seconds()); })
+                    .ok());
+  }
+  sim_.Run();
+  ASSERT_EQ(services.size(), 50u);
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  for (double s : services) {
+    EXPECT_GE(s, p.CylinderReadTime().seconds());      // at least transfer
+    EXPECT_LE(s, p.ServiceTime(1).seconds() + 1e-9);   // at most worst case
+  }
+}
+
+TEST_F(SimulatedDiskTest, FifoCompletionOrder) {
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        disk_.SubmitRead(i * 100, 1, [&order, i](SimTime) { order.push_back(i); })
+            .ok());
+  }
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(disk_.completed_reads(), 5);
+  EXPECT_FALSE(disk_.busy());
+}
+
+TEST_F(SimulatedDiskTest, HeadTracksLastCylinder) {
+  ASSERT_TRUE(disk_.SubmitRead(100, 3, nullptr).ok());
+  sim_.Run();
+  EXPECT_EQ(disk_.head_position(), 102);
+}
+
+TEST_F(SimulatedDiskTest, ZeroSeekWhenHeadInPlace) {
+  ASSERT_TRUE(disk_.SubmitRead(0, 1, nullptr).ok());
+  sim_.Run();
+  EXPECT_EQ(disk_.seek_time(), SimTime::Zero());  // head starts at 0
+  EXPECT_GT(disk_.transfer_time(), SimTime::Zero());
+}
+
+TEST_F(SimulatedDiskTest, MeasuredBandwidthBetweenModels) {
+  // Random single-cylinder reads: effective bandwidth must land between
+  // the worst-case analytical model and the raw transfer rate.
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        disk_.SubmitRead(static_cast<int64_t>(rng.NextBounded(1635)), 1, nullptr)
+            .ok());
+  }
+  sim_.Run();
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  const double measured = disk_.MeasuredEffectiveBandwidth().mbps();
+  EXPECT_GT(measured, p.EffectiveBandwidthCylinders(1).mbps());
+  EXPECT_LT(measured, p.transfer_rate.mbps());
+}
+
+TEST_F(SimulatedDiskTest, SequentialReadsApproachRawRate) {
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(disk_.SubmitRead(i * 4, 4, nullptr).ok());
+  }
+  sim_.Run();
+  const DiskParameters p = DiskParameters::Sabre1_2GB();
+  // 4-cylinder sequential reads: overhead is one short seek + rotation.
+  EXPECT_GT(disk_.MeasuredEffectiveBandwidth().mbps(),
+            0.95 * p.EffectiveBandwidthCylinders(4).mbps());
+}
+
+TEST_F(SimulatedDiskTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    SimulatedDisk disk(&sim, DiskParameters::Sabre1_2GB(), seed);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+      (void)disk.SubmitRead(static_cast<int64_t>(rng.NextBounded(1600)), 1,
+                            nullptr);
+    }
+    sim.Run();
+    return disk.MeasuredEffectiveBandwidth().mbps();
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+}  // namespace
+}  // namespace stagger

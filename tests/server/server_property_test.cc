@@ -1,0 +1,116 @@
+// End-to-end property sweep: small Table 3-shaped systems across
+// schemes, strides, policies, and popularity skews must always deliver
+// hiccup-free displays, respect the analytical throughput ceiling, and
+// be reproducible.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "server/experiment.h"
+
+namespace stagger {
+namespace {
+
+struct ServerCase {
+  Scheme scheme;
+  int32_t stride;          // staggered only
+  AdmissionPolicy policy;
+  bool coalesce;
+  double mean;
+  int32_t stations;
+  bool charge_writes;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ServerCase>& info) {
+  const ServerCase& c = info.param;
+  std::ostringstream os;
+  os << SchemeName(c.scheme) << "_k" << c.stride << "_"
+     << (c.policy == AdmissionPolicy::kContiguous ? "contig" : "frag")
+     << (c.coalesce ? "_coal" : "") << "_m" << static_cast<int>(c.mean)
+     << "_s" << c.stations << (c.charge_writes ? "_writes" : "");
+  std::string name = os.str();
+  for (char& ch : name) {
+    if (ch == '-' || ch == '.') ch = '_';
+  }
+  return name;
+}
+
+class ServerPropertyTest : public ::testing::TestWithParam<ServerCase> {};
+
+TEST_P(ServerPropertyTest, InvariantsHold) {
+  const ServerCase& c = GetParam();
+  ExperimentConfig cfg;
+  cfg.scheme = c.scheme;
+  cfg.stride = c.stride;
+  cfg.policy = c.policy;
+  cfg.coalesce = c.coalesce;
+  cfg.charge_materialization_writes = c.charge_writes;
+  cfg.num_disks = 60;
+  cfg.num_objects = 80;
+  cfg.subobjects_per_object = 120;  // ~73 s displays
+  cfg.preload_objects = 24;         // warm start; misses still occur
+  cfg.stations = c.stations;
+  cfg.geometric_mean = c.mean;
+  cfg.warmup = SimTime::Minutes(20);
+  cfg.measure = SimTime::Hours(1);
+
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Continuous display is never violated.
+  EXPECT_EQ(result->hiccups, 0);
+  // Work happened.
+  EXPECT_GT(result->displays_per_hour, 0.0);
+  EXPECT_GT(result->displays_completed, 0);
+  // The disk-bandwidth ceiling binds every scheme:
+  // (D / M) concurrent displays of ~73 s each.
+  const double ceiling = (cfg.num_disks / cfg.Degree()) /
+                         (cfg.Interval() * cfg.subobjects_per_object).hours();
+  EXPECT_LE(result->displays_per_hour, ceiling * 1.02);
+  // Utilizations are proper fractions.
+  EXPECT_GE(result->disk_utilization, 0.0);
+  EXPECT_LE(result->disk_utilization, 1.0 + 1e-9);
+  EXPECT_GE(result->tertiary_utilization, 0.0);
+  EXPECT_LE(result->tertiary_utilization, 1.0 + 1e-9);
+  // Residency never exceeds capacity.
+  EXPECT_LE(result->resident_objects_end, cfg.num_objects);
+
+  // Bit-identical reproducibility.
+  auto again = RunExperiment(cfg);
+  ASSERT_TRUE(again.ok());
+  EXPECT_DOUBLE_EQ(result->displays_per_hour, again->displays_per_hour);
+  EXPECT_EQ(result->displays_completed, again->displays_completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ServerPropertyTest,
+    ::testing::Values(
+        ServerCase{Scheme::kSimpleStriping, 5, AdmissionPolicy::kContiguous,
+                   false, 5.0, 20, false},
+        ServerCase{Scheme::kSimpleStriping, 5, AdmissionPolicy::kContiguous,
+                   false, 15.0, 40, false},
+        ServerCase{Scheme::kSimpleStriping, 5, AdmissionPolicy::kFragmented,
+                   false, 5.0, 20, false},
+        ServerCase{Scheme::kSimpleStriping, 5, AdmissionPolicy::kFragmented,
+                   true, 15.0, 40, false},
+        ServerCase{Scheme::kSimpleStriping, 5, AdmissionPolicy::kContiguous,
+                   false, 10.0, 30, true},
+        ServerCase{Scheme::kStaggered, 1, AdmissionPolicy::kContiguous, false,
+                   5.0, 20, false},
+        ServerCase{Scheme::kStaggered, 1, AdmissionPolicy::kFragmented, true,
+                   10.0, 30, false},
+        ServerCase{Scheme::kStaggered, 7, AdmissionPolicy::kContiguous, false,
+                   10.0, 25, false},
+        ServerCase{Scheme::kStaggered, 3, AdmissionPolicy::kFragmented, false,
+                   20.0, 40, true},
+        ServerCase{Scheme::kVdr, 5, AdmissionPolicy::kContiguous, false, 5.0,
+                   20, false},
+        ServerCase{Scheme::kVdr, 5, AdmissionPolicy::kContiguous, false, 15.0,
+                   40, false},
+        ServerCase{Scheme::kVdr, 5, AdmissionPolicy::kContiguous, false, 30.0,
+                   30, false}),
+    CaseName);
+
+}  // namespace
+}  // namespace stagger

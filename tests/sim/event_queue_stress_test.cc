@@ -1,0 +1,91 @@
+// Randomized stress of the event queue's lazy-cancellation machinery:
+// interleave schedules, cancels (including double-cancels and cancels
+// of fired events), and pops; verify ordering, counts, and that no
+// cancelled event ever fires.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace stagger {
+namespace {
+
+TEST(EventQueueStressTest, RandomScheduleCancelPop) {
+  Rng rng(2024);
+  EventQueue q;
+
+  struct Tracked {
+    EventHandle handle;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  std::vector<Tracked> events;
+  int64_t live = 0;
+
+  for (int round = 0; round < 20000; ++round) {
+    const double action = rng.NextDouble();
+    if (action < 0.55) {
+      // Schedule.
+      const size_t index = events.size();
+      events.push_back({});
+      const SimTime when =
+          SimTime::Micros(static_cast<int64_t>(rng.NextBounded(1 << 20)));
+      events[index].handle = q.Schedule(when, [&events, index] {
+        events[index].fired = true;
+      });
+      ++live;
+    } else if (action < 0.8 && !events.empty()) {
+      // Cancel a random event (possibly already fired/cancelled).
+      Tracked& t = events[rng.NextBounded(events.size())];
+      const bool was_live = !t.cancelled && !t.fired;
+      const bool result = q.Cancel(t.handle);
+      EXPECT_EQ(result, was_live);
+      if (result) {
+        t.cancelled = true;
+        --live;
+      }
+    } else if (!q.empty()) {
+      // Pop-execute the earliest event.
+      q.PopNext().fn();
+      --live;
+    }
+    ASSERT_EQ(static_cast<int64_t>(q.size()), live);
+  }
+
+  // Drain; verify monotone times.
+  SimTime last = SimTime::Zero();
+  while (!q.empty()) {
+    auto fired = q.PopNext();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+    fired.fn();
+  }
+
+  // Exactly the uncancelled events fired.
+  for (const Tracked& t : events) {
+    EXPECT_NE(t.fired, t.cancelled);
+    EXPECT_TRUE(t.fired || t.cancelled);
+  }
+}
+
+TEST(EventQueueStressTest, CancelEverythingLeavesCleanQueue) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(q.Schedule(SimTime::Micros(i), [] {
+      FAIL() << "cancelled event fired";
+    }));
+  }
+  for (EventHandle& h : handles) {
+    EXPECT_TRUE(q.Cancel(h));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), SimTime::Max());
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,161 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stagger {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), SimTime::Zero());
+}
+
+TEST(SimulatorTest, RunExecutesAllEventsInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(SimTime::Seconds(2), [&] { order.push_back(2); });
+  sim.ScheduleAt(SimTime::Seconds(1), [&] { order.push_back(1); });
+  const SimTime end = sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(end, SimTime::Seconds(2));
+}
+
+TEST(SimulatorTest, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.ScheduleAfter(SimTime::Seconds(1), chain);
+  };
+  sim.ScheduleAt(SimTime::Seconds(1), chain);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), SimTime::Seconds(5));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(SimTime::Seconds(1), [&] { ++fired; });
+  sim.ScheduleAt(SimTime::Seconds(10), [&] { ++fired; });
+  sim.RunUntil(SimTime::Seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), SimTime::Seconds(5));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilExecutesEventExactlyAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(SimTime::Seconds(5), [&] { ++fired; });
+  sim.RunUntil(SimTime::Seconds(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(SimTime::Hours(1));
+  EXPECT_EQ(sim.Now(), SimTime::Hours(1));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime observed;
+  sim.ScheduleAt(SimTime::Seconds(3), [&] {
+    sim.ScheduleAfter(SimTime::Seconds(2), [&] { observed = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(observed, SimTime::Seconds(5));
+}
+
+TEST(SimulatorTest, CancelPendingEvent) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.ScheduleAt(SimTime::Seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(sim.Cancel(h));
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, RequestStopEndsRunEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(SimTime::Seconds(1), [&] {
+    ++fired;
+    sim.RequestStop();
+  });
+  sim.ScheduleAt(SimTime::Seconds(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), SimTime::Seconds(1));
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(SimTime::Seconds(1), [&] { ++fired; });
+  sim.ScheduleAt(SimTime::Seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.ScheduleAt(SimTime::Seconds(5), [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(SimTime::Seconds(1), [] {}),
+               "scheduled in the past");
+}
+
+TEST(PeriodicTickerTest, FiresAtFixedCadence) {
+  Simulator sim;
+  std::vector<SimTime> at;
+  PeriodicTicker ticker(&sim, SimTime::Seconds(1), SimTime::Seconds(2),
+                        [&](int64_t) { at.push_back(sim.Now()); });
+  sim.RunUntil(SimTime::Seconds(7));
+  ASSERT_EQ(at.size(), 4u);  // t = 1, 3, 5, 7
+  EXPECT_EQ(at[0], SimTime::Seconds(1));
+  EXPECT_EQ(at[3], SimTime::Seconds(7));
+  EXPECT_EQ(ticker.ticks_fired(), 4);
+}
+
+TEST(PeriodicTickerTest, PassesTickIndex) {
+  Simulator sim;
+  std::vector<int64_t> indices;
+  PeriodicTicker ticker(&sim, SimTime::Zero(), SimTime::Seconds(1),
+                        [&](int64_t i) { indices.push_back(i); });
+  sim.RunUntil(SimTime::Seconds(3));
+  EXPECT_EQ(indices, (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(PeriodicTickerTest, StopFromCallback) {
+  Simulator sim;
+  PeriodicTicker* self = nullptr;
+  int fired = 0;
+  PeriodicTicker ticker(&sim, SimTime::Zero(), SimTime::Seconds(1),
+                        [&](int64_t) {
+                          if (++fired == 3) self->Stop();
+                        });
+  self = &ticker;
+  sim.RunUntil(SimTime::Seconds(10));
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(ticker.running());
+}
+
+TEST(PeriodicTickerTest, DestructionCancelsFutureTicks) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTicker ticker(&sim, SimTime::Seconds(1), SimTime::Seconds(1),
+                          [&](int64_t) { ++fired; });
+  }
+  sim.RunUntil(SimTime::Seconds(5));
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,163 @@
+#include "storage/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace stagger {
+namespace {
+
+TEST(StaggeredLayoutTest, CreateValidates) {
+  EXPECT_FALSE(StaggeredLayout::Create(0, 0, 1, 1).ok());
+  EXPECT_FALSE(StaggeredLayout::Create(10, -1, 1, 1).ok());
+  EXPECT_FALSE(StaggeredLayout::Create(10, 10, 1, 1).ok());
+  EXPECT_FALSE(StaggeredLayout::Create(10, 0, 0, 1).ok());
+  EXPECT_FALSE(StaggeredLayout::Create(10, 0, 11, 1).ok());
+  EXPECT_FALSE(StaggeredLayout::Create(10, 0, 1, 0).ok());
+  EXPECT_FALSE(StaggeredLayout::Create(10, 0, 1, 11).ok());
+  EXPECT_TRUE(StaggeredLayout::Create(10, 9, 10, 10).ok());
+}
+
+// Figure 1: simple striping on 9 disks, M = 3 — subobject i goes to
+// cluster (i mod 3), fragment j to the cluster's j-th disk.  Simple
+// striping is staggered striping with k = M.
+TEST(StaggeredLayoutTest, Figure1SimpleStriping) {
+  auto layout = StaggeredLayout::Create(9, 0, 3, 3);
+  ASSERT_TRUE(layout.ok());
+  for (int64_t i = 0; i < 12; ++i) {
+    for (int32_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(layout->DiskFor(i, j), 3 * (i % 3) + j)
+          << "X_{" << i << "." << j << "}";
+    }
+  }
+}
+
+// Figure 5: 12 disks, stride 1; Y (M=4) starts on disk 0, X (M=3) on
+// disk 4, Z (M=2) on disk 7.  Spot-check the figure's cells.
+TEST(StaggeredLayoutTest, Figure5MixedMedia) {
+  auto y = StaggeredLayout::Create(12, 0, 1, 4);
+  auto x = StaggeredLayout::Create(12, 4, 1, 3);
+  auto z = StaggeredLayout::Create(12, 7, 1, 2);
+  ASSERT_TRUE(y.ok() && x.ok() && z.ok());
+
+  // Row 0 of the figure.
+  EXPECT_EQ(y->DiskFor(0, 0), 0);
+  EXPECT_EQ(y->DiskFor(0, 3), 3);
+  EXPECT_EQ(x->DiskFor(0, 0), 4);
+  EXPECT_EQ(x->DiskFor(0, 2), 6);
+  EXPECT_EQ(z->DiskFor(0, 0), 7);
+  EXPECT_EQ(z->DiskFor(0, 1), 8);
+  // Row 4: Z4.1 wraps to disk 0; X4 occupies 8..10; Z4.0 on disk 11.
+  EXPECT_EQ(z->DiskFor(4, 1), 0);
+  EXPECT_EQ(z->DiskFor(4, 0), 11);
+  EXPECT_EQ(x->DiskFor(4, 0), 8);
+  EXPECT_EQ(x->DiskFor(4, 2), 10);
+  EXPECT_EQ(y->DiskFor(4, 2), 6);
+  // Row 8: X8.0 back on disk 0 (figure bottom half).
+  EXPECT_EQ(x->DiskFor(8, 0), 0);
+  EXPECT_EQ(y->DiskFor(8, 1), 9);
+  // Row 12 is row 0 shifted full circle: Y12.0 on disk 0.
+  EXPECT_EQ(y->DiskFor(12, 0), 0);
+}
+
+TEST(StaggeredLayoutTest, StrideShiftsFirstFragment) {
+  // Table 2: stride = distance between X_{i.0} and X_{i+1.0}.
+  for (int32_t k = 1; k <= 5; ++k) {
+    auto layout = StaggeredLayout::Create(10, 3, k, 2);
+    ASSERT_TRUE(layout.ok());
+    for (int64_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(layout->FirstDiskFor(i + 1),
+                (layout->FirstDiskFor(i) + k) % 10);
+    }
+  }
+}
+
+TEST(StaggeredLayoutTest, FragmentsAreAdjacent) {
+  auto layout = StaggeredLayout::Create(7, 5, 3, 4);
+  ASSERT_TRUE(layout.ok());
+  for (int64_t i = 0; i < 14; ++i) {
+    for (int32_t j = 1; j < 4; ++j) {
+      EXPECT_EQ(layout->DiskFor(i, j), (layout->DiskFor(i, j - 1) + 1) % 7);
+    }
+  }
+}
+
+// Section 3.2.2: k = D places every subobject on the same M disks.
+TEST(StaggeredLayoutTest, StrideDPinsObjectToMDisks) {
+  auto layout = StaggeredLayout::Create(10, 2, 10, 4);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->UniqueDisksUsed(500), 4);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(layout->FirstDiskFor(i), 2);
+  }
+}
+
+// Section 3.2.2: D=100, 100-cylinder object (M=4 -> 25 subobjects):
+// k=1 touches 28 disks, k=M touches all 100.
+TEST(StaggeredLayoutTest, PaperSpreadExample) {
+  EXPECT_EQ(StaggeredLayout::Create(100, 0, 1, 4)->UniqueDisksUsed(25), 28);
+  EXPECT_EQ(StaggeredLayout::Create(100, 0, 4, 4)->UniqueDisksUsed(25), 100);
+}
+
+TEST(StaggeredLayoutTest, FragmentsPerDiskConservesTotal) {
+  for (int32_t k : {1, 2, 3, 5, 7, 10}) {
+    auto layout = StaggeredLayout::Create(10, 4, k, 3);
+    ASSERT_TRUE(layout.ok());
+    auto counts = layout->FragmentsPerDisk(137);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}),
+              137 * 3)
+        << "k=" << k;
+  }
+}
+
+TEST(StaggeredLayoutTest, FragmentsPerDiskMatchesBruteForce) {
+  auto layout = StaggeredLayout::Create(12, 5, 8, 3);
+  ASSERT_TRUE(layout.ok());
+  std::vector<int64_t> brute(12, 0);
+  const int64_t n = 100;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int32_t j = 0; j < 3; ++j) {
+      ++brute[static_cast<size_t>(layout->DiskFor(i, j))];
+    }
+  }
+  EXPECT_EQ(layout->FragmentsPerDisk(n), brute);
+}
+
+// The paper's GCD rule: gcd(D, k) == 1 guarantees no data skew; with
+// gcd > 1 the subobject count must be a multiple of D/gcd.
+TEST(StaggeredLayoutTest, GcdSkewRule) {
+  // gcd(10, 3) = 1: any length is balanced.
+  auto coprime = StaggeredLayout::Create(10, 0, 3, 2);
+  for (int64_t n : {7, 23, 100, 101}) {
+    EXPECT_TRUE(coprime->IsSkewFree(n)) << n;
+  }
+  // gcd(10, 5) = 5: only disks in one residue class get data unless n
+  // is a multiple of D/gcd = 2 ... but period-2 walks still skip 8 of
+  // 10 disks, concentrating load.
+  auto skewed = StaggeredLayout::Create(10, 0, 5, 2);
+  EXPECT_FALSE(skewed->IsSkewFree(101));
+  // gcd(10, 2) = 2, period 5: balanced when n is a multiple of 5.
+  auto even = StaggeredLayout::Create(10, 0, 2, 2);
+  EXPECT_TRUE(even->IsSkewFree(100));
+}
+
+TEST(ClusterLayoutTest, CreateValidates) {
+  EXPECT_FALSE(ClusterLayout::Create(0, 0, 1).ok());
+  EXPECT_FALSE(ClusterLayout::Create(10, 0, 0).ok());
+  EXPECT_FALSE(ClusterLayout::Create(10, 2, 5).ok());  // only 2 clusters
+  EXPECT_FALSE(ClusterLayout::Create(10, -1, 5).ok());
+  EXPECT_TRUE(ClusterLayout::Create(10, 1, 5).ok());
+}
+
+TEST(ClusterLayoutTest, AllSubobjectsInOneCluster) {
+  auto layout = ClusterLayout::Create(15, 2, 5);
+  ASSERT_TRUE(layout.ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    for (int32_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(layout->DiskFor(i, j), 10 + j);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,87 @@
+#include "storage/media_object.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace stagger {
+namespace {
+
+MediaObject MakeObject(double mbps, int64_t subobjects) {
+  MediaObject obj;
+  obj.display_bandwidth = Bandwidth::Mbps(mbps);
+  obj.num_subobjects = subobjects;
+  return obj;
+}
+
+// M_X = ceil(B_Display / B_Disk), Table 1 / Table 2.
+TEST(MediaObjectTest, DegreeOfDeclustering) {
+  const Bandwidth disk = Bandwidth::Mbps(20);
+  EXPECT_EQ(MakeObject(100, 1).DegreeOfDeclustering(disk), 5);  // Table 3
+  EXPECT_EQ(MakeObject(60, 1).DegreeOfDeclustering(disk), 3);   // Section 1
+  EXPECT_EQ(MakeObject(45, 1).DegreeOfDeclustering(disk), 3);   // NTSC
+  EXPECT_EQ(MakeObject(20, 1).DegreeOfDeclustering(disk), 1);   // exact
+  EXPECT_EQ(MakeObject(21, 1).DegreeOfDeclustering(disk), 2);   // round up
+  EXPECT_EQ(MakeObject(5, 1).DegreeOfDeclustering(disk), 1);    // low-bw
+  EXPECT_EQ(MakeObject(216, 1).DegreeOfDeclustering(disk), 11); // CCIR 601
+}
+
+TEST(MediaObjectTest, SizeAndFragmentCounts) {
+  const Bandwidth disk = Bandwidth::Mbps(20);
+  MediaObject obj = MakeObject(100, 3000);
+  EXPECT_EQ(obj.NumFragments(disk), 15000);
+  // Table 3 object: 3000 subobjects x 5 fragments x 1.512 MB = 22.68 GB.
+  EXPECT_NEAR(obj.TotalSize(DataSize::MB(1.512), disk).gigabytes(), 22.68,
+              0.01);
+}
+
+TEST(MediaObjectTest, DisplayTime) {
+  MediaObject obj = MakeObject(100, 3000);
+  // 3000 intervals of 604.8 ms = the paper's 1814 s (30 min 14 s).
+  EXPECT_NEAR(obj.DisplayTime(SimTime::Micros(604800)).seconds(), 1814.0, 0.5);
+}
+
+TEST(FragmentIdTest, Equality) {
+  FragmentId a{1, 2, 3}, b{1, 2, 3}, c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(CatalogTest, AddAssignsSequentialIds) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.size(), 0);
+  MediaObject obj = MakeObject(100, 10);
+  EXPECT_EQ(catalog.Add(obj), 0);
+  EXPECT_EQ(catalog.Add(obj), 1);
+  EXPECT_EQ(catalog.size(), 2);
+  EXPECT_TRUE(catalog.Contains(0));
+  EXPECT_TRUE(catalog.Contains(1));
+  EXPECT_FALSE(catalog.Contains(2));
+  EXPECT_FALSE(catalog.Contains(-1));
+}
+
+TEST(CatalogTest, DefaultNamesAssigned) {
+  Catalog catalog;
+  catalog.Add(MakeObject(100, 10));
+  EXPECT_EQ(catalog.Get(0).name, "obj0");
+  MediaObject named = MakeObject(50, 5);
+  named.name = "trailer";
+  catalog.Add(named);
+  EXPECT_EQ(catalog.Get(1).name, "trailer");
+}
+
+TEST(CatalogTest, UniformBuildsPaperDatabase) {
+  Catalog catalog = Catalog::Uniform(2000, 3000, Bandwidth::Mbps(100));
+  EXPECT_EQ(catalog.size(), 2000);
+  EXPECT_EQ(catalog.Get(1999).num_subobjects, 3000);
+  EXPECT_DOUBLE_EQ(catalog.Get(0).display_bandwidth.mbps(), 100.0);
+  EXPECT_EQ(catalog.Get(7).id, 7);
+}
+
+TEST(CatalogDeathTest, GetUnknownAborts) {
+  Catalog catalog;
+  EXPECT_DEATH(catalog.Get(0), "unknown object");
+}
+
+}  // namespace
+}  // namespace stagger

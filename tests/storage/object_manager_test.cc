@@ -1,0 +1,158 @@
+#include "storage/object_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace stagger {
+namespace {
+
+class ObjectManagerTest : public ::testing::Test {
+ protected:
+  // 10 disks x 3000 cylinders; objects of 600 subobjects x degree 5 use
+  // 3000 cylinders total = 300 per disk with stride 1, so ~10 objects
+  // fill the farm.
+  void SetUp() override {
+    catalog_ = Catalog::Uniform(/*count=*/20, /*num_subobjects=*/600,
+                                Bandwidth::Mbps(100));
+    auto disks = DiskArray::Create(10, DiskParameters::Evaluation());
+    ASSERT_TRUE(disks.ok());
+    disks_ = std::make_unique<DiskArray>(*std::move(disks));
+    manager_ = std::make_unique<ObjectManager>(&catalog_, disks_.get(),
+                                               /*fragment_cylinders=*/1);
+  }
+
+  StaggeredLayout Layout(int32_t start) {
+    auto layout = StaggeredLayout::Create(10, start, 1, 5);
+    STAGGER_CHECK(layout.ok());
+    return *std::move(layout);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<DiskArray> disks_;
+  std::unique_ptr<ObjectManager> manager_;
+};
+
+TEST_F(ObjectManagerTest, MakeResidentAllocatesStorage) {
+  EXPECT_FALSE(manager_->IsResident(0));
+  ASSERT_TRUE(manager_->MakeResident(0, Layout(0)).ok());
+  EXPECT_TRUE(manager_->IsResident(0));
+  EXPECT_EQ(manager_->ResidentCount(), 1);
+  // 600 subobjects x 5 fragments spread evenly over 10 disks.
+  EXPECT_EQ(disks_->FreeCylinders(), 30000 - 3000);
+  EXPECT_EQ(disks_->disk(0).used_cylinders(), 300);
+}
+
+TEST_F(ObjectManagerTest, DoubleResidencyRejected) {
+  ASSERT_TRUE(manager_->MakeResident(0, Layout(0)).ok());
+  EXPECT_TRUE(manager_->MakeResident(0, Layout(1)).IsAlreadyExists());
+}
+
+TEST_F(ObjectManagerTest, UnknownObjectRejected) {
+  EXPECT_TRUE(manager_->MakeResident(99, Layout(0)).IsNotFound());
+}
+
+TEST_F(ObjectManagerTest, EvictReleasesStorage) {
+  ASSERT_TRUE(manager_->MakeResident(0, Layout(0)).ok());
+  ASSERT_TRUE(manager_->Evict(0).ok());
+  EXPECT_FALSE(manager_->IsResident(0));
+  EXPECT_EQ(disks_->FreeCylinders(), 30000);
+  EXPECT_EQ(manager_->evictions(), 1);
+}
+
+TEST_F(ObjectManagerTest, EvictNonResidentFails) {
+  EXPECT_TRUE(manager_->Evict(0).IsFailedPrecondition());
+}
+
+TEST_F(ObjectManagerTest, PinnedObjectsCannotBeEvicted) {
+  ASSERT_TRUE(manager_->MakeResident(0, Layout(0)).ok());
+  manager_->Pin(0);
+  EXPECT_TRUE(manager_->Evict(0).IsFailedPrecondition());
+  manager_->Unpin(0);
+  EXPECT_TRUE(manager_->Evict(0).ok());
+}
+
+TEST_F(ObjectManagerTest, LfuVictimSelection) {
+  ASSERT_TRUE(manager_->MakeResident(0, Layout(0)).ok());
+  ASSERT_TRUE(manager_->MakeResident(1, Layout(1)).ok());
+  ASSERT_TRUE(manager_->MakeResident(2, Layout(2)).ok());
+  manager_->RecordAccess(0);
+  manager_->RecordAccess(0);
+  manager_->RecordAccess(1);
+  manager_->RecordAccess(2);
+  manager_->RecordAccess(2);
+  auto victim = manager_->PickVictim();
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(*victim, 1);  // least frequently accessed
+}
+
+TEST_F(ObjectManagerTest, PinnedObjectsSkippedAsVictims) {
+  ASSERT_TRUE(manager_->MakeResident(0, Layout(0)).ok());
+  ASSERT_TRUE(manager_->MakeResident(1, Layout(1)).ok());
+  manager_->RecordAccess(1);  // 0 is LFU...
+  manager_->Pin(0);           // ...but pinned
+  auto victim = manager_->PickVictim();
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(*victim, 1);
+}
+
+TEST_F(ObjectManagerTest, NoVictimWhenAllPinned) {
+  ASSERT_TRUE(manager_->MakeResident(0, Layout(0)).ok());
+  manager_->Pin(0);
+  EXPECT_TRUE(manager_->PickVictim().status().IsNotFound());
+}
+
+TEST_F(ObjectManagerTest, MakeResidentEvictsLfuUnderPressure) {
+  // Fill the farm with 10 objects.
+  for (ObjectId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(manager_->MakeResident(id, Layout(id)).ok());
+    manager_->RecordAccess(id);
+    if (id != 3) manager_->RecordAccess(id);  // object 3 is LFU
+  }
+  EXPECT_EQ(disks_->FreeCylinders(), 0);
+  // Object 10 must displace object 3.
+  ASSERT_TRUE(manager_->MakeResident(10, Layout(0)).ok());
+  EXPECT_TRUE(manager_->IsResident(10));
+  EXPECT_FALSE(manager_->IsResident(3));
+  EXPECT_EQ(manager_->ResidentCount(), 10);
+}
+
+TEST_F(ObjectManagerTest, MakeResidentFailsWhenEverythingPinned) {
+  for (ObjectId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(manager_->MakeResident(id, Layout(id)).ok());
+    manager_->Pin(id);
+  }
+  Status st = manager_->MakeResident(10, Layout(0));
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_FALSE(manager_->IsResident(10));
+  // The failed landing must not leak storage.
+  EXPECT_EQ(disks_->FreeCylinders(), 0);
+}
+
+TEST_F(ObjectManagerTest, AccessCountsAccumulate) {
+  manager_->RecordAccess(5);
+  manager_->RecordAccess(5);
+  EXPECT_EQ(manager_->AccessCount(5), 2);
+  EXPECT_EQ(manager_->AccessCount(6), 0);
+}
+
+TEST_F(ObjectManagerTest, LayoutOfReturnsPlacement) {
+  ASSERT_TRUE(manager_->MakeResident(0, Layout(7)).ok());
+  EXPECT_EQ(manager_->LayoutOf(0).start_disk(), 7);
+  EXPECT_EQ(manager_->LayoutOf(0).degree(), 5);
+}
+
+TEST_F(ObjectManagerTest, SkewedStrideConcentratesStorage) {
+  // k = D pins every fragment of the object onto 5 disks.
+  auto layout = StaggeredLayout::Create(10, 0, 10, 5);
+  ASSERT_TRUE(layout.ok());
+  ASSERT_TRUE(manager_->MakeResident(0, *layout).ok());
+  EXPECT_EQ(disks_->disk(0).used_cylinders(), 600);
+  EXPECT_EQ(disks_->disk(9).used_cylinders(), 0);
+}
+
+TEST_F(ObjectManagerTest, UnpinUnderflowDies) {
+  ASSERT_TRUE(manager_->MakeResident(0, Layout(0)).ok());
+  EXPECT_DEATH(manager_->Unpin(0), "unbalanced Unpin");
+}
+
+}  // namespace
+}  // namespace stagger

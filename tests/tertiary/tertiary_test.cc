@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tertiary/tertiary_device.h"
+#include "tertiary/tertiary_manager.h"
+
+namespace stagger {
+namespace {
+
+TEST(TertiaryParametersTest, DefaultsValidate) {
+  EXPECT_TRUE(TertiaryParameters{}.Validate().ok());
+}
+
+TEST(TertiaryParametersTest, RejectsBadValues) {
+  TertiaryParameters p;
+  p.bandwidth = Bandwidth::Mbps(0);
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+  p = TertiaryParameters{};
+  p.reposition = SimTime::Seconds(-1);
+  EXPECT_TRUE(p.Validate().IsInvalidArgument());
+}
+
+TEST(TertiaryDeviceTest, TransferAtBandwidth) {
+  TertiaryParameters p;
+  p.bandwidth = Bandwidth::Mbps(40);
+  TertiaryDevice device(p);
+  // Table 3 object: 22.68 GB at 40 mbps = 4536 s.
+  EXPECT_NEAR(device.TransferTime(DataSize::GB(22.68)).seconds(), 4536.0, 1.0);
+}
+
+TEST(TertiaryDeviceTest, StripedLayoutPaysOneReposition) {
+  TertiaryParameters p;
+  p.bandwidth = Bandwidth::Mbps(40);
+  p.reposition = SimTime::Seconds(3);
+  TertiaryDevice device(p);
+  EXPECT_EQ(device.StripedLayoutTime(DataSize::MB(100)),
+            SimTime::Seconds(3) + device.TransferTime(DataSize::MB(100)));
+}
+
+TEST(TertiaryDeviceTest, SequentialLayoutPaysPerBurst) {
+  TertiaryParameters p;
+  p.bandwidth = Bandwidth::Mbps(40);
+  p.reposition = SimTime::Seconds(2);
+  TertiaryDevice device(p);
+  // 100 MB in 10 MB bursts: 10 repositions.
+  const SimTime t = device.SequentialLayoutTime(DataSize::MB(100),
+                                                DataSize::MB(10));
+  EXPECT_EQ(t, device.TransferTime(DataSize::MB(100)) + SimTime::Seconds(20));
+  // Partial last burst still costs a reposition.
+  const SimTime t2 = device.SequentialLayoutTime(DataSize::MB(95),
+                                                 DataSize::MB(10));
+  EXPECT_EQ(t2, device.TransferTime(DataSize::MB(95)) + SimTime::Seconds(20));
+}
+
+TEST(TertiaryDeviceTest, EfficiencyDropsWithReposition) {
+  TertiaryParameters p;
+  p.bandwidth = Bandwidth::Mbps(40);
+  p.reposition = SimTime::Seconds(0);
+  EXPECT_DOUBLE_EQ(TertiaryDevice(p).SequentialLayoutEfficiency(
+                       DataSize::MB(100), DataSize::MB(10)),
+                   1.0);
+  p.reposition = SimTime::Seconds(2);
+  const double eff = TertiaryDevice(p).SequentialLayoutEfficiency(
+      DataSize::MB(100), DataSize::MB(10));
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LT(eff, 1.0);
+}
+
+class TertiaryManagerTest : public ::testing::Test {
+ protected:
+  TertiaryManagerTest() {
+    TertiaryParameters p;
+    p.bandwidth = Bandwidth::Mbps(40);
+    p.reposition = SimTime::Zero();
+    manager_ = std::make_unique<TertiaryManager>(&sim_, TertiaryDevice(p));
+  }
+  Simulator sim_;
+  std::unique_ptr<TertiaryManager> manager_;
+};
+
+TEST_F(TertiaryManagerTest, ServesFifo) {
+  std::vector<ObjectId> done;
+  // 40 mbps: 5 MB/s; a 50 MB object takes 10 s.
+  manager_->Enqueue(1, DataSize::MB(50), [&](ObjectId id) { done.push_back(id); });
+  manager_->Enqueue(2, DataSize::MB(50), [&](ObjectId id) { done.push_back(id); });
+  manager_->Enqueue(3, DataSize::MB(50), [&](ObjectId id) { done.push_back(id); });
+  EXPECT_TRUE(manager_->busy());
+  EXPECT_EQ(manager_->queue_length(), 2u);
+
+  sim_.RunUntil(SimTime::Seconds(10));
+  EXPECT_EQ(done, (std::vector<ObjectId>{1}));
+  sim_.RunUntil(SimTime::Seconds(30));
+  EXPECT_EQ(done, (std::vector<ObjectId>{1, 2, 3}));
+  EXPECT_FALSE(manager_->busy());
+  EXPECT_EQ(manager_->completed(), 3);
+}
+
+TEST_F(TertiaryManagerTest, UtilizationTracksBusyTime) {
+  manager_->Enqueue(1, DataSize::MB(50), nullptr);  // 10 s of service
+  sim_.RunUntil(SimTime::Seconds(5));
+  EXPECT_NEAR(manager_->Utilization(sim_.Now()), 1.0, 1e-9);  // mid-service
+  sim_.RunUntil(SimTime::Seconds(20));
+  EXPECT_NEAR(manager_->Utilization(sim_.Now()), 0.5, 1e-9);
+  EXPECT_EQ(manager_->BusyTime(sim_.Now()), SimTime::Seconds(10));
+}
+
+TEST_F(TertiaryManagerTest, LatencyIncludesQueueing) {
+  manager_->Enqueue(1, DataSize::MB(50), nullptr);  // served 0-10 s
+  manager_->Enqueue(2, DataSize::MB(50), nullptr);  // served 10-20 s
+  sim_.RunUntil(SimTime::Seconds(30));
+  EXPECT_EQ(manager_->latency_stats().count(), 2);
+  EXPECT_NEAR(manager_->latency_stats().min(), 10.0, 1e-6);
+  EXPECT_NEAR(manager_->latency_stats().max(), 20.0, 1e-6);
+}
+
+TEST_F(TertiaryManagerTest, IdleDeviceStartsImmediately) {
+  sim_.RunUntil(SimTime::Seconds(100));
+  int64_t completed_at = 0;
+  manager_->Enqueue(7, DataSize::MB(5), [&](ObjectId) {
+    completed_at = sim_.Now().micros();
+  });
+  sim_.RunUntil(SimTime::Seconds(200));
+  EXPECT_EQ(completed_at, SimTime::Seconds(101).micros());
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,132 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stagger {
+namespace {
+
+TEST(AliasSamplerTest, RejectsBadWeights) {
+  EXPECT_FALSE(AliasSampler::Create({}).ok());
+  EXPECT_FALSE(AliasSampler::Create({0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasSampler::Create({1.0, -0.5}).ok());
+  EXPECT_FALSE(AliasSampler::Create({1.0, std::nan("")}).ok());
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  auto sampler = AliasSampler::Create({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<size_t>(sampler->Sample(&rng))];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[static_cast<size_t>(i)] / static_cast<double>(kDraws),
+                (i + 1) / 10.0, 0.01);
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightOutcomeNeverSampled) {
+  auto sampler = AliasSampler::Create({1.0, 0.0, 1.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(sampler->Sample(&rng), 1);
+  }
+}
+
+TEST(TruncatedGeometricTest, RejectsBadParameters) {
+  EXPECT_FALSE(TruncatedGeometric::FromMean(0, 10).ok());
+  EXPECT_FALSE(TruncatedGeometric::FromMean(10, 0).ok());
+  EXPECT_FALSE(TruncatedGeometric::FromMean(10, -1).ok());
+  EXPECT_FALSE(TruncatedGeometric::FromP(10, 0.0).ok());
+  EXPECT_FALSE(TruncatedGeometric::FromP(10, 1.5).ok());
+}
+
+TEST(TruncatedGeometricTest, ProbabilitiesSumToOne) {
+  auto d = TruncatedGeometric::FromMean(2000, 10);
+  ASSERT_TRUE(d.ok());
+  double sum = 0;
+  for (int64_t i = 0; i < d->size(); ++i) sum += d->Probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TruncatedGeometricTest, MonotoneDecreasing) {
+  auto d = TruncatedGeometric::FromMean(100, 20);
+  ASSERT_TRUE(d.ok());
+  for (int64_t i = 1; i < 100; ++i) {
+    EXPECT_LT(d->Probability(i), d->Probability(i - 1));
+  }
+}
+
+TEST(TruncatedGeometricTest, MeanParameterSetsP) {
+  auto d = TruncatedGeometric::FromMean(2000, 10);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->p(), 1.0 / 11.0, 1e-12);
+}
+
+// The paper: means 10 / 20 / 43.5 reference "approximately 100, 200,
+// and 400 unique objects".  Check the 99.99% working set.
+TEST(TruncatedGeometricTest, PaperWorkingSetSizes) {
+  const struct {
+    double mean;
+    int64_t lo, hi;
+  } cases[] = {{10.0, 70, 110}, {20.0, 150, 210}, {43.5, 330, 440}};
+  for (const auto& c : cases) {
+    auto d = TruncatedGeometric::FromMean(2000, c.mean);
+    ASSERT_TRUE(d.ok());
+    const int64_t ws = d->WorkingSetSize(0.9999);
+    EXPECT_GE(ws, c.lo) << "mean " << c.mean;
+    EXPECT_LE(ws, c.hi) << "mean " << c.mean;
+  }
+}
+
+TEST(TruncatedGeometricTest, SampleMatchesProbability) {
+  auto d = TruncatedGeometric::FromMean(50, 5);
+  ASSERT_TRUE(d.ok());
+  Rng rng(99);
+  std::vector<int64_t> counts(50, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<size_t>(d->Sample(&rng))];
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(counts[static_cast<size_t>(i)] / static_cast<double>(kDraws),
+                d->Probability(i), 0.005);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  auto d = ZipfDistribution::Create(10, 0.0);
+  ASSERT_TRUE(d.ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(d->Probability(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ClassicRatios) {
+  auto d = ZipfDistribution::Create(100, 1.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Probability(0) / d->Probability(1), 2.0, 1e-9);
+  EXPECT_NEAR(d->Probability(0) / d->Probability(9), 10.0, 1e-9);
+}
+
+TEST(UniformTest, SamplesEverything) {
+  auto d = UniformDistribution::Create(5);
+  ASSERT_TRUE(d.ok());
+  Rng rng(1);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[static_cast<size_t>(d->Sample(&rng))];
+  for (int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(WorkingSetSizeTest, FullMassIsWholeSupport) {
+  auto d = UniformDistribution::Create(10);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->WorkingSetSize(1.0), 10);
+  EXPECT_EQ(d->WorkingSetSize(0.05), 1);
+  EXPECT_EQ(d->WorkingSetSize(0.55), 6);
+}
+
+}  // namespace
+}  // namespace stagger

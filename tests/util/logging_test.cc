@@ -1,0 +1,57 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace stagger {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEmit) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  STAGGER_LOG(Info) << "should not appear";
+  STAGGER_LOG(Error) << "should appear";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  STAGGER_CHECK(1 + 1 == 2) << "never evaluated";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, ComparisonMacros) {
+  STAGGER_CHECK_EQ(2, 2);
+  STAGGER_CHECK_NE(2, 3);
+  STAGGER_CHECK_LT(2, 3);
+  STAGGER_CHECK_LE(3, 3);
+  STAGGER_CHECK_GT(4, 3);
+  STAGGER_CHECK_GE(4, 4);
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, CheckFailureAbortsWithMessage) {
+  EXPECT_DEATH(STAGGER_CHECK(false) << "context 123",
+               "Check failed: false.*context 123");
+}
+
+TEST_F(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(STAGGER_LOG(Fatal) << "fatal message", "fatal message");
+}
+
+}  // namespace
+}  // namespace stagger

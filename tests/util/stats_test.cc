@@ -1,0 +1,132 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stagger {
+namespace {
+
+TEST(StreamingStatsTest, EmptyDefaults) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStatsTest, BasicMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(StreamingStatsTest, SingleSampleVarianceZero) {
+  StreamingStats s;
+  s.Add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsCombinedStream) {
+  StreamingStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i) * 10;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  StreamingStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(StreamingStatsTest, ResetClears) {
+  StreamingStats s;
+  s.Add(5.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, CountsAndMean) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.count(), 10);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolate) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.95), 95.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.5);
+  EXPECT_NEAR(h.Quantile(1.0), 100.0, 1.5);
+}
+
+TEST(HistogramTest, OverflowAndUnderflowBuckets) {
+  Histogram h(0, 10, 5);
+  h.Add(-5.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.min(), -5.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 0.0);   // underflow reported at lo
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 10.0);  // overflow reported at hi
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h(0, 1, 4);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(TimeWeightedTest, ConstantSignal) {
+  TimeWeighted tw;
+  tw.Set(SimTime::Seconds(0), 4.0);
+  EXPECT_DOUBLE_EQ(tw.Average(SimTime::Seconds(10)), 4.0);
+}
+
+TEST(TimeWeightedTest, StepSignal) {
+  TimeWeighted tw;
+  tw.Set(SimTime::Seconds(0), 0.0);
+  tw.Set(SimTime::Seconds(5), 10.0);
+  // 5 s at 0, 5 s at 10 -> average 5.
+  EXPECT_DOUBLE_EQ(tw.Average(SimTime::Seconds(10)), 5.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 10.0);
+}
+
+TEST(TimeWeightedTest, BeforeFirstSetIsZero) {
+  TimeWeighted tw;
+  EXPECT_EQ(tw.Average(SimTime::Seconds(5)), 0.0);
+}
+
+TEST(TimeWeightedTest, RepeatedSetsSameTime) {
+  TimeWeighted tw;
+  tw.Set(SimTime::Seconds(0), 1.0);
+  tw.Set(SimTime::Seconds(0), 3.0);
+  EXPECT_DOUBLE_EQ(tw.Average(SimTime::Seconds(2)), 3.0);
+}
+
+}  // namespace
+}  // namespace stagger

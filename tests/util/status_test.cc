@@ -1,0 +1,111 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "util/result.h"
+
+namespace stagger {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status st = Status::InvalidArgument("stride must be in [1, D]");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "stride must be in [1, D]");
+  EXPECT_EQ(st.ToString(), "invalid-argument: stride must be in [1, D]");
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  Status st = Status::NotFound("object 7");
+  Status copy = st;
+  EXPECT_EQ(copy, st);
+  EXPECT_TRUE(copy.IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    STAGGER_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+
+  auto succeeds = [] { return Status::OK(); };
+  auto wrapper2 = [&]() -> Status {
+    STAGGER_RETURN_NOT_OK(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_TRUE(wrapper2().IsAlreadyExists());
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource-exhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto provider = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::Internal("no value");
+  };
+  auto consumer = [&](bool ok) -> Result<int> {
+    STAGGER_ASSIGN_OR_RETURN(int v, provider(ok));
+    return v * 2;
+  };
+  EXPECT_EQ(*consumer(true), 10);
+  EXPECT_TRUE(consumer(false).status().IsInternal());
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stagger {
+namespace {
+
+TEST(TableTest, FormatsNumbers) {
+  EXPECT_EQ(Table::Format(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Format(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::Format(static_cast<int64_t>(42)), "42");
+  EXPECT_EQ(Table::Format(-7.5, 1), "-7.5");
+  EXPECT_EQ(Table::Format("text"), "text");
+}
+
+TEST(TableTest, AlignedOutputContainsAllCells) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRowValues("beta", 2.5);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRowValues(static_cast<int64_t>(1), static_cast<int64_t>(2));
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,107 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace stagger {
+namespace {
+
+TEST(SimTimeTest, Factories) {
+  EXPECT_EQ(SimTime::Micros(5).micros(), 5);
+  EXPECT_EQ(SimTime::Millis(3).micros(), 3000);
+  EXPECT_EQ(SimTime::Seconds(2.5).micros(), 2500000);
+  EXPECT_EQ(SimTime::Minutes(1).micros(), 60000000);
+  EXPECT_EQ(SimTime::Hours(1).seconds(), 3600.0);
+  EXPECT_EQ(SimTime::Zero().micros(), 0);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime a = SimTime::Seconds(1);
+  SimTime b = SimTime::Millis(500);
+  EXPECT_EQ((a + b).micros(), 1500000);
+  EXPECT_EQ((a - b).micros(), 500000);
+  EXPECT_EQ((b * 4).seconds(), 2.0);
+  a += b;
+  EXPECT_EQ(a.micros(), 1500000);
+  a -= b;
+  EXPECT_EQ(a.micros(), 1000000);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::Millis(1), SimTime::Millis(2));
+  EXPECT_EQ(SimTime::Seconds(1), SimTime::Millis(1000));
+  EXPECT_GE(SimTime::Max(), SimTime::Hours(1000000));
+}
+
+TEST(SimTimeTest, DivFloor) {
+  EXPECT_EQ(SimTime::Seconds(10).DivFloor(SimTime::Seconds(3)), 3);
+  EXPECT_EQ(SimTime::Seconds(9).DivFloor(SimTime::Seconds(3)), 3);
+  EXPECT_EQ(SimTime::Micros(-1).DivFloor(SimTime::Seconds(1)), -1);
+}
+
+TEST(SimTimeTest, ToStringPicksUnits) {
+  EXPECT_EQ(SimTime::Seconds(2).ToString(), "2s");
+  EXPECT_EQ(SimTime::Millis(250).ToString(), "250ms");
+  EXPECT_EQ(SimTime::Micros(7).ToString(), "7us");
+}
+
+TEST(DataSizeTest, FactoriesAndAccessors) {
+  EXPECT_EQ(DataSize::Bytes(10).bytes(), 10);
+  EXPECT_EQ(DataSize::KB(2).bytes(), 2000);
+  EXPECT_EQ(DataSize::MB(1.512).bytes(), 1512000);
+  EXPECT_EQ(DataSize::GB(4.5).bytes(), 4500000000LL);
+  EXPECT_DOUBLE_EQ(DataSize::MB(1).megabits(), 8.0);
+}
+
+TEST(DataSizeTest, Arithmetic) {
+  EXPECT_EQ((DataSize::MB(1) + DataSize::MB(2)).megabytes(), 3.0);
+  EXPECT_EQ((DataSize::MB(3) - DataSize::MB(2)).megabytes(), 1.0);
+  EXPECT_EQ((DataSize::MB(1.5) * 2).bytes(), 3000000);
+}
+
+TEST(BandwidthTest, MbpsRoundTrips) {
+  EXPECT_DOUBLE_EQ(Bandwidth::Mbps(20).bits_per_sec(), 20e6);
+  EXPECT_DOUBLE_EQ(Bandwidth::Mbps(20).mbps(), 20.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::Mbps(100) / Bandwidth::Mbps(20), 5.0);
+}
+
+TEST(TransferTimeTest, PaperCylinderRead) {
+  // A 1.512 MB cylinder at an effective 20 mbps takes 604.8 ms — the
+  // paper's time interval (3000 of them = the 1814 s display time).
+  SimTime t = TransferTime(DataSize::MB(1.512), Bandwidth::Mbps(20));
+  EXPECT_EQ(t.micros(), 604800);
+  EXPECT_NEAR((t * 3000).seconds(), 1814.0, 0.5);
+}
+
+TEST(TransferTimeTest, SabreCylinderReadIs250Ms) {
+  // Section 3.1: 756000-byte cylinder at 24.19 mbps ≈ 250 ms.
+  SimTime t = TransferTime(DataSize::Bytes(756000), Bandwidth::Mbps(24.19));
+  EXPECT_NEAR(t.millis(), 250.0, 0.5);
+}
+
+TEST(TransferTimeTest, RoundsUpToWholeMicroseconds) {
+  // 1 byte at 8 Gbit/s is 1 ns; transfers must never finish early.
+  SimTime t = TransferTime(DataSize::Bytes(1), Bandwidth::BitsPerSec(8e9));
+  EXPECT_EQ(t.micros(), 1);
+}
+
+TEST(DataMovedTest, Inverse) {
+  DataSize moved = DataMoved(Bandwidth::Mbps(40), SimTime::Seconds(2));
+  EXPECT_EQ(moved.bytes(), 10000000);
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(10, 5), 2);
+  EXPECT_EQ(CeilDiv(11, 5), 3);
+  EXPECT_EQ(CeilDiv(1, 5), 1);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+}
+
+TEST(PositiveModTest, NegativeOperands) {
+  EXPECT_EQ(PositiveMod(-1, 10), 9);
+  EXPECT_EQ(PositiveMod(-10, 10), 0);
+  EXPECT_EQ(PositiveMod(-11, 10), 9);
+  EXPECT_EQ(PositiveMod(23, 10), 3);
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,128 @@
+#include "workload/display_station.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+namespace stagger {
+namespace {
+
+/// A service that starts every display immediately and completes it
+/// after a fixed duration.
+class FakeService : public MediaService {
+ public:
+  FakeService(Simulator* sim, SimTime duration)
+      : sim_(sim), duration_(duration) {}
+
+  Status RequestDisplay(ObjectId object, StartedFn on_started,
+                        CompletedFn on_completed) override {
+    ++requests_;
+    last_object_ = object;
+    if (on_started) on_started(SimTime::Zero());
+    sim_->ScheduleAfter(duration_, [done = std::move(on_completed)] {
+      if (done) done();
+    });
+    return Status::OK();
+  }
+
+  int64_t requests_ = 0;
+  ObjectId last_object_ = kInvalidObject;
+
+ private:
+  Simulator* sim_;
+  SimTime duration_;
+};
+
+class StationPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dist = UniformDistribution::Create(100);
+    ASSERT_TRUE(dist.ok());
+    dist_ = std::make_unique<UniformDistribution>(*std::move(dist));
+  }
+  Simulator sim_;
+  std::unique_ptr<UniformDistribution> dist_;
+};
+
+TEST_F(StationPoolTest, ClosedLoopZeroThinkTime) {
+  FakeService service(&sim_, SimTime::Seconds(10));
+  StationPool pool(&sim_, &service, dist_.get(), /*num_stations=*/4,
+                   /*seed=*/1);
+  pool.Start();
+  EXPECT_EQ(service.requests_, 4);  // one outstanding per station
+  sim_.RunUntil(SimTime::Seconds(95));
+  // Each station completes one display every 10 s and immediately
+  // reissues: 9 completions per station by t = 95.
+  EXPECT_EQ(pool.metrics().displays_completed, 4 * 9);
+  EXPECT_EQ(service.requests_, 4 * 10);
+  EXPECT_EQ(pool.metrics().requests_issued, service.requests_);
+}
+
+TEST_F(StationPoolTest, ThroughputOverMeasurementWindow) {
+  FakeService service(&sim_, SimTime::Minutes(6));
+  StationPool pool(&sim_, &service, dist_.get(), 10, 1);
+  pool.SetMeasurementWindowStart(SimTime::Hours(1));
+  pool.Start();
+  sim_.RunUntil(SimTime::Hours(2));
+  // 10 stations x one display per 6 min = 100/h in steady state.
+  EXPECT_NEAR(pool.metrics().ThroughputPerHour(SimTime::Hours(1), sim_.Now()),
+              100.0, 2.0);
+  // The window excludes the first hour's completions.
+  EXPECT_LT(pool.metrics().displays_completed_in_window,
+            pool.metrics().displays_completed);
+}
+
+TEST_F(StationPoolTest, LatencyStatsRecorded) {
+  FakeService service(&sim_, SimTime::Seconds(5));
+  StationPool pool(&sim_, &service, dist_.get(), 2, 1);
+  pool.Start();
+  sim_.RunUntil(SimTime::Minutes(1));
+  EXPECT_GT(pool.metrics().startup_latency_sec.count(), 0);
+  EXPECT_DOUBLE_EQ(pool.metrics().startup_latency_sec.mean(), 0.0);
+}
+
+TEST_F(StationPoolTest, UniqueObjectsReferencedGrows) {
+  FakeService service(&sim_, SimTime::Seconds(1));
+  StationPool pool(&sim_, &service, dist_.get(), 4, 7);
+  pool.Start();
+  sim_.RunUntil(SimTime::Minutes(5));
+  const int64_t unique = pool.UniqueObjectsReferenced();
+  EXPECT_GT(unique, 50);   // ~1200 draws over 100 objects
+  EXPECT_LE(unique, 100);
+}
+
+TEST_F(StationPoolTest, SkewedDistributionNarrowsWorkingSet) {
+  auto skewed = TruncatedGeometric::FromMean(100, 3);
+  ASSERT_TRUE(skewed.ok());
+  FakeService service(&sim_, SimTime::Seconds(1));
+  StationPool pool(&sim_, &service, &*skewed, 4, 7);
+  pool.Start();
+  sim_.RunUntil(SimTime::Minutes(5));
+  EXPECT_LT(pool.UniqueObjectsReferenced(), 50);
+}
+
+TEST_F(StationPoolTest, DeterministicAcrossRuns) {
+  auto run = [this](uint64_t seed) {
+    Simulator sim;
+    FakeService service(&sim, SimTime::Seconds(3));
+    StationPool pool(&sim, &service, dist_.get(), 3, seed);
+    pool.Start();
+    sim.RunUntil(SimTime::Minutes(2));
+    return std::make_pair(pool.metrics().requests_issued,
+                          service.last_object_);
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST_F(StationPoolTest, ZeroWindowCountsEverything) {
+  FakeService service(&sim_, SimTime::Seconds(10));
+  StationPool pool(&sim_, &service, dist_.get(), 1, 1);
+  pool.Start();
+  sim_.RunUntil(SimTime::Seconds(35));
+  EXPECT_EQ(pool.metrics().displays_completed,
+            pool.metrics().displays_completed_in_window);
+}
+
+}  // namespace
+}  // namespace stagger

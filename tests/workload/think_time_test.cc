@@ -1,0 +1,120 @@
+// Think-time and replication features added around the paper's
+// zero-think-time stress workload.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "server/experiment.h"
+#include "sim/simulator.h"
+#include "util/distributions.h"
+#include "workload/display_station.h"
+
+namespace stagger {
+namespace {
+
+class InstantService : public MediaService {
+ public:
+  explicit InstantService(Simulator* sim) : sim_(sim) {}
+  Status RequestDisplay(ObjectId, StartedFn on_started,
+                        CompletedFn on_completed) override {
+    ++requests_;
+    if (on_started) on_started(SimTime::Zero());
+    sim_->ScheduleAfter(SimTime::Seconds(10), [done = std::move(on_completed)] {
+      if (done) done();
+    });
+    return Status::OK();
+  }
+  int64_t requests_ = 0;
+
+ private:
+  Simulator* sim_;
+};
+
+TEST(ThinkTimeTest, ZeroThinkTimeMaximizesRequestRate) {
+  Simulator sim;
+  InstantService service(&sim);
+  auto dist = UniformDistribution::Create(10);
+  ASSERT_TRUE(dist.ok());
+  StationPool pool(&sim, &service, &*dist, 1, 1);
+  pool.Start();
+  sim.RunUntil(SimTime::Seconds(100));
+  // 10 completed + 1 outstanding.
+  EXPECT_EQ(service.requests_, 11);
+}
+
+TEST(ThinkTimeTest, ThinkTimeSlowsCycle) {
+  Simulator sim;
+  InstantService service(&sim);
+  auto dist = UniformDistribution::Create(10);
+  ASSERT_TRUE(dist.ok());
+  StationPool pool(&sim, &service, &*dist, 1, 1);
+  pool.SetMeanThinkTime(SimTime::Seconds(10));  // ~20 s per cycle
+  pool.Start();
+  sim.RunUntil(SimTime::Seconds(1000));
+  // Expected cycles ~ 1000 / 20 = 50; allow generous stochastic slack.
+  EXPECT_GT(service.requests_, 30);
+  EXPECT_LT(service.requests_, 75);
+}
+
+TEST(ThinkTimeTest, ThinkTimeDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    InstantService service(&sim);
+    auto dist = UniformDistribution::Create(10);
+    StationPool pool(&sim, &service, &*dist, 2, seed);
+    pool.SetMeanThinkTime(SimTime::Seconds(5));
+    pool.Start();
+    sim.RunUntil(SimTime::Minutes(20));
+    return service.requests_;
+  };
+  EXPECT_EQ(run(3), run(3));
+}
+
+TEST(RunReplicatedTest, AggregatesAcrossSeeds) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kSimpleStriping;
+  cfg.num_disks = 50;
+  cfg.num_objects = 60;
+  cfg.subobjects_per_object = 150;
+  cfg.preload_objects = 12;
+  cfg.stations = 12;
+  cfg.geometric_mean = 4.0;
+  cfg.warmup = SimTime::Minutes(15);
+  cfg.measure = SimTime::Hours(1);
+  auto result = RunReplicated(cfg, 3);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->replications, 3);
+  EXPECT_EQ(result->displays_per_hour.count(), 3);
+  EXPECT_GT(result->displays_per_hour.mean(), 0.0);
+  // Different seeds give (slightly) different runs, so across-run
+  // spread exists but is small relative to the mean.
+  EXPECT_LT(result->displays_per_hour.stddev(),
+            0.25 * result->displays_per_hour.mean());
+}
+
+TEST(RunReplicatedTest, RejectsZeroReplications) {
+  ExperimentConfig cfg;
+  EXPECT_FALSE(RunReplicated(cfg, 0).ok());
+}
+
+TEST(ThinkTimeTest, ExperimentThinkTimeReducesThroughput) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kSimpleStriping;
+  cfg.num_disks = 50;
+  cfg.num_objects = 60;
+  cfg.subobjects_per_object = 150;
+  cfg.preload_objects = 12;
+  cfg.stations = 30;
+  cfg.geometric_mean = 4.0;
+  cfg.warmup = SimTime::Minutes(15);
+  cfg.measure = SimTime::Hours(2);
+  auto busy = RunExperiment(cfg);
+  cfg.mean_think_time = SimTime::Minutes(5);  // >> display time
+  auto idle = RunExperiment(cfg);
+  ASSERT_TRUE(busy.ok() && idle.ok());
+  EXPECT_LT(idle->displays_per_hour, busy->displays_per_hour);
+}
+
+}  // namespace
+}  // namespace stagger

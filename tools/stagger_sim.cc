@@ -1,0 +1,172 @@
+// stagger_sim — command-line driver for the Table 3 experiment runner.
+//
+//   $ stagger_sim --scheme=striping --stations=64 --mean=10
+//   $ stagger_sim --scheme=vdr --stations=256 --mean=43.5 --csv
+//   $ stagger_sim --help
+//
+// Every knob of ExperimentConfig is exposed; defaults reproduce the
+// paper's Table 3 system.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/experiment.h"
+#include "util/table.h"
+
+namespace stagger {
+namespace {
+
+void PrintUsage() {
+  std::printf(R"(stagger_sim — staggered-striping media-server simulator
+
+Usage: stagger_sim [flags]
+
+  --scheme=NAME       striping | staggered | vdr        [striping]
+  --stations=N        closed-loop display stations      [16]
+  --mean=X            geometric popularity mean         [10]
+  --disks=N           number of disks D                 [1000]
+  --objects=N         catalog size                      [2000]
+  --subobjects=N      subobjects per object             [3000]
+  --display-mbps=X    B_Display                         [100]
+  --tertiary-mbps=X   B_Tertiary                        [40]
+  --stride=N          stride k (staggered scheme)       [5]
+  --fragmented        enable Algorithm-1 admission
+  --coalesce          enable Algorithm-2 coalescing
+  --no-replication    disable VDR dynamic replication
+  --preload=N         objects resident at t=0           [200]
+  --warmup-hours=X    excluded from throughput          [2]
+  --measure-hours=X   measurement window                [10]
+  --seed=N            workload seed                     [20240101]
+  --csv               machine-readable one-line output
+  --help              this text
+)");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  ExperimentConfig cfg;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--help", &v)) {
+      PrintUsage();
+      return 0;
+    } else if (ParseFlag(argv[i], "--scheme", &v)) {
+      if (v == "striping") {
+        cfg.scheme = Scheme::kSimpleStriping;
+      } else if (v == "staggered") {
+        cfg.scheme = Scheme::kStaggered;
+      } else if (v == "vdr") {
+        cfg.scheme = Scheme::kVdr;
+      } else {
+        std::fprintf(stderr, "unknown scheme '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--stations", &v)) {
+      cfg.stations = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--mean", &v)) {
+      cfg.geometric_mean = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--disks", &v)) {
+      cfg.num_disks = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--objects", &v)) {
+      cfg.num_objects = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--subobjects", &v)) {
+      cfg.subobjects_per_object = std::atoll(v.c_str());
+    } else if (ParseFlag(argv[i], "--display-mbps", &v)) {
+      cfg.display_bandwidth = Bandwidth::Mbps(std::atof(v.c_str()));
+    } else if (ParseFlag(argv[i], "--tertiary-mbps", &v)) {
+      cfg.tertiary.bandwidth = Bandwidth::Mbps(std::atof(v.c_str()));
+    } else if (ParseFlag(argv[i], "--stride", &v)) {
+      cfg.stride = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--fragmented", &v)) {
+      cfg.policy = AdmissionPolicy::kFragmented;
+    } else if (ParseFlag(argv[i], "--coalesce", &v)) {
+      cfg.policy = AdmissionPolicy::kFragmented;
+      cfg.coalesce = true;
+    } else if (ParseFlag(argv[i], "--no-replication", &v)) {
+      cfg.enable_replication = false;
+    } else if (ParseFlag(argv[i], "--preload", &v)) {
+      cfg.preload_objects = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--warmup-hours", &v)) {
+      cfg.warmup = SimTime::Hours(std::atof(v.c_str()));
+    } else if (ParseFlag(argv[i], "--measure-hours", &v)) {
+      cfg.measure = SimTime::Hours(std::atof(v.c_str()));
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      cfg.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(argv[i], "--csv", &v)) {
+      csv = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto result = RunExperiment(cfg);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (csv) {
+    Table table({"scheme", "stations", "mean", "displays_per_hour",
+                 "mean_latency_s", "disk_util", "tertiary_util",
+                 "materializations", "replications", "evictions", "hiccups",
+                 "resident"});
+    table.AddRowValues(SchemeName(cfg.scheme),
+                       static_cast<int64_t>(cfg.stations), cfg.geometric_mean,
+                       result->displays_per_hour,
+                       result->mean_startup_latency_sec,
+                       result->disk_utilization, result->tertiary_utilization,
+                       result->materializations, result->replications,
+                       result->evictions, result->hiccups,
+                       static_cast<int64_t>(result->resident_objects_end));
+    table.PrintCsv(std::cout);
+    return 0;
+  }
+
+  std::printf("scheme                %s\n", SchemeName(cfg.scheme).c_str());
+  std::printf("stations              %d\n", cfg.stations);
+  std::printf("popularity mean       %.1f (unique referenced: %lld)\n",
+              cfg.geometric_mean,
+              static_cast<long long>(result->unique_objects_referenced));
+  std::printf("throughput            %.1f displays/hour\n",
+              result->displays_per_hour);
+  std::printf("completed displays    %lld\n",
+              static_cast<long long>(result->displays_completed));
+  std::printf("mean startup latency  %.1f s\n",
+              result->mean_startup_latency_sec);
+  std::printf("disk utilization      %.1f %%\n",
+              100.0 * result->disk_utilization);
+  std::printf("tertiary utilization  %.1f %% (%lld materializations, queue "
+              "%lld)\n",
+              100.0 * result->tertiary_utilization,
+              static_cast<long long>(result->materializations),
+              static_cast<long long>(result->tertiary_queue_end));
+  std::printf("replications          %lld\n",
+              static_cast<long long>(result->replications));
+  std::printf("evictions             %lld\n",
+              static_cast<long long>(result->evictions));
+  std::printf("resident objects      %d\n", result->resident_objects_end);
+  std::printf("hiccups               %lld\n",
+              static_cast<long long>(result->hiccups));
+  return result->hiccups == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stagger
+
+int main(int argc, char** argv) { return stagger::Run(argc, argv); }
