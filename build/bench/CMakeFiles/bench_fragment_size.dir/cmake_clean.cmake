@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fragment_size.dir/bench_fragment_size.cc.o"
+  "CMakeFiles/bench_fragment_size.dir/bench_fragment_size.cc.o.d"
+  "bench_fragment_size"
+  "bench_fragment_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fragment_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

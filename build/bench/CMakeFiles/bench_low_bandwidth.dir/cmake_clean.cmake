@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_low_bandwidth.dir/bench_low_bandwidth.cc.o"
+  "CMakeFiles/bench_low_bandwidth.dir/bench_low_bandwidth.cc.o.d"
+  "bench_low_bandwidth"
+  "bench_low_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_low_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

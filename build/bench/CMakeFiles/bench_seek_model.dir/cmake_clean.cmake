@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seek_model.dir/bench_seek_model.cc.o"
+  "CMakeFiles/bench_seek_model.dir/bench_seek_model.cc.o.d"
+  "bench_seek_model"
+  "bench_seek_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seek_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_improvement.dir/bench_table4_improvement.cc.o"
+  "CMakeFiles/bench_table4_improvement.dir/bench_table4_improvement.cc.o.d"
+  "bench_table4_improvement"
+  "bench_table4_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tertiary_layout.dir/bench_tertiary_layout.cc.o"
+  "CMakeFiles/bench_tertiary_layout.dir/bench_tertiary_layout.cc.o.d"
+  "bench_tertiary_layout"
+  "bench_tertiary_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tertiary_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_library.dir/audio_library.cpp.o"
+  "CMakeFiles/audio_library.dir/audio_library.cpp.o.d"
+  "audio_library"
+  "audio_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

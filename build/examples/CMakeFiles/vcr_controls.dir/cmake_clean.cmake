@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcr_controls.dir/vcr_controls.cpp.o"
+  "CMakeFiles/vcr_controls.dir/vcr_controls.cpp.o.d"
+  "vcr_controls"
+  "vcr_controls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcr_controls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;stagger_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_media_server "/root/repo/build/examples/media_server")
+set_tests_properties(example_media_server PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;stagger_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vcr_controls "/root/repo/build/examples/vcr_controls")
+set_tests_properties(example_vcr_controls PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;stagger_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planner "/root/repo/build/examples/capacity_planner")
+set_tests_properties(example_capacity_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;stagger_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_schedule_trace "/root/repo/build/examples/schedule_trace")
+set_tests_properties(example_schedule_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;stagger_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_audio_library "/root/repo/build/examples/audio_library")
+set_tests_properties(example_audio_library PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;stagger_example;/root/repo/examples/CMakeLists.txt;0;")

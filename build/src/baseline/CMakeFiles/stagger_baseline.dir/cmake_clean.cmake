@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_baseline.dir/vdr_server.cc.o"
+  "CMakeFiles/stagger_baseline.dir/vdr_server.cc.o.d"
+  "libstagger_baseline.a"
+  "libstagger_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

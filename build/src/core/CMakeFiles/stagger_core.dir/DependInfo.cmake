@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/stagger_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/stagger_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/fast_forward.cc" "src/core/CMakeFiles/stagger_core.dir/fast_forward.cc.o" "gcc" "src/core/CMakeFiles/stagger_core.dir/fast_forward.cc.o.d"
+  "/root/repo/src/core/interval_scheduler.cc" "src/core/CMakeFiles/stagger_core.dir/interval_scheduler.cc.o" "gcc" "src/core/CMakeFiles/stagger_core.dir/interval_scheduler.cc.o.d"
+  "/root/repo/src/core/logical_scheduler.cc" "src/core/CMakeFiles/stagger_core.dir/logical_scheduler.cc.o" "gcc" "src/core/CMakeFiles/stagger_core.dir/logical_scheduler.cc.o.d"
+  "/root/repo/src/core/low_bandwidth.cc" "src/core/CMakeFiles/stagger_core.dir/low_bandwidth.cc.o" "gcc" "src/core/CMakeFiles/stagger_core.dir/low_bandwidth.cc.o.d"
+  "/root/repo/src/core/schedule_trace.cc" "src/core/CMakeFiles/stagger_core.dir/schedule_trace.cc.o" "gcc" "src/core/CMakeFiles/stagger_core.dir/schedule_trace.cc.o.d"
+  "/root/repo/src/core/virtual_disk.cc" "src/core/CMakeFiles/stagger_core.dir/virtual_disk.cc.o" "gcc" "src/core/CMakeFiles/stagger_core.dir/virtual_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/stagger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/stagger_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stagger_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stagger_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_core.dir/analysis.cc.o"
+  "CMakeFiles/stagger_core.dir/analysis.cc.o.d"
+  "CMakeFiles/stagger_core.dir/fast_forward.cc.o"
+  "CMakeFiles/stagger_core.dir/fast_forward.cc.o.d"
+  "CMakeFiles/stagger_core.dir/interval_scheduler.cc.o"
+  "CMakeFiles/stagger_core.dir/interval_scheduler.cc.o.d"
+  "CMakeFiles/stagger_core.dir/logical_scheduler.cc.o"
+  "CMakeFiles/stagger_core.dir/logical_scheduler.cc.o.d"
+  "CMakeFiles/stagger_core.dir/low_bandwidth.cc.o"
+  "CMakeFiles/stagger_core.dir/low_bandwidth.cc.o.d"
+  "CMakeFiles/stagger_core.dir/schedule_trace.cc.o"
+  "CMakeFiles/stagger_core.dir/schedule_trace.cc.o.d"
+  "CMakeFiles/stagger_core.dir/virtual_disk.cc.o"
+  "CMakeFiles/stagger_core.dir/virtual_disk.cc.o.d"
+  "libstagger_core.a"
+  "libstagger_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

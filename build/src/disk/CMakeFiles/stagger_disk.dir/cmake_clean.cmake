@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_disk.dir/disk.cc.o"
+  "CMakeFiles/stagger_disk.dir/disk.cc.o.d"
+  "CMakeFiles/stagger_disk.dir/disk_array.cc.o"
+  "CMakeFiles/stagger_disk.dir/disk_array.cc.o.d"
+  "CMakeFiles/stagger_disk.dir/disk_parameters.cc.o"
+  "CMakeFiles/stagger_disk.dir/disk_parameters.cc.o.d"
+  "CMakeFiles/stagger_disk.dir/disk_sim.cc.o"
+  "CMakeFiles/stagger_disk.dir/disk_sim.cc.o.d"
+  "libstagger_disk.a"
+  "libstagger_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

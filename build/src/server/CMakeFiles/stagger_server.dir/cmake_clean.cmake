@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_server.dir/experiment.cc.o"
+  "CMakeFiles/stagger_server.dir/experiment.cc.o.d"
+  "CMakeFiles/stagger_server.dir/striped_server.cc.o"
+  "CMakeFiles/stagger_server.dir/striped_server.cc.o.d"
+  "libstagger_server.a"
+  "libstagger_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

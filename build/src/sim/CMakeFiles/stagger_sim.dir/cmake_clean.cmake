@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_sim.dir/event_queue.cc.o"
+  "CMakeFiles/stagger_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/stagger_sim.dir/simulator.cc.o"
+  "CMakeFiles/stagger_sim.dir/simulator.cc.o.d"
+  "libstagger_sim.a"
+  "libstagger_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_storage.dir/catalog.cc.o"
+  "CMakeFiles/stagger_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/stagger_storage.dir/layout.cc.o"
+  "CMakeFiles/stagger_storage.dir/layout.cc.o.d"
+  "CMakeFiles/stagger_storage.dir/object_manager.cc.o"
+  "CMakeFiles/stagger_storage.dir/object_manager.cc.o.d"
+  "libstagger_storage.a"
+  "libstagger_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_tertiary.dir/tertiary_device.cc.o"
+  "CMakeFiles/stagger_tertiary.dir/tertiary_device.cc.o.d"
+  "CMakeFiles/stagger_tertiary.dir/tertiary_manager.cc.o"
+  "CMakeFiles/stagger_tertiary.dir/tertiary_manager.cc.o.d"
+  "CMakeFiles/stagger_tertiary.dir/tertiary_pool.cc.o"
+  "CMakeFiles/stagger_tertiary.dir/tertiary_pool.cc.o.d"
+  "libstagger_tertiary.a"
+  "libstagger_tertiary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_tertiary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_util.dir/distributions.cc.o"
+  "CMakeFiles/stagger_util.dir/distributions.cc.o.d"
+  "CMakeFiles/stagger_util.dir/logging.cc.o"
+  "CMakeFiles/stagger_util.dir/logging.cc.o.d"
+  "CMakeFiles/stagger_util.dir/rng.cc.o"
+  "CMakeFiles/stagger_util.dir/rng.cc.o.d"
+  "CMakeFiles/stagger_util.dir/stats.cc.o"
+  "CMakeFiles/stagger_util.dir/stats.cc.o.d"
+  "CMakeFiles/stagger_util.dir/status.cc.o"
+  "CMakeFiles/stagger_util.dir/status.cc.o.d"
+  "CMakeFiles/stagger_util.dir/table.cc.o"
+  "CMakeFiles/stagger_util.dir/table.cc.o.d"
+  "CMakeFiles/stagger_util.dir/units.cc.o"
+  "CMakeFiles/stagger_util.dir/units.cc.o.d"
+  "libstagger_util.a"
+  "libstagger_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstagger_util.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/display_station.cc" "src/workload/CMakeFiles/stagger_workload.dir/display_station.cc.o" "gcc" "src/workload/CMakeFiles/stagger_workload.dir/display_station.cc.o.d"
+  "/root/repo/src/workload/open_arrivals.cc" "src/workload/CMakeFiles/stagger_workload.dir/open_arrivals.cc.o" "gcc" "src/workload/CMakeFiles/stagger_workload.dir/open_arrivals.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/stagger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stagger_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stagger_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/stagger_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_workload.dir/display_station.cc.o"
+  "CMakeFiles/stagger_workload.dir/display_station.cc.o.d"
+  "CMakeFiles/stagger_workload.dir/open_arrivals.cc.o"
+  "CMakeFiles/stagger_workload.dir/open_arrivals.cc.o.d"
+  "libstagger_workload.a"
+  "libstagger_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_parameters_test.dir/disk/disk_parameters_test.cc.o"
+  "CMakeFiles/disk_parameters_test.dir/disk/disk_parameters_test.cc.o.d"
+  "disk_parameters_test"
+  "disk_parameters_test.pdb"
+  "disk_parameters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_parameters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

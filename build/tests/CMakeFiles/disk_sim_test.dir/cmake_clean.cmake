@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_sim_test.dir/disk/disk_sim_test.cc.o"
+  "CMakeFiles/disk_sim_test.dir/disk/disk_sim_test.cc.o.d"
+  "disk_sim_test"
+  "disk_sim_test.pdb"
+  "disk_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/display_station_test.dir/workload/display_station_test.cc.o"
+  "CMakeFiles/display_station_test.dir/workload/display_station_test.cc.o.d"
+  "display_station_test"
+  "display_station_test.pdb"
+  "display_station_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/display_station_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

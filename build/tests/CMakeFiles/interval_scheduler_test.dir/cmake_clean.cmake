@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_scheduler_test.dir/core/interval_scheduler_test.cc.o"
+  "CMakeFiles/interval_scheduler_test.dir/core/interval_scheduler_test.cc.o.d"
+  "interval_scheduler_test"
+  "interval_scheduler_test.pdb"
+  "interval_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

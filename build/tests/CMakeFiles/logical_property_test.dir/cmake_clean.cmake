@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_property_test.dir/core/logical_property_test.cc.o"
+  "CMakeFiles/logical_property_test.dir/core/logical_property_test.cc.o.d"
+  "logical_property_test"
+  "logical_property_test.pdb"
+  "logical_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

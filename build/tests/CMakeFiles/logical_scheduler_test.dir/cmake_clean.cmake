@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_scheduler_test.dir/core/logical_scheduler_test.cc.o"
+  "CMakeFiles/logical_scheduler_test.dir/core/logical_scheduler_test.cc.o.d"
+  "logical_scheduler_test"
+  "logical_scheduler_test.pdb"
+  "logical_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

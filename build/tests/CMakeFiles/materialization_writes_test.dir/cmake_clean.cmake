@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialization_writes_test.dir/server/materialization_writes_test.cc.o"
+  "CMakeFiles/materialization_writes_test.dir/server/materialization_writes_test.cc.o.d"
+  "materialization_writes_test"
+  "materialization_writes_test.pdb"
+  "materialization_writes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialization_writes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_object_test.dir/storage/media_object_test.cc.o"
+  "CMakeFiles/media_object_test.dir/storage/media_object_test.cc.o.d"
+  "media_object_test"
+  "media_object_test.pdb"
+  "media_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

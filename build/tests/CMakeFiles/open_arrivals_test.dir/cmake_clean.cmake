@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_arrivals_test.dir/workload/open_arrivals_test.cc.o"
+  "CMakeFiles/open_arrivals_test.dir/workload/open_arrivals_test.cc.o.d"
+  "open_arrivals_test"
+  "open_arrivals_test.pdb"
+  "open_arrivals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_arrivals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

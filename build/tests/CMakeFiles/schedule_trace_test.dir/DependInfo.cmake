@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/schedule_trace_test.cc" "tests/CMakeFiles/schedule_trace_test.dir/core/schedule_trace_test.cc.o" "gcc" "tests/CMakeFiles/schedule_trace_test.dir/core/schedule_trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/stagger_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/stagger_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/stagger_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stagger_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tertiary/CMakeFiles/stagger_tertiary.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stagger_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/stagger_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stagger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stagger_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

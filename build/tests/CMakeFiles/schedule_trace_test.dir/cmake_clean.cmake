@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_trace_test.dir/core/schedule_trace_test.cc.o"
+  "CMakeFiles/schedule_trace_test.dir/core/schedule_trace_test.cc.o.d"
+  "schedule_trace_test"
+  "schedule_trace_test.pdb"
+  "schedule_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_property_test.dir/server/server_property_test.cc.o"
+  "CMakeFiles/server_property_test.dir/server/server_property_test.cc.o.d"
+  "server_property_test"
+  "server_property_test.pdb"
+  "server_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

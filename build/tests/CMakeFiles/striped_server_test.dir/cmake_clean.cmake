@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striped_server_test.dir/server/striped_server_test.cc.o"
+  "CMakeFiles/striped_server_test.dir/server/striped_server_test.cc.o.d"
+  "striped_server_test"
+  "striped_server_test.pdb"
+  "striped_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striped_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

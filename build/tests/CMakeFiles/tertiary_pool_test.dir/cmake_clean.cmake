@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tertiary_pool_test.dir/tertiary/tertiary_pool_test.cc.o"
+  "CMakeFiles/tertiary_pool_test.dir/tertiary/tertiary_pool_test.cc.o.d"
+  "tertiary_pool_test"
+  "tertiary_pool_test.pdb"
+  "tertiary_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tertiary_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

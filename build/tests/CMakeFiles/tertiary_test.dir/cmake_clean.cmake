@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tertiary_test.dir/tertiary/tertiary_test.cc.o"
+  "CMakeFiles/tertiary_test.dir/tertiary/tertiary_test.cc.o.d"
+  "tertiary_test"
+  "tertiary_test.pdb"
+  "tertiary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tertiary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/think_time_test.dir/workload/think_time_test.cc.o"
+  "CMakeFiles/think_time_test.dir/workload/think_time_test.cc.o.d"
+  "think_time_test"
+  "think_time_test.pdb"
+  "think_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/think_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

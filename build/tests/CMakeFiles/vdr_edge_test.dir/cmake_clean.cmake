@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdr_edge_test.dir/baseline/vdr_edge_test.cc.o"
+  "CMakeFiles/vdr_edge_test.dir/baseline/vdr_edge_test.cc.o.d"
+  "vdr_edge_test"
+  "vdr_edge_test.pdb"
+  "vdr_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdr_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdr_server_test.dir/baseline/vdr_server_test.cc.o"
+  "CMakeFiles/vdr_server_test.dir/baseline/vdr_server_test.cc.o.d"
+  "vdr_server_test"
+  "vdr_server_test.pdb"
+  "vdr_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdr_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

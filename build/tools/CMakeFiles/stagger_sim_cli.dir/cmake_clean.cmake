@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stagger_sim_cli.dir/stagger_sim.cc.o"
+  "CMakeFiles/stagger_sim_cli.dir/stagger_sim.cc.o.d"
+  "stagger_sim"
+  "stagger_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stagger_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
