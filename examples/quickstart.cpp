@@ -11,7 +11,7 @@
 #include "disk/disk_array.h"
 #include "sim/simulator.h"
 #include "storage/layout.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 using namespace stagger;  // NOLINT — example brevity
 

@@ -6,6 +6,8 @@
 #include <tuple>
 #include <utility>
 
+#include "util/check.h"
+
 namespace stagger {
 
 Status VdrConfig::Validate() const {
@@ -119,6 +121,61 @@ void VdrServer::Dispatch() {
   }
   dispatching_ = false;
   metrics_.queue_length.Set(sim_->Now(), static_cast<double>(queue_.size()));
+#ifdef STAGGER_AUDIT
+  // Self-check after every dispatch round: replica bookkeeping must be
+  // bidirectionally consistent (see AuditInvariants).
+  STAGGER_CHECK_OK(AuditInvariants());
+#endif
+}
+
+Status VdrServer::AuditInvariants() const {
+  // Cluster -> object references, capacity, and busy-time sanity.
+  std::vector<int64_t> replicas_seen(objects_.size(), 0);
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    const ClusterState& cs = clusters_[c];
+    STAGGER_AUDIT_VERIFY(static_cast<int32_t>(cs.resident.size()) <=
+                         config_.objects_per_cluster)
+        << "; cluster " << c << " holds " << cs.resident.size()
+        << " objects, capacity " << config_.objects_per_cluster;
+    for (ObjectId o : cs.resident) {
+      STAGGER_AUDIT_VERIFY(o >= 0 &&
+                           o < static_cast<ObjectId>(objects_.size()))
+          << "; cluster " << c << " claims nonexistent object " << o;
+      const auto& owners = objects_[static_cast<size_t>(o)].clusters;
+      STAGGER_AUDIT_VERIFY(std::count(owners.begin(), owners.end(),
+                                      static_cast<int32_t>(c)) == 1)
+          << "; cluster " << c << " holds object " << o
+          << " but the object does not point back exactly once";
+      ++replicas_seen[static_cast<size_t>(o)];
+    }
+  }
+
+  // Object -> cluster references and replica-count bounds.
+  int64_t total_waiting = 0;
+  for (size_t o = 0; o < objects_.size(); ++o) {
+    const ObjectState& os = objects_[o];
+    STAGGER_AUDIT_VERIFY(static_cast<int32_t>(os.clusters.size()) <=
+                         config_.num_clusters)
+        << "; object " << o << " has " << os.clusters.size()
+        << " replicas but only " << config_.num_clusters << " clusters exist";
+    STAGGER_AUDIT_VERIFY(static_cast<int64_t>(os.clusters.size()) ==
+                         replicas_seen[o])
+        << "; object " << o << " lists " << os.clusters.size()
+        << " replicas but clusters hold " << replicas_seen[o];
+    for (int32_t c : os.clusters) {
+      STAGGER_AUDIT_VERIFY(c >= 0 && c < config_.num_clusters)
+          << "; object " << o << " claims nonexistent cluster " << c;
+    }
+    STAGGER_AUDIT_VERIFY(os.waiting >= 0)
+        << "; object " << o << " has negative waiting count " << os.waiting;
+    total_waiting += os.waiting;
+  }
+
+  // Every queued request is accounted in its object's waiting count.
+  STAGGER_AUDIT_VERIFY(total_waiting == static_cast<int64_t>(queue_.size()))
+      << "; waiting counters sum to " << total_waiting << " but "
+      << queue_.size() << " requests are queued";
+  return Status::OK();
 }
 
 bool VdrServer::DispatchOnce() {
@@ -154,11 +211,17 @@ int32_t VdrServer::FindIdleReplica(ObjectId object) const {
   return -1;
 }
 
-int32_t VdrServer::ClaimDestination(bool for_replication) {
+int32_t VdrServer::ClaimDestination(bool for_replication, ObjectId for_object) {
+  const auto holds = [this, for_object](int32_t c) {
+    if (for_object == kInvalidObject) return false;
+    const auto& resident = clusters_[static_cast<size_t>(c)].resident;
+    return std::find(resident.begin(), resident.end(), for_object) !=
+           resident.end();
+  };
   // Prefer an idle cluster with spare capacity.
   for (int32_t c = 0; c < config_.num_clusters; ++c) {
     ClusterState& cs = clusters_[static_cast<size_t>(c)];
-    if (cs.activity == ClusterActivity::kIdle &&
+    if (cs.activity == ClusterActivity::kIdle && !holds(c) &&
         static_cast<int32_t>(cs.resident.size()) < config_.objects_per_cluster) {
       return c;
     }
@@ -174,7 +237,7 @@ int32_t VdrServer::ClaimDestination(bool for_replication) {
       std::numeric_limits<int32_t>::max(), 0.0, 0, 0};
   for (int32_t c = 0; c < config_.num_clusters; ++c) {
     ClusterState& cs = clusters_[static_cast<size_t>(c)];
-    if (cs.activity != ClusterActivity::kIdle) continue;
+    if (cs.activity != ClusterActivity::kIdle || holds(c)) continue;
     for (ObjectId o : cs.resident) {
       const ObjectState& os = objects_[static_cast<size_t>(o)];
       if (os.waiting > 0) continue;
@@ -250,7 +313,7 @@ void VdrServer::StartDisplay(size_t queue_index, int32_t cluster) {
       os.waiting >= static_cast<int32_t>(os.clusters.size()) +
                         config_.replication_wait_threshold &&
       static_cast<int32_t>(os.clusters.size()) < config_.num_clusters) {
-    copy_dst = ClaimDestination(/*for_replication=*/true);
+    copy_dst = ClaimDestination(/*for_replication=*/true, p.object);
     if (copy_dst >= 0) SetActivity(copy_dst, ClusterActivity::kCopyDest);
   }
 

@@ -94,6 +94,14 @@ class VdrServer : public MediaService {
   const VdrMetrics& metrics() const { return metrics_; }
   const VdrConfig& config() const { return config_; }
 
+  /// Replica/cluster bookkeeping audit: object->cluster and
+  /// cluster->object references agree bidirectionally, per-cluster
+  /// residency respects capacity, replica counts never exceed R, and
+  /// waiting counts sum to the queue length.  Returns the first
+  /// violation; invoked after every dispatch round when STAGGER_AUDIT
+  /// is on.
+  Status AuditInvariants() const;
+
   /// Replicas of `object` currently resident.
   int32_t ReplicaCount(ObjectId object) const {
     return static_cast<int32_t>(
@@ -138,8 +146,10 @@ class VdrServer : public MediaService {
   /// Replication destinations may only displace never-accessed objects
   /// or surplus replicas — growing a replica set never shrinks the set
   /// of unique resident objects; materializations may displace anything
-  /// evictable.
-  int32_t ClaimDestination(bool for_replication);
+  /// evictable.  Clusters already holding `for_object` are never
+  /// claimed: a second replica in the same cluster adds no parallelism.
+  int32_t ClaimDestination(bool for_replication,
+                           ObjectId for_object = kInvalidObject);
   void StartDisplay(size_t queue_index, int32_t cluster);
   void StartMaterialization(ObjectId object, int32_t dst);
   void SetActivity(int32_t cluster, ClusterActivity activity);

@@ -4,6 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "core/invariants.h"
+#include "util/check.h"
+
 namespace stagger {
 
 Result<std::unique_ptr<IntervalScheduler>> IntervalScheduler::Create(
@@ -102,6 +105,11 @@ void IntervalScheduler::Tick(int64_t tick_index) {
   TryAdmissions();
   AdvanceStreams();
   UpdateIntervalStats();
+#ifdef STAGGER_AUDIT
+  // Self-check every simulated interval: occupancy, delivery clock,
+  // buffer accounting, and non-underflow (see core/invariants.h).
+  STAGGER_CHECK_OK(InvariantAuditor::AuditScheduler(*this));
+#endif
 }
 
 void IntervalScheduler::TryAdmissions() {

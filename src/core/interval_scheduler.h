@@ -142,6 +142,8 @@ class IntervalScheduler {
   }
 
  private:
+  friend class InvariantAuditor;
+
   struct Pending {
     RequestId id;
     DisplayRequest req;

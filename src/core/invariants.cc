@@ -1,0 +1,412 @@
+#include "core/invariants.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "core/interval_scheduler.h"
+#include "core/logical_scheduler.h"
+#include "util/check.h"
+
+namespace stagger {
+
+PlacementTable MaterializePlacement(const StaggeredLayout& layout,
+                                    int64_t num_subobjects) {
+  STAGGER_CHECK_GE(num_subobjects, 0);
+  PlacementTable table(static_cast<size_t>(num_subobjects));
+  for (int64_t i = 0; i < num_subobjects; ++i) {
+    auto& row = table[static_cast<size_t>(i)];
+    row.resize(static_cast<size_t>(layout.degree()));
+    for (int32_t j = 0; j < layout.degree(); ++j) {
+      row[static_cast<size_t>(j)] = layout.DiskFor(i, j);
+    }
+  }
+  return table;
+}
+
+Status InvariantAuditor::AuditPlacement(const PlacementTable& placement,
+                                        int32_t num_disks, int32_t stride) {
+  STAGGER_AUDIT_VERIFY(num_disks >= 1) << " (D=" << num_disks << ")";
+  STAGGER_AUDIT_VERIFY(stride >= 1 && stride <= num_disks)
+      << " (k=" << stride << ", D=" << num_disks << ")";
+  if (placement.empty()) return Status::OK();
+
+  const size_t degree = placement.front().size();
+  STAGGER_AUDIT_VERIFY(degree >= 1 &&
+                       degree <= static_cast<size_t>(num_disks))
+      << " (M=" << degree << ", D=" << num_disks << ")";
+
+  const int32_t first_start = placement.front().front();
+  for (size_t i = 0; i < placement.size(); ++i) {
+    const auto& row = placement[i];
+    STAGGER_AUDIT_VERIFY(row.size() == degree)
+        << "; subobject " << i << " has " << row.size()
+        << " fragments, expected M=" << degree;
+    for (size_t j = 0; j < row.size(); ++j) {
+      STAGGER_AUDIT_VERIFY(row[j] >= 0 && row[j] < num_disks)
+          << "; fragment " << i << "." << j << " on nonexistent disk "
+          << row[j];
+    }
+    // Mod-D contiguity: fragments j = 0..M-1 of one subobject occupy
+    // M consecutive disks starting at the subobject's first disk.
+    for (size_t j = 1; j < row.size(); ++j) {
+      const int32_t expected = static_cast<int32_t>(
+          PositiveMod(static_cast<int64_t>(row[0]) + static_cast<int64_t>(j),
+                      num_disks));
+      STAGGER_AUDIT_VERIFY(row[j] == expected)
+          << "; fragment " << i << "." << j << " on disk " << row[j]
+          << ", breaks mod-" << num_disks << " contiguity (expected "
+          << expected << ")";
+    }
+    // Stride-k progression: subobject i starts k*i disks after
+    // subobject 0.
+    const int32_t expected_start = static_cast<int32_t>(PositiveMod(
+        static_cast<int64_t>(first_start) +
+            static_cast<int64_t>(stride) * static_cast<int64_t>(i),
+        num_disks));
+    STAGGER_AUDIT_VERIFY(row[0] == expected_start)
+        << "; subobject " << i << " starts on disk " << row[0]
+        << ", violates stride k=" << stride << " (expected "
+        << expected_start << ")";
+  }
+  return Status::OK();
+}
+
+Status InvariantAuditor::AuditSkew(const PlacementTable& placement,
+                                   int32_t num_disks, int32_t stride) {
+  STAGGER_AUDIT_VERIFY(num_disks >= 1) << " (D=" << num_disks << ")";
+  STAGGER_AUDIT_VERIFY(stride >= 1 && stride <= num_disks)
+      << " (k=" << stride << ", D=" << num_disks << ")";
+  if (placement.empty()) return Status::OK();
+
+  const int64_t n = static_cast<int64_t>(placement.size());
+  const int64_t degree = static_cast<int64_t>(placement.front().size());
+  const int64_t g = std::gcd(static_cast<int64_t>(num_disks),
+                             static_cast<int64_t>(stride));
+  const int64_t period = num_disks / g;
+
+  // Start disks stay in one residue class modulo gcd(D, k): the walk
+  // {p + i*k mod D} can never leave it.
+  const int64_t start_residue = placement.front().front() % g;
+  std::vector<int64_t> counts(static_cast<size_t>(num_disks), 0);
+  for (size_t i = 0; i < placement.size(); ++i) {
+    const auto& row = placement[i];
+    STAGGER_AUDIT_VERIFY(static_cast<int64_t>(row.size()) == degree)
+        << "; subobject " << i << " has " << row.size()
+        << " fragments, expected M=" << degree;
+    STAGGER_AUDIT_VERIFY(row.front() % g == start_residue)
+        << "; subobject " << i << " starts on disk " << row.front()
+        << ", outside residue class " << start_residue << " mod gcd(D,k)="
+        << g;
+    for (int32_t disk : row) {
+      STAGGER_AUDIT_VERIFY(disk >= 0 && disk < num_disks)
+          << "; fragment of subobject " << i << " on nonexistent disk "
+          << disk;
+      ++counts[static_cast<size_t>(disk)];
+    }
+  }
+
+  // GCD balance bounds: over n subobjects the start walk visits each of
+  // the D/g reachable residues floor(n/P) or ceil(n/P) times, and any
+  // window of M consecutive disks covers floor(M/g)..ceil(M/g) reachable
+  // residues — so per-disk fragment counts are boxed accordingly.
+  const int64_t max_bound = CeilDiv(degree, g) * CeilDiv(n, period);
+  const int64_t min_bound = (degree / g) * (n / period);
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  STAGGER_AUDIT_VERIFY(*hi <= max_bound)
+      << "; disk " << (hi - counts.begin()) << " holds " << *hi
+      << " fragments, above the gcd bound " << max_bound << " (g=" << g
+      << ", P=" << period << ")";
+  STAGGER_AUDIT_VERIFY(*lo >= min_bound)
+      << "; disk " << (lo - counts.begin()) << " holds " << *lo
+      << " fragments, below the gcd bound " << min_bound << " (g=" << g
+      << ", P=" << period << ")";
+  return Status::OK();
+}
+
+Status InvariantAuditor::AuditLayout(const StaggeredLayout& layout,
+                                     int64_t num_subobjects) {
+  STAGGER_AUDIT_VERIFY(num_subobjects >= 0)
+      << " (n=" << num_subobjects << ")";
+  const PlacementTable table = MaterializePlacement(layout, num_subobjects);
+  STAGGER_RETURN_NOT_OK(
+      AuditPlacement(table, layout.num_disks(), layout.stride()));
+  STAGGER_RETURN_NOT_OK(AuditSkew(table, layout.num_disks(), layout.stride()));
+
+  // Cross-check the closed-form skew analysis against the materialized
+  // placement.
+  std::vector<int64_t> counts(static_cast<size_t>(layout.num_disks()), 0);
+  std::set<int32_t> touched;
+  for (const auto& row : table) {
+    for (int32_t disk : row) {
+      ++counts[static_cast<size_t>(disk)];
+      touched.insert(disk);
+    }
+  }
+  const std::vector<int64_t> closed_form =
+      layout.FragmentsPerDisk(num_subobjects);
+  STAGGER_AUDIT_VERIFY(closed_form == counts)
+      << "; FragmentsPerDisk disagrees with the materialized placement";
+  STAGGER_AUDIT_VERIFY(layout.UniqueDisksUsed(num_subobjects) ==
+                       static_cast<int32_t>(touched.size()))
+      << "; UniqueDisksUsed=" << layout.UniqueDisksUsed(num_subobjects)
+      << " but the placement touches " << touched.size() << " disks";
+  return Status::OK();
+}
+
+Status InvariantAuditor::AuditCatalog(const Catalog& catalog,
+                                      Bandwidth disk_bandwidth,
+                                      int32_t num_disks) {
+  STAGGER_AUDIT_VERIFY(disk_bandwidth.bits_per_sec() > 0)
+      << " (B_Disk=" << disk_bandwidth.bits_per_sec() << ")";
+  STAGGER_AUDIT_VERIFY(num_disks >= 1) << " (D=" << num_disks << ")";
+  for (ObjectId id = 0; id < catalog.size(); ++id) {
+    const MediaObject& object = catalog.Get(id);
+    STAGGER_AUDIT_VERIFY(object.id == id)
+        << "; catalog slot " << id << " holds object id " << object.id;
+    STAGGER_AUDIT_VERIFY(object.num_subobjects >= 1)
+        << "; object " << id << " has no subobjects";
+    STAGGER_AUDIT_VERIFY(object.display_bandwidth.bits_per_sec() > 0)
+        << "; object " << id << " has non-positive display bandwidth";
+    const int32_t degree = object.DegreeOfDeclustering(disk_bandwidth);
+    STAGGER_AUDIT_VERIFY(degree >= 1 && degree <= num_disks)
+        << "; object " << id << " needs M_X=" << degree
+        << " disks, outside [1, " << num_disks << "]";
+  }
+  return Status::OK();
+}
+
+Status InvariantAuditor::AuditTrace(
+    const ScheduleTracer& trace,
+    const std::map<ObjectId, StaggeredLayout>& layouts,
+    const TraceAuditOptions& opts) {
+  // Bandwidth conservation: one fragment per disk per interval.  The
+  // tracer counts any second Record onto an occupied cell.
+  STAGGER_AUDIT_VERIFY(trace.num_collisions() == 0)
+      << "; " << trace.num_collisions()
+      << " intervals scheduled two fragments on one disk (B_Disk exceeded)";
+
+  struct SubobjectReads {
+    std::set<int32_t> fragments;
+    int64_t first_interval = 0;
+    int64_t last_interval = 0;
+    int64_t duplicate_reads = 0;
+  };
+  std::map<std::pair<ObjectId, int64_t>, SubobjectReads> per_subobject;
+
+  for (const auto& [interval, row] : trace.events()) {
+    for (const auto& [disk, event] : row) {
+      auto it = layouts.find(event.object);
+      STAGGER_AUDIT_VERIFY(it != layouts.end())
+          << "; interval " << interval << " reads unknown object "
+          << event.object;
+      const StaggeredLayout& layout = it->second;
+      STAGGER_AUDIT_VERIFY(event.fragment >= 0 &&
+                           event.fragment < layout.degree())
+          << "; object " << event.object << " fragment index "
+          << event.fragment << " outside [0, " << layout.degree() << ")";
+      STAGGER_AUDIT_VERIFY(event.subobject >= 0)
+          << "; object " << event.object << " has negative subobject "
+          << event.subobject;
+      const int32_t expected = layout.DiskFor(event.subobject, event.fragment);
+      STAGGER_AUDIT_VERIFY(disk == expected)
+          << "; interval " << interval << ": fragment " << event.object
+          << "." << event.subobject << "." << event.fragment << " read from"
+          << " disk " << disk << " but the layout places it on disk "
+          << expected;
+
+      auto& reads = per_subobject[{event.object, event.subobject}];
+      if (reads.fragments.empty()) {
+        reads.first_interval = interval;
+        reads.last_interval = interval;
+      } else {
+        reads.first_interval = std::min(reads.first_interval, interval);
+        reads.last_interval = std::max(reads.last_interval, interval);
+      }
+      if (!reads.fragments.insert(event.fragment).second) {
+        ++reads.duplicate_reads;
+      }
+    }
+  }
+
+  for (const auto& [key, reads] : per_subobject) {
+    const auto& [object, subobject] = key;
+    STAGGER_AUDIT_VERIFY(reads.duplicate_reads == 0)
+        << "; subobject " << object << "." << subobject << " had "
+        << reads.duplicate_reads << " duplicate fragment reads";
+    if (reads.last_interval != reads.first_interval) {
+      STAGGER_AUDIT_VERIFY(opts.allow_time_fragmentation)
+          << "; subobject " << object << "." << subobject
+          << " split across intervals [" << reads.first_interval << ", "
+          << reads.last_interval
+          << "] without Algorithm-1 buffering in effect";
+    }
+    if (!trace.truncated()) {
+      const int32_t degree = layouts.at(object).degree();
+      STAGGER_AUDIT_VERIFY(static_cast<int32_t>(reads.fragments.size()) ==
+                           degree)
+          << "; subobject " << object << "." << subobject << " read only "
+          << reads.fragments.size() << " of " << degree << " fragments";
+    }
+  }
+  return Status::OK();
+}
+
+Status InvariantAuditor::AuditScheduler(const IntervalScheduler& s) {
+  const int32_t d = s.frame_.num_disks();
+  STAGGER_AUDIT_VERIFY(static_cast<int32_t>(s.vdisk_owner_.size()) == d)
+      << "; occupancy vector has " << s.vdisk_owner_.size()
+      << " entries for D=" << d;
+
+  // Forward ownership: every active lane owns exactly the virtual disk
+  // it claims, and buffer accounting balances against the pool.
+  int64_t owned_lanes = 0;
+  int64_t total_reserved = 0;
+  for (const auto& [id, stream] : s.streams_) {
+    STAGGER_AUDIT_VERIFY(stream.id == id)
+        << "; stream table slot " << id << " holds stream " << stream.id;
+    STAGGER_AUDIT_VERIFY(static_cast<int32_t>(stream.lanes.size()) ==
+                         stream.degree)
+        << "; stream " << id << " has " << stream.lanes.size()
+        << " lanes for degree " << stream.degree;
+    STAGGER_AUDIT_VERIFY(stream.delivered >= 0 &&
+                         stream.delivered <= stream.num_subobjects)
+        << "; stream " << id << " delivered " << stream.delivered << " of "
+        << stream.num_subobjects;
+    STAGGER_AUDIT_VERIFY(stream.delta_max >= 0)
+        << "; stream " << id << " has negative delta_max "
+        << stream.delta_max;
+
+    const int64_t tau = stream.Tau(s.interval_index_);
+    // Delivery clock exactness: after interval t the stream has
+    // delivered exactly the subobjects due by Algorithm 1's output rule
+    // (one per interval starting at tau == delta_max).
+    const int64_t due = std::min(stream.num_subobjects,
+                                 std::max<int64_t>(0, tau - stream.delta_max + 1));
+    STAGGER_AUDIT_VERIFY(stream.delivered == due)
+        << "; stream " << id << " delivered " << stream.delivered
+        << " subobjects at tau " << tau << ", Algorithm 1 requires " << due;
+
+    bool any_lane_leads = false;
+    for (size_t j = 0; j < stream.lanes.size(); ++j) {
+      const FragmentLane& lane = stream.lanes[j];
+      STAGGER_AUDIT_VERIFY(lane.reads_done >= 0 &&
+                           lane.reads_done <= stream.num_subobjects)
+          << "; stream " << id << " lane " << j << " read "
+          << lane.reads_done << " of " << stream.num_subobjects;
+      // Buffer non-underflow: no delivered subobject can be missing a
+      // fragment on any lane.
+      STAGGER_AUDIT_VERIFY(lane.reads_done >= stream.delivered)
+          << "; stream " << id << " lane " << j << " underflow: delivered "
+          << stream.delivered << " subobjects but read only "
+          << lane.reads_done;
+      if (lane.released) {
+        STAGGER_AUDIT_VERIFY(lane.reads_done == stream.num_subobjects)
+            << "; stream " << id << " lane " << j
+            << " released before completing its reads";
+        continue;
+      }
+      STAGGER_AUDIT_VERIFY(lane.vdisk >= 0 && lane.vdisk < d)
+          << "; stream " << id << " lane " << j << " on nonexistent virtual"
+          << " disk " << lane.vdisk;
+      STAGGER_AUDIT_VERIFY(
+          s.vdisk_owner_[static_cast<size_t>(lane.vdisk)] == id)
+          << "; stream " << id << " lane " << j << " claims virtual disk "
+          << lane.vdisk << " owned by "
+          << s.vdisk_owner_[static_cast<size_t>(lane.vdisk)];
+      ++owned_lanes;
+      // A lane's effective alignment delay never exceeds delta_max —
+      // otherwise its reads arrive after the output clock needs them.
+      const int64_t effective = lane.next_read_tau - lane.reads_done;
+      STAGGER_AUDIT_VERIFY(effective >= 0 && effective <= stream.delta_max)
+          << "; stream " << id << " lane " << j << " effective delay "
+          << effective << " outside [0, " << stream.delta_max << "]";
+      if (lane.reads_done < stream.num_subobjects &&
+          effective < stream.delta_max) {
+        any_lane_leads = true;
+      }
+    }
+    // Coalescing bookkeeping: a lane reading ahead of the output clock
+    // requires Algorithm-1 buffering to be flagged on the stream.
+    STAGGER_AUDIT_VERIFY(!any_lane_leads || stream.fragmented)
+        << "; stream " << id
+        << " reads ahead on some lane but is not marked fragmented";
+    STAGGER_AUDIT_VERIFY(stream.buffer_reserved >= 0)
+        << "; stream " << id << " has negative buffer reservation";
+    total_reserved += stream.buffer_reserved;
+  }
+
+  // Backward ownership: every owned virtual disk belongs to a live
+  // stream (counted above), so counts must match exactly.
+  int64_t owned_disks = 0;
+  for (size_t v = 0; v < s.vdisk_owner_.size(); ++v) {
+    const StreamId owner = s.vdisk_owner_[v];
+    if (owner == kNoStream) continue;
+    ++owned_disks;
+    STAGGER_AUDIT_VERIFY(s.streams_.find(owner) != s.streams_.end())
+        << "; virtual disk " << v << " owned by dead stream " << owner;
+  }
+  STAGGER_AUDIT_VERIFY(owned_disks == owned_lanes)
+      << "; " << owned_disks << " virtual disks owned but " << owned_lanes
+      << " lanes hold disks (orphaned ownership)";
+
+  STAGGER_AUDIT_VERIFY(total_reserved == s.buffers_.reserved())
+      << "; streams reserve " << total_reserved
+      << " buffer fragments but the pool records " << s.buffers_.reserved();
+
+  // Request bookkeeping: queued handles map to no stream; admitted
+  // handles map to a live stream keyed by the same id.
+  for (const auto& [request, stream_id] : s.request_to_stream_) {
+    if (stream_id == kNoStream) continue;
+    STAGGER_AUDIT_VERIFY(s.streams_.find(stream_id) != s.streams_.end())
+        << "; request " << request << " maps to dead stream " << stream_id;
+  }
+
+  // The output clock never stalls: a hiccup means some interval
+  // delivered a subobject whose fragments were not all read in time.
+  STAGGER_AUDIT_VERIFY(s.metrics_.hiccups == 0)
+      << "; " << s.metrics_.hiccups << " display hiccups recorded";
+  return Status::OK();
+}
+
+Status InvariantAuditor::AuditLogicalScheduler(
+    const LogicalDiskScheduler& s) {
+  const int32_t d = s.config_.num_disks;
+  const int32_t l = s.config_.logical_per_disk;
+  STAGGER_AUDIT_VERIFY(static_cast<int32_t>(s.used_units_.size()) == d)
+      << "; unit vector has " << s.used_units_.size() << " entries for D="
+      << d;
+
+  // Recompute per-virtual-disk occupancy from the active streams and
+  // compare against the scheduler's incremental bookkeeping.
+  std::vector<int64_t> expected(static_cast<size_t>(d), 0);
+  for (const auto& [id, stream] : s.streams_) {
+    STAGGER_AUDIT_VERIFY(stream.delivered >= 0 &&
+                         stream.delivered <= stream.req.num_subobjects)
+        << "; stream " << id << " delivered " << stream.delivered << " of "
+        << stream.req.num_subobjects;
+    const int32_t width = s.WidthOf(stream.req.units);
+    for (int32_t lane = 0; lane < width; ++lane) {
+      const int32_t v = static_cast<int32_t>(PositiveMod(
+          static_cast<int64_t>(stream.first_vdisk) + lane, d));
+      expected[static_cast<size_t>(v)] +=
+          s.UnitsOnLane(stream.req.units, lane, stream.req.partial_lane_first);
+    }
+  }
+  for (int32_t v = 0; v < d; ++v) {
+    const int32_t used = s.used_units_[static_cast<size_t>(v)];
+    STAGGER_AUDIT_VERIFY(used >= 0 && used <= l)
+        << "; virtual disk " << v << " uses " << used
+        << " logical units, outside [0, " << l << "]";
+    STAGGER_AUDIT_VERIFY(used == expected[static_cast<size_t>(v)])
+        << "; virtual disk " << v << " records " << used
+        << " used units but active streams account for "
+        << expected[static_cast<size_t>(v)];
+  }
+  return Status::OK();
+}
+
+}  // namespace stagger

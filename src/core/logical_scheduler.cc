@@ -4,6 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "core/invariants.h"
+#include "util/check.h"
+
 namespace stagger {
 
 Status LogicalSchedulerConfig::Validate() const {
@@ -164,6 +167,11 @@ void LogicalDiskScheduler::Tick(int64_t tick_index) {
     }
   }
   ++metrics_.intervals_elapsed;
+#ifdef STAGGER_AUDIT
+  // Self-check every simulated interval: logical-unit occupancy must
+  // stay within [0, L] per disk and balance against active streams.
+  STAGGER_CHECK_OK(InvariantAuditor::AuditLogicalScheduler(*this));
+#endif
 }
 
 double LogicalDiskScheduler::Utilization() const {

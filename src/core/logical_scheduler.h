@@ -92,6 +92,8 @@ class LogicalDiskScheduler {
   double Utilization() const;
 
  private:
+  friend class InvariantAuditor;
+
   struct ActiveStream {
     RequestId id;
     LogicalRequest req;

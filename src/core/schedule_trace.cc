@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace stagger {
 
@@ -14,9 +14,14 @@ ScheduleTracer::ScheduleTracer(int32_t num_disks, int64_t max_intervals)
 void ScheduleTracer::Record(int64_t interval, ObjectId object,
                             int64_t subobject, int32_t fragment,
                             int32_t disk) {
-  if (max_intervals_ > 0 && interval >= max_intervals_) return;
+  if (max_intervals_ > 0 && interval >= max_intervals_) {
+    truncated_ = true;
+    return;
+  }
   STAGGER_CHECK(disk >= 0 && disk < num_disks_);
-  events_[interval][disk] = Event{object, subobject, fragment};
+  auto& cell = events_[interval];
+  if (cell.find(disk) != cell.end()) ++num_collisions_;
+  cell[disk] = Event{object, subobject, fragment};
   ++num_events_;
   if (interval > last_interval_) last_interval_ = interval;
 }

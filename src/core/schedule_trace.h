@@ -19,6 +19,13 @@ namespace stagger {
 /// read events.
 class ScheduleTracer {
  public:
+  /// \brief One recorded fragment read.
+  struct Event {
+    ObjectId object;
+    int64_t subobject;
+    int32_t fragment;
+  };
+
   /// \param num_disks      D.
   /// \param max_intervals  recording stops after this many intervals
   ///                       (keeps traces bounded); <= 0 records forever.
@@ -34,6 +41,17 @@ class ScheduleTracer {
 
   int64_t num_events() const { return num_events_; }
   int64_t last_interval() const { return last_interval_; }
+  /// Events recorded onto an already-occupied (interval, disk) cell: a
+  /// disk asked to transfer two fragments in one interval, i.e. a
+  /// B_Disk bandwidth-conservation violation.  The auditor requires 0.
+  int64_t num_collisions() const { return num_collisions_; }
+  /// True when events past `max_intervals` were dropped; completeness
+  /// audits are skipped on truncated traces.
+  bool truncated() const { return truncated_; }
+  /// Raw recorded schedule: events()[interval][disk].
+  const std::map<int64_t, std::map<int32_t, Event>>& events() const {
+    return events_;
+  }
 
   /// Figure 3 rendering: one row per interval, one column per cluster
   /// of `cluster_size` adjacent disks; each cell is "read X(s)" for the
@@ -46,16 +64,13 @@ class ScheduleTracer {
   Table RenderDisks() const;
 
  private:
-  struct Event {
-    ObjectId object;
-    int64_t subobject;
-    int32_t fragment;
-  };
   std::string NameOf(ObjectId object) const;
 
   int32_t num_disks_;
   int64_t max_intervals_;
   int64_t num_events_ = 0;
+  int64_t num_collisions_ = 0;
+  bool truncated_ = false;
   int64_t last_interval_ = -1;
   /// events_[interval][disk]
   std::map<int64_t, std::map<int32_t, Event>> events_;

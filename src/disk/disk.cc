@@ -2,7 +2,7 @@
 
 #include <string>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace stagger {
 

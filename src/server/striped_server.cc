@@ -4,6 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "core/invariants.h"
+#include "util/check.h"
+
 namespace stagger {
 
 Status StripedConfig::Validate() const {
@@ -69,7 +72,21 @@ Status StripedServer::Preload() {
     if (st.IsResourceExhausted()) break;  // disk farm is full
     STAGGER_RETURN_NOT_OK(st);
   }
+#ifdef STAGGER_AUDIT
+  STAGGER_RETURN_NOT_OK(AuditInvariants());
+#endif
   return Status::OK();
+}
+
+Status StripedServer::AuditInvariants() const {
+  STAGGER_RETURN_NOT_OK(InvariantAuditor::AuditCatalog(
+      *catalog_, EffectiveDiskBandwidth(), disks_->num_disks()));
+  for (ObjectId id = 0; id < catalog_->size(); ++id) {
+    if (!objects_->IsResident(id)) continue;
+    STAGGER_RETURN_NOT_OK(InvariantAuditor::AuditLayout(
+        objects_->LayoutOf(id), catalog_->Get(id).num_subobjects));
+  }
+  return InvariantAuditor::AuditScheduler(*scheduler_);
 }
 
 int32_t StripedServer::NextStartDisk() {
@@ -194,6 +211,12 @@ void StripedServer::OnMaterialized(ObjectId object) {
 }
 
 void StripedServer::Land(ObjectId object) {
+#ifdef STAGGER_AUDIT
+  // Every landing re-verifies the placement the object came to rest
+  // with: contiguity, stride progression, and gcd skew bounds.
+  STAGGER_CHECK_OK(InvariantAuditor::AuditLayout(
+      objects_->LayoutOf(object), catalog_->Get(object).num_subobjects));
+#endif
   materializing_[static_cast<size_t>(object)] = 0;
   planned_layouts_.erase(object);
   auto node = waiters_.extract(object);

@@ -79,6 +79,12 @@ class StripedServer : public MediaService {
   Status RequestDisplay(ObjectId object, StartedFn on_started,
                         CompletedFn on_completed) override;
 
+  /// Full invariant sweep (core/invariants.h): catalog sanity, the
+  /// staggered layout of every resident object, and the scheduler's
+  /// per-interval state.  Returns the first violation found.  Invoked
+  /// automatically at preload and every landing when STAGGER_AUDIT is on.
+  Status AuditInvariants() const;
+
   const StripedMetrics& metrics() const { return metrics_; }
   const SchedulerMetrics& scheduler_metrics() const {
     return scheduler_->metrics();

@@ -1,0 +1,127 @@
+// Contract macros: the canonical home of STAGGER_CHECK / STAGGER_DCHECK
+// and friends.  Violated checks are programmer errors: the failure
+// message is formatted through the streaming logger (logging.h) at
+// kFatal severity and the process aborts.  Recoverable conditions use
+// Status / Result (status.h, result.h) instead.
+//
+// The audit subsystem (core/invariants.h) needs the same predicates but
+// must *report* rather than abort, so corrupted state can be surfaced to
+// tests and callers: STAGGER_AUDIT_VERIFY returns a Status::Internal
+// carrying the formatted failure from the enclosing function.
+
+#ifndef STAGGER_UTIL_CHECK_H_
+#define STAGGER_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+/// Aborts with a diagnostic if `condition` is false.  Additional context
+/// may be streamed: STAGGER_CHECK(x > 0) << "x=" << x;
+#define STAGGER_CHECK(condition)                                         \
+  (condition) ? static_cast<void>(0)                                     \
+              : ::stagger::internal::FatalStreamVoidify() &              \
+                    ::stagger::internal::LogMessage(                     \
+                        ::stagger::LogLevel::kFatal, __FILE__, __LINE__) \
+                        << "Check failed: " #condition " "
+
+/// Binary comparisons that print both operands on failure, e.g.
+/// "Check failed: a == b (3 vs. 5)".  Operands are evaluated twice on
+/// the failure path; keep them side-effect free.
+#define STAGGER_CHECK_OP_(a, b, op)                         \
+  STAGGER_CHECK((a)op(b)) << "(" << (a) << " vs. " << (b) << ") "
+
+#define STAGGER_CHECK_EQ(a, b) STAGGER_CHECK_OP_(a, b, ==)
+#define STAGGER_CHECK_NE(a, b) STAGGER_CHECK_OP_(a, b, !=)
+#define STAGGER_CHECK_LT(a, b) STAGGER_CHECK_OP_(a, b, <)
+#define STAGGER_CHECK_LE(a, b) STAGGER_CHECK_OP_(a, b, <=)
+#define STAGGER_CHECK_GT(a, b) STAGGER_CHECK_OP_(a, b, >)
+#define STAGGER_CHECK_GE(a, b) STAGGER_CHECK_OP_(a, b, >=)
+
+/// Aborts if a Status expression is not OK, printing the status.
+#define STAGGER_CHECK_OK(expr)                                          \
+  STAGGER_CHECK_OK_IMPL_(STAGGER_CHECK_CONCAT_(_stagger_check_status_,  \
+                                               __COUNTER__),            \
+                         expr)
+#define STAGGER_CHECK_CONCAT_INNER_(a, b) a##b
+#define STAGGER_CHECK_CONCAT_(a, b) STAGGER_CHECK_CONCAT_INNER_(a, b)
+#define STAGGER_CHECK_OK_IMPL_(tmp, expr)                               \
+  do {                                                                  \
+    const ::stagger::Status tmp = (expr);                               \
+    STAGGER_CHECK(tmp.ok()) << tmp.ToString() << " ";                   \
+  } while (false)
+
+/// Marks code that must be unreachable.
+#define STAGGER_UNREACHABLE() \
+  STAGGER_CHECK(false) << "unreachable code reached "
+
+/// Debug-only checks: active unless NDEBUG, compiled away (but still
+/// type-checked) in optimized builds.
+#ifndef NDEBUG
+#define STAGGER_DCHECK(condition) STAGGER_CHECK(condition)
+#define STAGGER_DCHECK_EQ(a, b) STAGGER_CHECK_EQ(a, b)
+#define STAGGER_DCHECK_NE(a, b) STAGGER_CHECK_NE(a, b)
+#define STAGGER_DCHECK_LT(a, b) STAGGER_CHECK_LT(a, b)
+#define STAGGER_DCHECK_LE(a, b) STAGGER_CHECK_LE(a, b)
+#define STAGGER_DCHECK_GT(a, b) STAGGER_CHECK_GT(a, b)
+#define STAGGER_DCHECK_GE(a, b) STAGGER_CHECK_GE(a, b)
+#else
+#define STAGGER_DCHECK(condition) \
+  while (false) STAGGER_CHECK(condition)
+#define STAGGER_DCHECK_EQ(a, b) \
+  while (false) STAGGER_CHECK_EQ(a, b)
+#define STAGGER_DCHECK_NE(a, b) \
+  while (false) STAGGER_CHECK_NE(a, b)
+#define STAGGER_DCHECK_LT(a, b) \
+  while (false) STAGGER_CHECK_LT(a, b)
+#define STAGGER_DCHECK_LE(a, b) \
+  while (false) STAGGER_CHECK_LE(a, b)
+#define STAGGER_DCHECK_GT(a, b) \
+  while (false) STAGGER_CHECK_GT(a, b)
+#define STAGGER_DCHECK_GE(a, b) \
+  while (false) STAGGER_CHECK_GE(a, b)
+#endif
+
+namespace stagger {
+namespace internal {
+
+/// Accumulates a formatted audit-failure message and converts to a
+/// Status::Internal; used by STAGGER_AUDIT_VERIFY.
+class AuditFailure {
+ public:
+  AuditFailure(const char* file, int line, const char* expr) {
+    stream_ << "audit violation at " << file << ":" << line << ": "
+            << expr;
+  }
+
+  template <typename T>
+  AuditFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): enables `return builder;`.
+  operator Status() const { return Status::Internal(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace stagger
+
+/// Inside a function returning Status (or Result<T>): verifies an
+/// invariant and, on violation, returns Status::Internal with a
+/// formatted message.  Context may be streamed:
+///
+///   STAGGER_AUDIT_VERIFY(disk == expected)
+///       << "; fragment " << j << " landed on disk " << disk;
+#define STAGGER_AUDIT_VERIFY(condition)           \
+  if (condition) {                                \
+  } else /* NOLINT(readability-else-after-return) */ \
+    return ::stagger::internal::AuditFailure(__FILE__, __LINE__, #condition)
+
+#endif  // STAGGER_UTIL_CHECK_H_

@@ -1,6 +1,6 @@
-// Minimal streaming logger plus CHECK macros, in the style of
-// glog / arrow::util::logging.  STAGGER_CHECK aborts on violated
-// invariants (programmer errors); recoverable errors use Status.
+// Minimal streaming logger in the style of glog / arrow::util::logging.
+// The contract macros (STAGGER_CHECK and friends) that route fatal
+// diagnostics through this logger live in util/check.h.
 
 #ifndef STAGGER_UTIL_LOGGING_H_
 #define STAGGER_UTIL_LOGGING_H_
@@ -61,28 +61,5 @@ struct FatalStreamVoidify {
 
 #define STAGGER_LOG(level)                                               \
   ::stagger::internal::LogMessage(::stagger::LogLevel::k##level, __FILE__, __LINE__)
-
-/// Aborts with a diagnostic if `condition` is false.  Additional context
-/// may be streamed: STAGGER_CHECK(x > 0) << "x=" << x;
-#define STAGGER_CHECK(condition)                                         \
-  (condition) ? static_cast<void>(0)                                     \
-              : ::stagger::internal::FatalStreamVoidify() &              \
-                    ::stagger::internal::LogMessage(                     \
-                        ::stagger::LogLevel::kFatal, __FILE__, __LINE__) \
-                        << "Check failed: " #condition " "
-
-#define STAGGER_CHECK_EQ(a, b) STAGGER_CHECK((a) == (b))
-#define STAGGER_CHECK_NE(a, b) STAGGER_CHECK((a) != (b))
-#define STAGGER_CHECK_LT(a, b) STAGGER_CHECK((a) < (b))
-#define STAGGER_CHECK_LE(a, b) STAGGER_CHECK((a) <= (b))
-#define STAGGER_CHECK_GT(a, b) STAGGER_CHECK((a) > (b))
-#define STAGGER_CHECK_GE(a, b) STAGGER_CHECK((a) >= (b))
-
-#ifndef NDEBUG
-#define STAGGER_DCHECK(condition) STAGGER_CHECK(condition)
-#else
-#define STAGGER_DCHECK(condition) \
-  while (false) STAGGER_CHECK(condition)
-#endif
 
 #endif  // STAGGER_UTIL_LOGGING_H_

@@ -6,7 +6,7 @@
 #include <utility>
 #include <variant>
 
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace stagger {

@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace stagger {
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace stagger {
 

@@ -15,7 +15,7 @@
 #include <ostream>
 #include <string>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace stagger {
 

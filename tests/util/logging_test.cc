@@ -1,4 +1,4 @@
-#include "util/logging.h"
+#include "util/check.h"
 
 #include <gtest/gtest.h>
 

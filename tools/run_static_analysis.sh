@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Runs clang-tidy and cppcheck over src/ using the repo's .clang-tidy
+# configuration and a CMake-exported compile_commands.json.
+#
+# Usage:
+#   tools/run_static_analysis.sh [build-dir]
+#
+# Environment:
+#   STRICT=1        fail (exit 2) when an analyzer is not installed;
+#                   default is to skip missing tools with a notice so the
+#                   script stays usable on minimal containers.
+#   CLANG_TIDY=...  override the clang-tidy binary.
+#   CPPCHECK=...    override the cppcheck binary.
+#   JOBS=N          parallelism (default: nproc).
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+strict="${STRICT:-0}"
+jobs="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+status=0
+
+find_tool() {
+  # Echoes the first available binary among "$@", or nothing.
+  for candidate in "$@"; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      echo "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+missing_tool() {
+  local name="$1"
+  if [ "${strict}" = "1" ]; then
+    echo "error: ${name} not found (STRICT=1)" >&2
+    exit 2
+  fi
+  echo "notice: ${name} not installed; skipping (set STRICT=1 to require it)"
+}
+
+# --- compile database ---------------------------------------------------
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "No compile_commands.json in ${build_dir}; configuring..."
+  cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)
+echo "Analyzing ${#sources[@]} translation units under src/"
+
+# --- clang-tidy ---------------------------------------------------------
+tidy="$(find_tool "${CLANG_TIDY:-clang-tidy}" clang-tidy-19 clang-tidy-18 \
+                  clang-tidy-17 clang-tidy-16 clang-tidy-15 || true)"
+if [ -n "${tidy}" ]; then
+  echo "== ${tidy} (config: .clang-tidy) =="
+  runner="$(find_tool run-clang-tidy run-clang-tidy-19 run-clang-tidy-18 \
+                      run-clang-tidy-17 run-clang-tidy-16 || true)"
+  if [ -n "${runner}" ]; then
+    "${runner}" -clang-tidy-binary "${tidy}" -p "${build_dir}" -j "${jobs}" \
+        -quiet "${repo_root}/src/.*" || status=1
+  else
+    "${tidy}" -p "${build_dir}" --quiet "${sources[@]}" || status=1
+  fi
+else
+  missing_tool clang-tidy
+fi
+
+# --- cppcheck -----------------------------------------------------------
+cppcheck_bin="$(find_tool "${CPPCHECK:-cppcheck}" || true)"
+if [ -n "${cppcheck_bin}" ]; then
+  echo "== ${cppcheck_bin} =="
+  # unusedFunction is off: libraries legitimately export API the binaries
+  # in this repo do not call.  missingIncludeSystem quiets stdlib noise.
+  "${cppcheck_bin}" \
+      --enable=warning,performance,portability \
+      --suppress=missingIncludeSystem \
+      --inline-suppr \
+      --error-exitcode=1 \
+      --std=c++20 \
+      -j "${jobs}" \
+      -I "${repo_root}/src" \
+      "${repo_root}/src" || status=1
+else
+  missing_tool cppcheck
+fi
+
+if [ "${status}" -ne 0 ]; then
+  echo "Static analysis found issues." >&2
+else
+  echo "Static analysis clean."
+fi
+exit "${status}"
