@@ -98,7 +98,12 @@ DataSize VdrServer::ObjectSize(ObjectId object) const {
 }
 
 Status VdrServer::RequestDisplay(ObjectId object, StartedFn on_started,
-                                 CompletedFn on_completed) {
+                                 CompletedFn on_completed,
+                                 InterruptedFn on_interrupted) {
+  // VDR never abandons an accepted display: a cluster outage re-queues
+  // it for a surviving replica (or rematerialization), so the
+  // interruption callback can never fire here.
+  (void)on_interrupted;
   if (!catalog_->Contains(object)) {
     return Status::NotFound("object " + std::to_string(object) +
                             " not in catalog");
@@ -175,6 +180,38 @@ Status VdrServer::AuditInvariants() const {
   STAGGER_AUDIT_VERIFY(total_waiting == static_cast<int64_t>(queue_.size()))
       << "; waiting counters sum to " << total_waiting << " but "
       << queue_.size() << " requests are queued";
+
+  // Fault-state rules: an out-of-service cluster carries no activity,
+  // and the active-display table matches the kDisplay clusters exactly
+  // (with each piggyback destination in kCopyDest).
+  int64_t display_clusters = 0;
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    const ClusterState& cs = clusters_[c];
+    STAGGER_AUDIT_VERIFY(cs.down_disks >= 0 &&
+                         cs.down_disks <= config_.cluster_degree)
+        << "; cluster " << c << " records " << cs.down_disks
+        << " disks down of " << config_.cluster_degree;
+    STAGGER_AUDIT_VERIFY(cs.down_disks == 0 ||
+                         cs.activity == ClusterActivity::kIdle)
+        << "; cluster " << c << " has " << cs.down_disks
+        << " disks down yet is still active";
+    if (cs.activity == ClusterActivity::kDisplay) ++display_clusters;
+  }
+  STAGGER_AUDIT_VERIFY(static_cast<int64_t>(active_displays_.size()) ==
+                       display_clusters)
+      << "; " << active_displays_.size() << " active-display records but "
+      << display_clusters << " clusters are displaying";
+  for (const auto& [c, ad] : active_displays_) {
+    STAGGER_AUDIT_VERIFY(
+        clusters_[static_cast<size_t>(c)].activity == ClusterActivity::kDisplay)
+        << "; active-display record on cluster " << c
+        << " which is not displaying";
+    STAGGER_AUDIT_VERIFY(ad.copy_dst < 0 ||
+                         clusters_[static_cast<size_t>(ad.copy_dst)].activity ==
+                             ClusterActivity::kCopyDest)
+        << "; display on cluster " << c << " claims copy destination "
+        << ad.copy_dst << " which is not receiving a copy";
+  }
   return Status::OK();
 }
 
@@ -204,7 +241,8 @@ bool VdrServer::DispatchOnce() {
 
 int32_t VdrServer::FindIdleReplica(ObjectId object) const {
   for (int32_t c : objects_[static_cast<size_t>(object)].clusters) {
-    if (clusters_[static_cast<size_t>(c)].activity == ClusterActivity::kIdle) {
+    if (clusters_[static_cast<size_t>(c)].activity == ClusterActivity::kIdle &&
+        ClusterUp(c)) {
       return c;
     }
   }
@@ -218,10 +256,10 @@ int32_t VdrServer::ClaimDestination(bool for_replication, ObjectId for_object) {
     return std::find(resident.begin(), resident.end(), for_object) !=
            resident.end();
   };
-  // Prefer an idle cluster with spare capacity.
+  // Prefer an idle, in-service cluster with spare capacity.
   for (int32_t c = 0; c < config_.num_clusters; ++c) {
     ClusterState& cs = clusters_[static_cast<size_t>(c)];
-    if (cs.activity == ClusterActivity::kIdle && !holds(c) &&
+    if (cs.activity == ClusterActivity::kIdle && ClusterUp(c) && !holds(c) &&
         static_cast<int32_t>(cs.resident.size()) < config_.objects_per_cluster) {
       return c;
     }
@@ -237,7 +275,9 @@ int32_t VdrServer::ClaimDestination(bool for_replication, ObjectId for_object) {
       std::numeric_limits<int32_t>::max(), 0.0, 0, 0};
   for (int32_t c = 0; c < config_.num_clusters; ++c) {
     ClusterState& cs = clusters_[static_cast<size_t>(c)];
-    if (cs.activity != ClusterActivity::kIdle || holds(c)) continue;
+    if (cs.activity != ClusterActivity::kIdle || !ClusterUp(c) || holds(c)) {
+      continue;
+    }
     for (ObjectId o : cs.resident) {
       const ObjectState& os = objects_[static_cast<size_t>(o)];
       if (os.waiting > 0) continue;
@@ -297,9 +337,11 @@ void VdrServer::StartDisplay(size_t queue_index, int32_t cluster) {
   --os.waiting;
 
   SetActivity(cluster, ClusterActivity::kDisplay);
-  const SimTime latency = sim_->Now() - p.arrival;
-  metrics_.startup_latency_sec.Add(latency.seconds());
-  if (p.on_started) p.on_started(latency);
+  if (!p.resumed) {
+    const SimTime latency = sim_->Now() - p.arrival;
+    metrics_.startup_latency_sec.Add(latency.seconds());
+    if (p.on_started) p.on_started(latency);
+  }
 
   // Piggyback replication: if demand for the object still outstrips its
   // replicas, multicast this display's cluster read into a destination
@@ -317,35 +359,137 @@ void VdrServer::StartDisplay(size_t queue_index, int32_t cluster) {
     if (copy_dst >= 0) SetActivity(copy_dst, ClusterActivity::kCopyDest);
   }
 
-  sim_->ScheduleAfter(
-      DisplayTime(p.object),
-      [this, cluster, copy_dst, object = p.object,
-       done = std::move(p.on_completed)] {
-        SetActivity(cluster, ClusterActivity::kIdle);
-        if (copy_dst >= 0) {
-          InstallReplica(object, copy_dst);
-          SetActivity(copy_dst, ClusterActivity::kIdle);
-          ++metrics_.replications;
-        }
-        ++metrics_.displays_completed;
-        if (done) done();
-        Dispatch();
-      });
+  ActiveDisplay ad;
+  ad.object = p.object;
+  ad.copy_dst = copy_dst;
+  ad.on_completed = std::move(p.on_completed);
+  ad.completion = sim_->ScheduleAfter(DisplayTime(p.object),
+                                      [this, cluster] {
+                                        CompleteDisplay(cluster);
+                                      });
+  active_displays_[cluster] = std::move(ad);
+}
+
+void VdrServer::CompleteDisplay(int32_t cluster) {
+  auto node = active_displays_.extract(cluster);
+  STAGGER_CHECK(!node.empty()) << "no active display on cluster " << cluster;
+  ActiveDisplay& ad = node.mapped();
+  SetActivity(cluster, ClusterActivity::kIdle);
+  if (ad.copy_dst >= 0) {
+    InstallReplica(ad.object, ad.copy_dst);
+    SetActivity(ad.copy_dst, ClusterActivity::kIdle);
+    ++metrics_.replications;
+  }
+  ++metrics_.displays_completed;
+  if (ad.on_completed) ad.on_completed();
+  Dispatch();
 }
 
 void VdrServer::StartMaterialization(ObjectId object, int32_t dst) {
   SetActivity(dst, ClusterActivity::kMaterializing);
   objects_[static_cast<size_t>(object)].materializing = true;
   ++metrics_.materializations;
+  // An outage bumps the destination's epoch, voiding this landing: the
+  // transfer's bits went to a dead cluster and the object must re-queue.
+  const int64_t epoch = clusters_[static_cast<size_t>(dst)].epoch;
   tertiary_->Enqueue(
       object, ObjectSize(object),
-      [this, dst](ObjectId done) {
-        InstallReplica(done, dst);
+      [this, dst, epoch](ObjectId done) {
         objects_[static_cast<size_t>(done)].materializing = false;
-        SetActivity(dst, ClusterActivity::kIdle);
+        ClusterState& cs = clusters_[static_cast<size_t>(dst)];
+        if (cs.epoch == epoch) {
+          STAGGER_CHECK(cs.activity == ClusterActivity::kMaterializing);
+          InstallReplica(done, dst);
+          SetActivity(dst, ClusterActivity::kIdle);
+        }
         Dispatch();
       },
       /*on_start=*/nullptr);
+}
+
+void VdrServer::OnDiskDown(int32_t disk, bool media_lost) {
+  if (disk < 0) return;
+  const int32_t cluster = disk / config_.cluster_degree;
+  if (cluster >= config_.num_clusters) return;  // spare disk
+  ClusterState& cs = clusters_[static_cast<size_t>(cluster)];
+  ++cs.down_disks;
+  // The first down disk takes the cluster out of service; a later
+  // media-losing failure on an already-down cluster still drops its
+  // replicas (OnClusterDown is idempotent on an idle cluster).
+  if (cs.down_disks == 1 || media_lost) OnClusterDown(cluster, media_lost);
+}
+
+void VdrServer::OnDiskUp(int32_t disk) {
+  if (disk < 0) return;
+  const int32_t cluster = disk / config_.cluster_degree;
+  if (cluster >= config_.num_clusters) return;  // spare disk
+  ClusterState& cs = clusters_[static_cast<size_t>(cluster)];
+  STAGGER_CHECK(cs.down_disks > 0)
+      << "disk-up on cluster " << cluster << " with no disks down";
+  --cs.down_disks;
+  // Back in service: the head of the queue may now be servable.
+  if (cs.down_disks == 0) Dispatch();
+}
+
+void VdrServer::OnClusterDown(int32_t cluster, bool media_lost) {
+  ClusterState& cs = clusters_[static_cast<size_t>(cluster)];
+  ++cs.epoch;
+  switch (cs.activity) {
+    case ClusterActivity::kDisplay: {
+      // Fail over: cut the display short and re-queue it at the head so
+      // the next dispatch lands it on a surviving replica (or starts a
+      // fresh materialization if this was the last copy).
+      auto node = active_displays_.extract(cluster);
+      STAGGER_CHECK(!node.empty())
+          << "display cluster " << cluster << " has no active record";
+      ActiveDisplay& ad = node.mapped();
+      sim_->Cancel(ad.completion);
+      if (ad.copy_dst >= 0) {
+        SetActivity(ad.copy_dst, ClusterActivity::kIdle);
+        ++metrics_.replications_aborted;
+      }
+      SetActivity(cluster, ClusterActivity::kIdle);
+      ++metrics_.displays_interrupted;
+      ++metrics_.failovers;
+      Pending retry;
+      retry.object = ad.object;
+      retry.arrival = sim_->Now();
+      retry.on_completed = std::move(ad.on_completed);
+      retry.resumed = true;
+      ++objects_[static_cast<size_t>(ad.object)].waiting;
+      queue_.push_front(std::move(retry));
+      break;
+    }
+    case ClusterActivity::kCopyDest: {
+      // Abort the inbound copy; the source display is unaffected.
+      for (auto& [src, ad] : active_displays_) {
+        if (ad.copy_dst == cluster) {
+          ad.copy_dst = -1;
+          break;
+        }
+      }
+      SetActivity(cluster, ClusterActivity::kIdle);
+      ++metrics_.replications_aborted;
+      break;
+    }
+    case ClusterActivity::kMaterializing:
+      // The in-flight tertiary landing is voided by the epoch bump; its
+      // completion callback re-dispatches the still-waiting request.
+      SetActivity(cluster, ClusterActivity::kIdle);
+      break;
+    case ClusterActivity::kCopySource:
+    case ClusterActivity::kIdle:
+      break;
+  }
+  if (media_lost) {
+    for (ObjectId o : cs.resident) {
+      auto& owners = objects_[static_cast<size_t>(o)].clusters;
+      owners.erase(std::find(owners.begin(), owners.end(), cluster));
+      ++metrics_.replicas_lost;
+    }
+    cs.resident.clear();
+  }
+  Dispatch();
 }
 
 int32_t VdrServer::ResidentObjectCount() const {

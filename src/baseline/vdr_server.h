@@ -21,6 +21,7 @@
 
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -73,6 +74,16 @@ struct VdrMetrics {
   int64_t replications = 0;
   int64_t materializations = 0;
   int64_t evictions = 0;
+  // --- fault handling (src/fault/) -------------------------------------
+  /// Displays cut short by a cluster outage (each is also re-queued,
+  /// so it is not lost unless its station gives up).
+  int64_t displays_interrupted = 0;
+  /// Interrupted displays re-queued onto the surviving replica set.
+  int64_t failovers = 0;
+  /// Resident replicas dropped because their cluster lost media.
+  int64_t replicas_lost = 0;
+  /// Piggyback copies aborted by a destination-cluster outage.
+  int64_t replications_aborted = 0;
   StreamingStats startup_latency_sec;
   TimeWeighted queue_length;
 };
@@ -89,7 +100,25 @@ class VdrServer : public MediaService {
                                                    const VdrConfig& config);
 
   Status RequestDisplay(ObjectId object, StartedFn on_started,
-                        CompletedFn on_completed) override;
+                        CompletedFn on_completed,
+                        InterruptedFn on_interrupted = nullptr) override;
+
+  /// \name Fault wiring (FaultInjector listeners)
+  /// Disks map onto clusters by index: cluster = disk / M; disks beyond
+  /// R * M are spares and are ignored.  A cluster with any disk down is
+  /// out of service — its in-flight display fails over to another
+  /// replica (re-queued at the head of the queue), an inbound copy or
+  /// materialization landing is aborted, and, when the outage lost
+  /// media (`media_lost`), its resident replicas are dropped.
+  /// @{
+  void OnDiskDown(int32_t disk, bool media_lost);
+  void OnDiskUp(int32_t disk);
+  /// @}
+
+  /// True when every disk of `cluster` is in service.
+  bool ClusterUp(int32_t cluster) const {
+    return clusters_[static_cast<size_t>(cluster)].down_disks == 0;
+  }
 
   const VdrMetrics& metrics() const { return metrics_; }
   const VdrConfig& config() const { return config_; }
@@ -118,6 +147,12 @@ class VdrServer : public MediaService {
     std::vector<ObjectId> resident;
     SimTime busy_since;
     SimTime busy_total;
+    /// Disks of this cluster currently failed or stalled; the cluster
+    /// serves displays only at zero (all M disks must stream).
+    int32_t down_disks = 0;
+    /// Bumped on every outage; voids stale completion callbacks (a
+    /// tertiary landing scheduled before the outage must not install).
+    int64_t epoch = 0;
   };
   struct ObjectState {
     std::vector<int32_t> clusters;  ///< replica locations
@@ -131,6 +166,17 @@ class VdrServer : public MediaService {
     SimTime arrival;
     StartedFn on_started;
     CompletedFn on_completed;
+    /// True when this entry re-queues a display interrupted by a
+    /// cluster outage; on_started and the startup-latency sample fired
+    /// at the original start and must not repeat.
+    bool resumed = false;
+  };
+  /// In-flight display on one cluster, interruptible by an outage.
+  struct ActiveDisplay {
+    ObjectId object = kInvalidObject;
+    int32_t copy_dst = -1;  ///< piggyback destination, or -1
+    CompletedFn on_completed;
+    EventHandle completion;
   };
 
   VdrServer(Simulator* sim, const Catalog* catalog, MaterializationService* tertiary,
@@ -151,7 +197,9 @@ class VdrServer : public MediaService {
   int32_t ClaimDestination(bool for_replication,
                            ObjectId for_object = kInvalidObject);
   void StartDisplay(size_t queue_index, int32_t cluster);
+  void CompleteDisplay(int32_t cluster);
   void StartMaterialization(ObjectId object, int32_t dst);
+  void OnClusterDown(int32_t cluster, bool media_lost);
   void SetActivity(int32_t cluster, ClusterActivity activity);
   void InstallReplica(ObjectId object, int32_t cluster);
   SimTime DisplayTime(ObjectId object) const;
@@ -164,6 +212,8 @@ class VdrServer : public MediaService {
   std::vector<ClusterState> clusters_;
   std::vector<ObjectState> objects_;
   std::deque<Pending> queue_;
+  /// Keyed by the cluster running the display.
+  std::unordered_map<int32_t, ActiveDisplay> active_displays_;
   VdrMetrics metrics_;
   bool dispatching_ = false;
 };

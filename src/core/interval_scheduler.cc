@@ -17,6 +17,13 @@ Result<std::unique_ptr<IntervalScheduler>> IntervalScheduler::Create(
   if (config.fragmented_lookahead < 0) {
     return Status::InvalidArgument("fragmented lookahead must be >= 0");
   }
+  if (config.retry_backoff_intervals < 1) {
+    return Status::InvalidArgument("retry backoff must be >= 1 interval");
+  }
+  if (config.max_retry_backoff_intervals < config.retry_backoff_intervals) {
+    return Status::InvalidArgument(
+        "max retry backoff must be >= the initial backoff");
+  }
   STAGGER_ASSIGN_OR_RETURN(VirtualDiskFrame frame,
                            VirtualDiskFrame::Create(disks->num_disks(),
                                                     config.stride));
@@ -60,10 +67,22 @@ Status IntervalScheduler::Cancel(RequestId id) {
     return Status::NotFound("unknown request " + std::to_string(id));
   }
   if (it->second == kNoStream) {
+    bool dequeued = false;
     for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
       if (qit->id == id) {
         queue_.erase(qit);
+        dequeued = true;
         break;
+      }
+    }
+    if (!dequeued) {
+      // A handle mapped to kNoStream but absent from the queue is a
+      // stream parked by the degraded policy.
+      for (auto pit = paused_.begin(); pit != paused_.end(); ++pit) {
+        if (pit->id == id) {
+          paused_.erase(pit);
+          break;
+        }
       }
     }
   } else {
@@ -89,6 +108,7 @@ Result<RequestId> IntervalScheduler::Seek(RequestId id, int32_t new_start_disk,
   req.num_subobjects = new_num_subobjects;
   req.on_started = sit->second.on_started;
   req.on_completed = sit->second.on_completed;
+  req.on_interrupted = sit->second.on_interrupted;
 
   FinishStream(it->second, /*completed=*/false);
   request_to_stream_.erase(it);
@@ -102,6 +122,7 @@ int32_t IntervalScheduler::idle_virtual_disks() const {
 
 void IntervalScheduler::Tick(int64_t tick_index) {
   interval_index_ = tick_index;
+  RetryPaused();
   TryAdmissions();
   AdvanceStreams();
   UpdateIntervalStats();
@@ -110,6 +131,10 @@ void IntervalScheduler::Tick(int64_t tick_index) {
   // buffer accounting, and non-underflow (see core/invariants.h).
   STAGGER_CHECK_OK(InvariantAuditor::AuditScheduler(*this));
 #endif
+  // Interval close-out runs after the audit so the degraded-state rules
+  // can inspect this interval's busy flags (a failed disk carries zero
+  // load).
+  disks_->EndInterval();
 }
 
 void IntervalScheduler::TryAdmissions() {
@@ -145,6 +170,16 @@ bool IntervalScheduler::TryAdmitContiguous(const Pending& p) {
         PositiveMod(static_cast<int64_t>(v0) + j, frame_.num_disks()));
     if (vdisk_owner_[static_cast<size_t>(v)] != kNoStream) return false;
   }
+  if (config_.degraded_policy != DegradedPolicy::kNone) {
+    // The stream reads its first stripe immediately — refuse to start a
+    // display whose first reads land on unavailable disks (it would
+    // pause on its very first interval).
+    for (int32_t j = 0; j < m; ++j) {
+      const int32_t physical = static_cast<int32_t>(PositiveMod(
+          static_cast<int64_t>(p.req.start_disk) + j, frame_.num_disks()));
+      if (!disks_->IsAvailable(physical)) return false;
+    }
+  }
   std::vector<FragmentLane> lanes(static_cast<size_t>(m));
   for (int32_t j = 0; j < m; ++j) {
     lanes[static_cast<size_t>(j)].vdisk = static_cast<int32_t>(
@@ -166,6 +201,12 @@ bool IntervalScheduler::TryAdmitFragmented(const Pending& p) {
   for (int32_t j = 0; j < m; ++j) {
     const int32_t target = static_cast<int32_t>(
         PositiveMod(static_cast<int64_t>(p.req.start_disk) + j, d));
+    // A lane with alignment delay zero reads `target` this interval;
+    // skip such candidates while the disk is down (later-aligned lanes
+    // are still fine — health at their read time is unknowable).
+    const bool target_down =
+        config_.degraded_policy != DegradedPolicy::kNone &&
+        !disks_->IsAvailable(target);
     int32_t best_v = -1;
     int64_t best_delta = config_.fragmented_lookahead + 1;
     for (int32_t v = 0; v < d; ++v) {
@@ -175,6 +216,7 @@ bool IntervalScheduler::TryAdmitFragmented(const Pending& p) {
       }
       auto delta = frame_.AlignmentDelay(v, target, interval_index_);
       if (!delta.has_value()) continue;
+      if (target_down && *delta == 0) continue;
       if (*delta < best_delta) {
         best_delta = *delta;
         best_v = v;
@@ -215,14 +257,17 @@ void IntervalScheduler::AdmitStream(const Pending& p,
   s.lanes = std::move(lanes);
   s.fragmented = fragmented;
   s.buffer_reserved = buffer_frags;
+  s.resumed_mid_display = p.started;
   s.on_completed = p.req.on_completed;
   s.on_started = p.req.on_started;
+  s.on_interrupted = p.req.on_interrupted;
 
   for (const FragmentLane& lane : s.lanes) {
     STAGGER_DCHECK(vdisk_owner_[static_cast<size_t>(lane.vdisk)] == kNoStream);
     vdisk_owner_[static_cast<size_t>(lane.vdisk)] = s.id;
   }
-  ++metrics_.displays_admitted;
+  // A resumed stream continues a display counted at first admission.
+  if (!p.resumed) ++metrics_.displays_admitted;
   if (fragmented) ++metrics_.fragmented_admissions;
   request_to_stream_[p.id] = s.id;
   streams_.emplace(s.id, std::move(s));
@@ -235,7 +280,28 @@ void IntervalScheduler::AdvanceStreams() {
   for (const auto& [id, s] : streams_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
 
+  // Physical disks some active lane is due to read this interval.  A
+  // degraded remap may only borrow a disk no stream is about to use, or
+  // a later stream's read would find its disk already reserved.  (A
+  // coalescing migration either keeps the same read target this
+  // interval or postpones the read, so the precomputed set stays sound.)
+  const bool degraded = config_.degraded_policy != DegradedPolicy::kNone;
+  std::vector<bool> claimed;
+  if (degraded) {
+    claimed.assign(static_cast<size_t>(frame_.num_disks()), false);
+    for (const auto& [id, s] : streams_) {
+      const int64_t tau = s.Tau(interval_index_);
+      for (const FragmentLane& lane : s.lanes) {
+        if (lane.released || lane.reads_done >= s.num_subobjects) continue;
+        if (tau < lane.next_read_tau) continue;
+        claimed[static_cast<size_t>(
+            frame_.PhysicalOf(lane.vdisk, interval_index_))] = true;
+      }
+    }
+  }
+
   std::vector<StreamId> finished;
+  std::vector<StreamId> to_pause;
   for (StreamId id : ids) {
     Stream& s = streams_.at(id);
     const int64_t tau = s.Tau(interval_index_);
@@ -243,6 +309,7 @@ void IntervalScheduler::AdvanceStreams() {
     if (config_.coalesce && s.fragmented) TryCoalesce(&s);
 
     // Reads: each lane reads the next fragment when its disk is aligned.
+    bool pausing = false;
     for (int32_t j = 0; j < s.degree; ++j) {
       FragmentLane& lane = s.lanes[static_cast<size_t>(j)];
       if (lane.released || lane.reads_done >= s.num_subobjects) continue;
@@ -254,14 +321,35 @@ void IntervalScheduler::AdvanceStreams() {
           frame_.num_disks()));
       STAGGER_CHECK(physical == expected)
           << "lane misalignment: stream " << s.id << " fragment " << j;
-      disks_->disk(physical).Reserve();
+      int32_t read_disk = physical;
+      if (degraded && !disks_->IsAvailable(physical)) {
+        read_disk = config_.degraded_policy == DegradedPolicy::kRemapOrPause
+                        ? FindDegradedSubstitute(s, static_cast<size_t>(j),
+                                                 claimed)
+                        : -1;
+        if (read_disk < 0) {
+          pausing = true;
+          break;
+        }
+        claimed[static_cast<size_t>(read_disk)] = true;
+        ++metrics_.degraded_reads;
+      }
+      disks_->disk(read_disk).Reserve();
       if (config_.read_observer) {
         config_.read_observer(interval_index_, s.object, lane.reads_done, j,
-                              physical);
+                              read_disk);
       }
       ++lane.reads_done;
       lane.next_read_tau = tau + 1;
       if (lane.reads_done >= s.num_subobjects) ReleaseLane(&s, j);
+    }
+    if (pausing) {
+      // The stream cannot read its due fragment: park it before the
+      // output clock would record a hiccup.  Reads already issued this
+      // interval are wasted bandwidth, which is the honest cost of the
+      // mid-stripe failure.
+      to_pause.push_back(id);
+      continue;
     }
 
     // Output: subobject `delivered` is transmitted at tau == delta_max +
@@ -274,7 +362,7 @@ void IntervalScheduler::AdvanceStreams() {
         }
       }
       ++s.delivered;
-      if (s.delivered == 1) {
+      if (s.delivered == 1 && !s.resumed_mid_display) {
         const SimTime latency = IntervalStart(interval_index_) - s.arrival_time;
         metrics_.startup_latency_sec.Add(latency.seconds());
         if (s.on_started) s.on_started(latency);
@@ -283,11 +371,107 @@ void IntervalScheduler::AdvanceStreams() {
     }
   }
 
+  for (StreamId id : to_pause) PauseStream(id);
   for (StreamId id : finished) {
     auto it = streams_.find(id);
     if (it == streams_.end()) continue;
     request_to_stream_.erase(it->second.id);
     FinishStream(id, /*completed=*/true);
+  }
+}
+
+int32_t IntervalScheduler::FindDegradedSubstitute(
+    const Stream& s, size_t lane_index,
+    const std::vector<bool>& claimed) const {
+  const int32_t d = frame_.num_disks();
+  const FragmentLane& lane = s.lanes[lane_index];
+  const auto usable = [&](int32_t disk) {
+    return disks_->IsAvailable(disk) && !disks_->disk(disk).busy() &&
+           !claimed[static_cast<size_t>(disk)];
+  };
+  // Surviving disks of the subobject's own stripe first — they hold the
+  // sibling fragments a stripe-level replica reconstructs from — then
+  // any disk with slack this interval.
+  const int64_t base = static_cast<int64_t>(s.start_disk) +
+                       lane.reads_done * config_.stride;
+  for (int32_t j = 0; j < s.degree; ++j) {
+    const int32_t cand = static_cast<int32_t>(PositiveMod(base + j, d));
+    if (usable(cand)) return cand;
+  }
+  for (int32_t cand = 0; cand < d; ++cand) {
+    if (usable(cand)) return cand;
+  }
+  return -1;
+}
+
+void IntervalScheduler::PauseStream(StreamId id) {
+  auto it = streams_.find(id);
+  STAGGER_CHECK(it != streams_.end()) << "unknown stream " << id;
+  Stream& s = it->second;
+  STAGGER_DCHECK(s.delivered < s.num_subobjects);
+
+  PausedStream p;
+  p.id = s.id;
+  p.remainder.object = s.object;
+  p.remainder.degree = s.degree;
+  // Resume from the first undelivered subobject; buffered read-ahead is
+  // dropped (those fragments will be re-read after recovery).
+  p.remainder.start_disk = static_cast<int32_t>(PositiveMod(
+      static_cast<int64_t>(s.start_disk) + s.delivered * config_.stride,
+      frame_.num_disks()));
+  p.remainder.num_subobjects = s.num_subobjects - s.delivered;
+  p.remainder.on_started = std::move(s.on_started);
+  p.remainder.on_completed = std::move(s.on_completed);
+  p.remainder.on_interrupted = std::move(s.on_interrupted);
+  p.arrival = s.arrival_time;
+  p.paused_at = sim_->Now();
+  p.paused_at_interval = interval_index_;
+  p.backoff = config_.retry_backoff_intervals;
+  p.retry_at_interval = interval_index_ + p.backoff;
+  p.resumed_mid_display = s.delivered > 0 || s.resumed_mid_display;
+
+  request_to_stream_[id] = kNoStream;
+  ++metrics_.streams_paused;
+  FinishStream(id, /*completed=*/false);
+  paused_.push_back(std::move(p));
+}
+
+void IntervalScheduler::RetryPaused() {
+  for (auto it = paused_.begin(); it != paused_.end();) {
+    PausedStream& p = *it;
+    if (interval_index_ < p.retry_at_interval) {
+      ++it;
+      continue;
+    }
+    if (config_.max_pause_intervals > 0 &&
+        interval_index_ - p.paused_at_interval > config_.max_pause_intervals) {
+      // Give up: the viewer's display is interrupted for good.  The
+      // owner is told so it can release per-display state (pins) and a
+      // closed-loop station is not left waiting forever.
+      request_to_stream_.erase(p.id);
+      ++metrics_.displays_interrupted;
+      ++metrics_.displays_cancelled;
+      auto on_interrupted = std::move(p.remainder.on_interrupted);
+      it = paused_.erase(it);
+      if (on_interrupted) on_interrupted();
+      continue;
+    }
+    Pending pending;
+    pending.id = p.id;
+    pending.req = p.remainder;
+    pending.arrival = p.arrival;
+    pending.resumed = true;
+    pending.started = p.resumed_mid_display;
+    if (TryAdmit(pending)) {
+      ++metrics_.streams_resumed;
+      metrics_.resume_latency_sec.Add((sim_->Now() - p.paused_at).seconds());
+      it = paused_.erase(it);
+    } else {
+      p.backoff =
+          std::min(p.backoff * 2, config_.max_retry_backoff_intervals);
+      p.retry_at_interval = interval_index_ + p.backoff;
+      ++it;
+    }
   }
 }
 
@@ -412,7 +596,6 @@ void IntervalScheduler::UpdateIntervalStats() {
   metrics_.buffered_fragments.Set(now, static_cast<double>(buffered));
   metrics_.peak_buffered_fragments =
       std::max(metrics_.peak_buffered_fragments, buffered);
-  disks_->EndInterval();
 }
 
 }  // namespace stagger

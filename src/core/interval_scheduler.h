@@ -43,6 +43,24 @@ enum class AdmissionPolicy {
   kFragmented,   ///< + Algorithm 1 (buffered, non-adjacent admission)
 };
 
+/// \brief How the scheduler reacts when a lane's read lands on a failed
+/// or stalled disk (fault subsystem, src/fault/).
+enum class DegradedPolicy {
+  /// Ignore disk health entirely (the paper's all-healthy assumption);
+  /// a read on an unavailable disk is a fatal contract violation.
+  kNone,
+  /// Pause the affected stream and re-admit it with bounded exponential
+  /// backoff; a stream paused longer than `max_pause_intervals` is
+  /// cancelled as an interrupted display.
+  kPause,
+  /// First try to remap the lost fragment's bandwidth onto a surviving
+  /// disk with slack this interval — the subobject's own stripe disks
+  /// first, then any idle disk (modeling reconstruction from a
+  /// stripe-level replica) — and fall back to pause-and-retry when no
+  /// slack exists.
+  kRemapOrPause,
+};
+
 /// \brief Counters and distributions reported by the scheduler.
 struct SchedulerMetrics {
   int64_t displays_requested = 0;
@@ -54,6 +72,18 @@ struct SchedulerMetrics {
   /// Output intervals where a lane had not yet read the due fragment.
   /// Zero by construction; a non-zero value indicates a scheduler bug.
   int64_t hiccups = 0;
+  // --- degraded-mode counters (DegradedPolicy) -------------------------
+  /// Fragment reads remapped onto a surviving disk with slack.
+  int64_t degraded_reads = 0;
+  /// Streams paused because a read hit an unavailable disk with no slack.
+  int64_t streams_paused = 0;
+  /// Paused streams successfully re-admitted.
+  int64_t streams_resumed = 0;
+  /// Paused streams cancelled after exceeding `max_pause_intervals`
+  /// (also counted in displays_cancelled).
+  int64_t displays_interrupted = 0;
+  /// Seconds from pause to successful re-admission.
+  StreamingStats resume_latency_sec;
   /// Seconds from request arrival to first delivered subobject.
   StreamingStats startup_latency_sec;
   /// Pending-queue length sampled every interval (time-weighted).
@@ -77,6 +107,15 @@ struct SchedulerConfig {
   /// Requests behind a blocked head may be admitted (Figure 3's "idle
   /// time intervals would be used to service the new request").
   bool allow_backfill = true;
+  /// Reaction to reads landing on failed/stalled disks (src/fault/).
+  DegradedPolicy degraded_policy = DegradedPolicy::kRemapOrPause;
+  /// First re-admission attempt this many intervals after a pause.
+  int64_t retry_backoff_intervals = 1;
+  /// Backoff doubles after each failed retry, capped here.
+  int64_t max_retry_backoff_intervals = 64;
+  /// A stream paused longer than this is cancelled as an interrupted
+  /// display; <= 0 means never (retry forever).
+  int64_t max_pause_intervals = 4096;
   /// Optional observer invoked for every fragment read:
   /// (interval, object, subobject, fragment, physical disk).  Used by
   /// ScheduleTracer to render Figure 3-style schedules.
@@ -97,6 +136,9 @@ struct DisplayRequest {
   std::function<void(SimTime)> on_started;
   /// Invoked when the last subobject is delivered.
   std::function<void()> on_completed;
+  /// Invoked when the degraded-mode policy abandons the display (pause
+  /// past max_pause_intervals); never fires for a user-initiated Cancel.
+  std::function<void()> on_interrupted;
 };
 
 /// \brief Interval-synchronous scheduler for staggered striping.
@@ -134,6 +176,8 @@ class IntervalScheduler {
   int64_t current_interval() const { return interval_index_; }
   size_t pending_requests() const { return queue_.size(); }
   size_t active_streams() const { return streams_.size(); }
+  /// Streams parked by the degraded-mode policy, awaiting re-admission.
+  size_t paused_streams() const { return paused_.size(); }
   int32_t idle_virtual_disks() const;
 
   /// Interval-start wall time of interval index `t`.
@@ -148,6 +192,28 @@ class IntervalScheduler {
     RequestId id;
     DisplayRequest req;
     SimTime arrival;
+    /// True when this entry re-admits a stream paused by the degraded
+    /// policy; suppresses the displays_admitted increment (the display
+    /// was counted at its first admission).
+    bool resumed = false;
+    /// True when the display had delivered subobjects before pausing;
+    /// suppresses the duplicate on_started / startup-latency sample.
+    bool started = false;
+  };
+
+  /// A stream parked by the degraded-mode policy: its lanes are torn
+  /// down and the undelivered remainder waits for re-admission.
+  struct PausedStream {
+    RequestId id;
+    DisplayRequest remainder;  ///< undelivered tail of the display
+    SimTime arrival;           ///< original request arrival
+    SimTime paused_at;
+    int64_t paused_at_interval = 0;
+    int64_t retry_at_interval = 0;  ///< next re-admission attempt
+    int64_t backoff = 1;            ///< current backoff (intervals)
+    /// True when the display had already delivered subobjects, i.e. the
+    /// viewer saw an interruption.
+    bool resumed_mid_display = false;
   };
 
   IntervalScheduler(Simulator* sim, DiskArray* disks, SchedulerConfig config,
@@ -166,6 +232,18 @@ class IntervalScheduler {
   void ReleaseLane(Stream* s, int32_t lane_index);
   void FinishStream(StreamId id, bool completed);
   void UpdateIntervalStats();
+  // --- degraded mode ---------------------------------------------------
+  /// Re-admits paused streams whose backoff expired; cancels those past
+  /// `max_pause_intervals`.  Runs before fresh admissions so resumed
+  /// displays have priority.
+  void RetryPaused();
+  /// Tears down an active stream and parks its undelivered remainder.
+  void PauseStream(StreamId id);
+  /// Physical disk with slack to absorb lane `lane_index`'s read this
+  /// interval, or -1.  `claimed` marks disks some active lane is due to
+  /// read this interval (whether or not already reserved).
+  int32_t FindDegradedSubstitute(const Stream& s, size_t lane_index,
+                                 const std::vector<bool>& claimed) const;
 
   Simulator* sim_;
   DiskArray* disks_;
@@ -178,6 +256,7 @@ class IntervalScheduler {
   std::vector<StreamId> vdisk_owner_;
   std::unordered_map<StreamId, Stream> streams_;
   std::deque<Pending> queue_;
+  std::deque<PausedStream> paused_;
   RequestId next_request_id_ = 1;
   /// Maps live request handles to their stream (or kNoStream if queued).
   std::unordered_map<RequestId, StreamId> request_to_stream_;

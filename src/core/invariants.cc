@@ -369,6 +369,45 @@ Status InvariantAuditor::AuditScheduler(const IntervalScheduler& s) {
   // delivered a subobject whose fragments were not all read in time.
   STAGGER_AUDIT_VERIFY(s.metrics_.hiccups == 0)
       << "; " << s.metrics_.hiccups << " display hiccups recorded";
+
+  // --- degraded-state rules (fault subsystem, src/fault/) --------------
+  // A failed or stalled disk carries zero load: no read this interval
+  // may have been placed on it.  (The audit runs before the interval
+  // close-out clears the busy flags.)
+  for (DiskId disk = 0; disk < s.disks_->num_disks(); ++disk) {
+    const Disk& drive = s.disks_->disk(disk);
+    STAGGER_AUDIT_VERIFY(drive.available() || !drive.busy())
+        << "; disk " << disk << " is "
+        << (drive.health() == DiskHealth::kFailed ? "failed" : "stalled")
+        << " yet carries load this interval";
+  }
+
+  // No double-scheduling: each live request handle is in exactly one of
+  // the pending queue, the paused set, or the active stream table.
+  std::set<RequestId> scheduled;
+  for (const auto& pending : s.queue_) {
+    STAGGER_AUDIT_VERIFY(scheduled.insert(pending.id).second)
+        << "; request " << pending.id << " queued twice";
+  }
+  for (const auto& paused : s.paused_) {
+    STAGGER_AUDIT_VERIFY(scheduled.insert(paused.id).second)
+        << "; paused request " << paused.id
+        << " is also queued or paused twice";
+    auto rit = s.request_to_stream_.find(paused.id);
+    STAGGER_AUDIT_VERIFY(rit != s.request_to_stream_.end() &&
+                         rit->second == kNoStream)
+        << "; paused request " << paused.id
+        << " still maps to an active stream";
+    STAGGER_AUDIT_VERIFY(paused.remainder.num_subobjects >= 1)
+        << "; paused request " << paused.id << " has an empty remainder";
+    STAGGER_AUDIT_VERIFY(paused.backoff >= 1 &&
+                         paused.retry_at_interval > paused.paused_at_interval)
+        << "; paused request " << paused.id << " has a degenerate backoff";
+  }
+  for (const auto& [id, stream] : s.streams_) {
+    STAGGER_AUDIT_VERIFY(scheduled.insert(id).second)
+        << "; active stream " << id << " is also queued or paused";
+  }
   return Status::OK();
 }
 

@@ -53,11 +53,17 @@ struct Stream {
   int64_t delivered = 0;
   /// True when admitted over non-adjacent disks (buffers in use).
   bool fragmented = false;
+  /// True when this stream resumes a display that had already delivered
+  /// subobjects before a degraded-mode pause; on_started and the
+  /// startup-latency sample fired at the original start and must not
+  /// repeat.
+  bool resumed_mid_display = false;
   /// Fragments currently reserved in the buffer pool by this stream.
   int64_t buffer_reserved = 0;
 
   std::function<void()> on_completed;
   std::function<void(SimTime)> on_started;
+  std::function<void()> on_interrupted;
 
   /// Local time for global interval `t`.
   int64_t Tau(int64_t t) const { return t - admit_interval; }

@@ -24,14 +24,25 @@ void Disk::FreeStorage(int64_t cylinders) {
       << "disk " << id_ << ": freed more storage than allocated";
 }
 
+void Disk::Fail() { health_ = DiskHealth::kFailed; }
+
+void Disk::Stall() {
+  if (health_ == DiskHealth::kHealthy) health_ = DiskHealth::kStalled;
+}
+
+void Disk::Recover() { health_ = DiskHealth::kHealthy; }
+
 void Disk::Reserve() {
   STAGGER_CHECK(!busy_) << "disk " << id_ << " reserved twice in one interval";
+  STAGGER_CHECK(available())
+      << "disk " << id_ << " reserved while failed or stalled";
   busy_ = true;
 }
 
 void Disk::EndInterval() {
   ++total_intervals_;
   if (busy_) ++busy_intervals_;
+  if (!available()) ++down_intervals_;
   busy_ = false;
 }
 

@@ -15,6 +15,19 @@ namespace stagger {
 /// Index of a physical disk in the array, 0-based.
 using DiskId = int32_t;
 
+/// \brief Health of one drive (fault-injection subsystem, src/fault/).
+///
+/// A failed disk has lost its media: reads are rejected until an
+/// operator-level Recover() (replacement + rebuild).  A stalled disk
+/// keeps its data but blows its T_switch budget — any read issued
+/// during the stall misses its interval deadline, so the scheduler must
+/// treat it exactly like a failure for the stall's duration.
+enum class DiskHealth {
+  kHealthy,
+  kFailed,
+  kStalled,
+};
+
 /// \brief One simulated drive.
 ///
 /// Storage is allocated in whole cylinders (the fragment granularity of
@@ -40,10 +53,27 @@ class Disk {
   /// Returns previously allocated storage.
   void FreeStorage(int64_t cylinders);
 
+  // --- health (fault injection) ----------------------------------------
+  DiskHealth health() const { return health_; }
+  /// True when the drive can serve reads this interval.
+  bool available() const { return health_ == DiskHealth::kHealthy; }
+  /// Media loss: the drive rejects reads until Recover().  Idempotent;
+  /// failing a stalled disk escalates the stall to a failure.
+  void Fail();
+  /// Transient stall (thermal recalibration, firmware hiccup): reads
+  /// miss their deadline until Recover().  A no-op on a failed disk —
+  /// a stall cannot downgrade a failure.
+  void Stall();
+  /// Restores the drive to healthy from either degraded state.
+  void Recover();
+  /// Intervals elapsed while the disk was failed or stalled.
+  int64_t down_intervals() const { return down_intervals_; }
+
   // --- per-interval bandwidth ------------------------------------------
   bool busy() const { return busy_; }
   /// Marks the disk busy for the current interval.
-  /// Precondition: currently idle.
+  /// Preconditions: currently idle, and available() — the scheduler
+  /// must never place load on a failed or stalled disk.
   void Reserve();
   /// Clears the busy flag at an interval boundary and accounts the
   /// elapsed interval for utilization.
@@ -63,9 +93,11 @@ class Disk {
   DiskId id_;
   int64_t free_cylinders_;
   int64_t total_cylinders_;
+  DiskHealth health_ = DiskHealth::kHealthy;
   bool busy_ = false;
   int64_t busy_intervals_ = 0;
   int64_t total_intervals_ = 0;
+  int64_t down_intervals_ = 0;
 };
 
 }  // namespace stagger

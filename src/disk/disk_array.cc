@@ -39,6 +39,14 @@ int32_t DiskArray::IdleCount() const {
   return idle;
 }
 
+int32_t DiskArray::AvailableCount() const {
+  int32_t available = 0;
+  for (const Disk& d : disks_) {
+    if (d.available()) ++available;
+  }
+  return available;
+}
+
 void DiskArray::EndInterval() {
   for (Disk& d : disks_) d.EndInterval();
 }

@@ -43,6 +43,16 @@ class DiskArray {
   /// Number of idle disks this interval.
   int32_t IdleCount() const;
 
+  // --- health (fault injection, src/fault/) -----------------------------
+  bool IsAvailable(DiskId id) const { return disk(id).available(); }
+  void FailDisk(DiskId id) { disk(id).Fail(); }
+  void StallDisk(DiskId id) { disk(id).Stall(); }
+  void RecoverDisk(DiskId id) { disk(id).Recover(); }
+  /// Disks currently able to serve reads.
+  int32_t AvailableCount() const;
+  /// Disks currently failed or stalled.
+  int32_t UnavailableCount() const { return num_disks() - AvailableCount(); }
+
   /// Ends the current interval on every disk (clears busy flags and
   /// accumulates utilization counters).
   void EndInterval();

@@ -1,0 +1,76 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace stagger {
+
+Result<std::unique_ptr<FaultInjector>> FaultInjector::Create(Simulator* sim,
+                                                             DiskArray* disks,
+                                                             FaultPlan plan) {
+  STAGGER_RETURN_NOT_OK(plan.Validate(disks->num_disks()));
+  for (const FaultEvent& e : plan.events()) {
+    if (e.at < sim->Now()) {
+      return Status::FailedPrecondition(
+          "fault plan event at " + e.at.ToString() +
+          " is in the simulated past; attach the injector before running");
+    }
+  }
+  return std::unique_ptr<FaultInjector>(
+      new FaultInjector(sim, disks, std::move(plan)));
+}
+
+FaultInjector::FaultInjector(Simulator* sim, DiskArray* disks, FaultPlan plan)
+    : sim_(sim), disks_(disks), plan_(std::move(plan)) {
+  ScheduleAll();
+}
+
+void FaultInjector::ScheduleAll() {
+  for (const FaultEvent& e : plan_.Sorted()) {
+    sim_->ScheduleAt(e.at, [this, e] { Apply(e); }, kFaultEventPriority);
+    if (e.kind == FaultKind::kStall) {
+      sim_->ScheduleAt(e.at + e.duration,
+                       [this, disk = e.disk] { EndStall(disk); },
+                       kFaultEventPriority);
+    }
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kFail:
+      disks_->FailDisk(event.disk);
+      ++metrics_.failures_injected;
+      Notify(on_down_, event.disk);
+      break;
+    case FaultKind::kStall:
+      disks_->StallDisk(event.disk);
+      ++metrics_.stalls_injected;
+      Notify(on_down_, event.disk);
+      break;
+    case FaultKind::kRecover:
+      disks_->RecoverDisk(event.disk);
+      ++metrics_.recoveries_injected;
+      Notify(on_up_, event.disk);
+      break;
+  }
+}
+
+void FaultInjector::EndStall(DiskId disk) {
+  // Validate() guarantees no fault event lands inside a stall window,
+  // so the disk is still stalled here.
+  STAGGER_CHECK(disks_->disk(disk).health() == DiskHealth::kStalled)
+      << "disk " << disk << " is not stalled at its stall-end event";
+  disks_->RecoverDisk(disk);
+  ++metrics_.recoveries_injected;
+  Notify(on_up_, disk);
+}
+
+void FaultInjector::Notify(const std::vector<Listener>& listeners,
+                           DiskId disk) {
+  const SimTime now = sim_->Now();
+  for (const Listener& fn : listeners) fn(disk, now);
+}
+
+}  // namespace stagger

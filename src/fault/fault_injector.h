@@ -1,0 +1,82 @@
+// Replays a FaultPlan on the event kernel against a live DiskArray.
+//
+// At each plan event the injector flips the target disk's health
+// (disk/disk.h) and notifies registered listeners.  The striped
+// scheduler needs no listener — it consults disk availability every
+// interval — but cluster-structured servers (baseline/vdr_server.h)
+// subscribe to map disk outages onto cluster failovers.
+//
+// Fault events are scheduled at priority kFaultEventPriority (< 0), so
+// a fault landing exactly on an interval boundary is applied *before*
+// that interval's scheduling decisions — deterministically.
+
+#ifndef STAGGER_FAULT_FAULT_INJECTOR_H_
+#define STAGGER_FAULT_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "disk/disk_array.h"
+#include "fault/fault_plan.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+
+namespace stagger {
+
+/// \brief Counters reported by the injector.
+struct FaultInjectorMetrics {
+  int64_t failures_injected = 0;
+  int64_t stalls_injected = 0;
+  int64_t recoveries_injected = 0;  ///< explicit + implicit (stall end)
+};
+
+/// \brief Deterministic fault-plan replayer.
+class FaultInjector {
+ public:
+  /// Scheduling priority of fault events; more negative than any other
+  /// priority in the system so health changes precede same-instant
+  /// scheduler ticks.
+  static constexpr int kFaultEventPriority = -100;
+
+  /// Invoked with the affected disk and the current simulated time.
+  using Listener = std::function<void(DiskId, SimTime)>;
+
+  /// Validates `plan` against `disks` and schedules every event (plus
+  /// the implicit stall recoveries) on `sim`.  All pointees must
+  /// outlive the injector.  Events whose time has already passed are
+  /// rejected, so create the injector before running the simulation.
+  static Result<std::unique_ptr<FaultInjector>> Create(Simulator* sim,
+                                                       DiskArray* disks,
+                                                       FaultPlan plan);
+
+  /// Registers a callback for a disk going down (failure or stall
+  /// start).  Listeners run in registration order.
+  void OnDown(Listener listener) { on_down_.push_back(std::move(listener)); }
+  /// Registers a callback for a disk returning to service.
+  void OnUp(Listener listener) { on_up_.push_back(std::move(listener)); }
+
+  const FaultInjectorMetrics& metrics() const { return metrics_; }
+  const FaultPlan& plan() const { return plan_; }
+  /// Disks currently failed or stalled.
+  int32_t unavailable_disks() const { return disks_->UnavailableCount(); }
+
+ private:
+  FaultInjector(Simulator* sim, DiskArray* disks, FaultPlan plan);
+
+  void ScheduleAll();
+  void Apply(const FaultEvent& event);
+  void EndStall(DiskId disk);
+  void Notify(const std::vector<Listener>& listeners, DiskId disk);
+
+  Simulator* sim_;
+  DiskArray* disks_;
+  FaultPlan plan_;
+  std::vector<Listener> on_down_;
+  std::vector<Listener> on_up_;
+  FaultInjectorMetrics metrics_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_FAULT_FAULT_INJECTOR_H_

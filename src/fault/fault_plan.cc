@@ -1,0 +1,228 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace stagger {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFail: return "fail";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kRecover: return "recover";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::FailAt(DiskId disk, SimTime at) {
+  events_.push_back(FaultEvent{at, FaultKind::kFail, disk, SimTime::Zero()});
+  return *this;
+}
+
+FaultPlan& FaultPlan::StallAt(DiskId disk, SimTime at, SimTime duration) {
+  events_.push_back(FaultEvent{at, FaultKind::kStall, disk, duration});
+  return *this;
+}
+
+FaultPlan& FaultPlan::RecoverAt(DiskId disk, SimTime at) {
+  events_.push_back(FaultEvent{at, FaultKind::kRecover, disk, SimTime::Zero()});
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::Sorted() const {
+  std::vector<FaultEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.disk != b.disk) return a.disk < b.disk;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return sorted;
+}
+
+Status FaultPlan::Validate(int32_t num_disks) const {
+  // Per-disk sweep over the time-sorted events, replaying the health
+  // machine each event would drive.  `stalled_until` tracks the open
+  // stall's implicit recovery.
+  std::map<DiskId, std::vector<FaultEvent>> per_disk;
+  for (const FaultEvent& e : events_) {
+    if (e.disk < 0 || e.disk >= num_disks) {
+      return Status::InvalidArgument(
+          "fault event targets nonexistent disk " + std::to_string(e.disk));
+    }
+    if (e.at < SimTime::Zero()) {
+      return Status::InvalidArgument("fault event time must be >= 0");
+    }
+    if (e.kind == FaultKind::kStall && e.duration <= SimTime::Zero()) {
+      return Status::InvalidArgument("stall duration must be positive");
+    }
+    per_disk[e.disk].push_back(e);
+  }
+
+  for (auto& [disk, seq] : per_disk) {
+    std::stable_sort(seq.begin(), seq.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.at < b.at;
+                     });
+    const std::string who = "disk " + std::to_string(disk);
+    DiskHealth state = DiskHealth::kHealthy;
+    SimTime stalled_until = SimTime::Zero();
+    SimTime last_at = SimTime(-1);
+    for (const FaultEvent& e : seq) {
+      if (e.at == last_at) {
+        return Status::InvalidArgument(
+            who + " has two fault events at the same instant (" +
+            e.at.ToString() + ")");
+      }
+      last_at = e.at;
+      if (state == DiskHealth::kStalled && e.at >= stalled_until) {
+        state = DiskHealth::kHealthy;  // implicit stall recovery
+      }
+      switch (e.kind) {
+        case FaultKind::kFail:
+          if (state != DiskHealth::kHealthy) {
+            return Status::InvalidArgument(
+                who + " fails at " + e.at.ToString() +
+                " while already failed or stalled");
+          }
+          state = DiskHealth::kFailed;
+          break;
+        case FaultKind::kStall:
+          if (state != DiskHealth::kHealthy) {
+            return Status::InvalidArgument(
+                who + " stalls at " + e.at.ToString() +
+                " while already failed or stalled");
+          }
+          state = DiskHealth::kStalled;
+          stalled_until = e.at + e.duration;
+          break;
+        case FaultKind::kRecover:
+          if (state != DiskHealth::kFailed) {
+            return Status::InvalidArgument(
+                who + " recovers at " + e.at.ToString() +
+                " but has no open failure (stalls recover implicitly)");
+          }
+          state = DiskHealth::kHealthy;
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : Sorted()) {
+    os << e.at.micros() << " " << FaultKindName(e.kind) << " " << e.disk;
+    if (e.kind == FaultKind::kStall) os << " " << e.duration.micros();
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const size_t comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // blank or comment-only line
+    }
+    std::istringstream ls(line);
+    int64_t micros = 0;
+    std::string kind;
+    DiskId disk = 0;
+    if (!(ls >> micros >> kind >> disk)) {
+      return Status::InvalidArgument("fault plan line " +
+                                     std::to_string(line_no) + " is malformed");
+    }
+    if (kind == "fail") {
+      plan.FailAt(disk, SimTime::Micros(micros));
+    } else if (kind == "recover") {
+      plan.RecoverAt(disk, SimTime::Micros(micros));
+    } else if (kind == "stall") {
+      int64_t duration = 0;
+      if (!(ls >> duration)) {
+        return Status::InvalidArgument("stall on line " +
+                                       std::to_string(line_no) +
+                                       " is missing its duration");
+      }
+      plan.StallAt(disk, SimTime::Micros(micros), SimTime::Micros(duration));
+    } else {
+      return Status::InvalidArgument("unknown fault kind '" + kind +
+                                     "' on line " + std::to_string(line_no));
+    }
+    std::string extra;
+    if (ls >> extra) {
+      return Status::InvalidArgument("trailing garbage '" + extra +
+                                     "' on line " + std::to_string(line_no));
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+/// True when [start, end] touches no committed window.  Closed-interval
+/// comparison: a recover and the next fault may not share an instant
+/// (Validate rejects same-time events on one disk).
+bool WindowIsFree(const std::vector<std::pair<SimTime, SimTime>>& windows,
+                  SimTime start, SimTime end) {
+  for (const auto& [s, e] : windows) {
+    if (start <= e && s <= end) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Random(Rng* rng, int32_t num_disks, SimTime horizon,
+                            int32_t num_failures, int32_t num_stalls,
+                            SimTime mean_outage, SimTime mean_stall) {
+  STAGGER_CHECK(num_disks >= 1);
+  STAGGER_CHECK(horizon > SimTime::Zero());
+  STAGGER_CHECK(num_failures >= 0 && num_stalls >= 0);
+  FaultPlan plan;
+  // Per-disk unavailability windows already committed, to keep the plan
+  // consistent (Validate-clean) by construction.
+  std::map<DiskId, std::vector<std::pair<SimTime, SimTime>>> windows;
+
+  auto draw = [&](SimTime mean_duration, bool is_failure) {
+    // Bounded re-draws keep generation deterministic and total even on
+    // small, crowded arrays; a draw that cannot be placed is dropped.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto disk =
+          static_cast<DiskId>(rng->NextBounded(static_cast<uint64_t>(num_disks)));
+      const SimTime start = SimTime::Micros(
+          rng->NextInRange(0, horizon.micros() - 1));
+      const SimTime duration = SimTime::Micros(std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 rng->NextExponential(static_cast<double>(mean_duration.micros())))));
+      const SimTime end = start + duration;
+      if (!WindowIsFree(windows[disk], start, end)) continue;
+      windows[disk].emplace_back(start, end);
+      if (is_failure) {
+        plan.FailAt(disk, start);
+        plan.RecoverAt(disk, end);
+      } else {
+        plan.StallAt(disk, start, duration);
+      }
+      return;
+    }
+  };
+
+  for (int32_t i = 0; i < num_failures; ++i) draw(mean_outage, true);
+  for (int32_t i = 0; i < num_stalls; ++i) draw(mean_stall, false);
+  return plan;
+}
+
+}  // namespace stagger

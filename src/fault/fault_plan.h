@@ -1,0 +1,102 @@
+// A deterministic schedule of disk faults.  The paper assumes all D
+// disks stay healthy for the life of a display; the fault subsystem
+// perturbs that assumption reproducibly so degraded-mode scheduling
+// (core/interval_scheduler.h DegradedPolicy, baseline/vdr_server.h
+// failover) can be exercised and regression-tested.
+//
+// A plan is a time-ordered list of events over the disks of one array:
+//   * fail    — media loss; the disk rejects reads until an explicit
+//               recover event (operator replacement + rebuild);
+//   * stall   — transient unavailability for a fixed duration; the disk
+//               keeps its data but blows its T_switch budget, so reads
+//               issued during the stall miss their interval deadline.
+//               Recovery is implicit at `at + duration`;
+//   * recover — restores a failed disk to healthy.
+//
+// Plans serialize to a line-oriented text format (see ToString/Parse
+// and docs/fault_injection.md) so failure scenarios can live in test
+// fixtures and be replayed bit-identically.
+
+#ifndef STAGGER_FAULT_FAULT_PLAN_H_
+#define STAGGER_FAULT_FAULT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "disk/disk.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace stagger {
+
+/// \brief What happens to a disk at a plan event.
+enum class FaultKind {
+  kFail,     ///< media loss until an explicit recover
+  kStall,    ///< transient; implicit recovery after `duration`
+  kRecover,  ///< failed disk returns to service
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// \brief One scheduled fault event.
+struct FaultEvent {
+  SimTime at;
+  FaultKind kind = FaultKind::kFail;
+  DiskId disk = 0;
+  /// Stalls only: the disk recovers at `at + duration`.
+  SimTime duration;
+};
+
+/// \brief A validated, replayable schedule of disk faults.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Builder API; events may be appended in any order — Validate() and
+  // the injector sort by time.
+  FaultPlan& FailAt(DiskId disk, SimTime at);
+  FaultPlan& StallAt(DiskId disk, SimTime at, SimTime duration);
+  FaultPlan& RecoverAt(DiskId disk, SimTime at);
+
+  /// Checks the plan against an array of `num_disks` drives: ids in
+  /// range, times non-negative, stall durations positive, and the
+  /// per-disk event sequence consistent (fail only while healthy,
+  /// recover only while failed, stalls only while healthy and never
+  /// overlapping a failure window or another stall).
+  Status Validate(int32_t num_disks) const;
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Events sorted by (time, disk, kind) — the order the injector
+  /// applies them in.
+  std::vector<FaultEvent> Sorted() const;
+
+  /// Line-oriented text form, one event per line:
+  ///   <micros> fail <disk>
+  ///   <micros> stall <disk> <duration_micros>
+  ///   <micros> recover <disk>
+  /// Lines are emitted in Sorted() order; '#' starts a comment.
+  std::string ToString() const;
+
+  /// Inverse of ToString(); blank lines and '#' comments are skipped.
+  static Result<FaultPlan> Parse(const std::string& text);
+
+  /// Deterministic random plan: `num_failures` fail/recover pairs and
+  /// `num_stalls` stalls, uniformly placed over [0, horizon), with
+  /// exponential outage / stall durations.  Events that would violate
+  /// per-disk consistency (e.g. a second failure inside an open outage)
+  /// are re-drawn, so the result always passes Validate().
+  static FaultPlan Random(Rng* rng, int32_t num_disks, SimTime horizon,
+                          int32_t num_failures, int32_t num_stalls,
+                          SimTime mean_outage, SimTime mean_stall);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_FAULT_FAULT_PLAN_H_

@@ -6,6 +6,7 @@
 
 #include "baseline/vdr_server.h"
 #include "disk/disk_array.h"
+#include "fault/fault_injector.h"
 #include "server/striped_server.h"
 #include "sim/simulator.h"
 #include "storage/catalog.h"
@@ -128,10 +129,30 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     sc.preload_objects = config.preload_objects;
     sc.charge_materialization_writes = config.charge_materialization_writes;
     sc.tertiary_bandwidth = config.tertiary.bandwidth;
+    sc.degraded_policy = config.degraded_policy;
     STAGGER_ASSIGN_OR_RETURN(
         striped,
         StripedServer::Create(&sim, &catalog, &disks, &tertiary, sc));
     service = striped.get();
+  }
+
+  // Fault injection: the striped scheduler reacts through per-interval
+  // disk-health checks; VDR maps disk outages onto cluster failovers
+  // via listeners.  A failure loses the cluster's media, a stall does
+  // not.
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.fault_plan.events().empty()) {
+    STAGGER_ASSIGN_OR_RETURN(
+        injector, FaultInjector::Create(&sim, &disks, config.fault_plan));
+    if (config.scheme == Scheme::kVdr) {
+      VdrServer* v = vdr.get();
+      DiskArray* d = &disks;
+      injector->OnDown([v, d](DiskId disk, SimTime) {
+        v->OnDiskDown(disk,
+                      d->disk(disk).health() == DiskHealth::kFailed);
+      });
+      injector->OnUp([v](DiskId disk, SimTime) { v->OnDiskUp(disk); });
+    }
   }
 
   StationPool stations(&sim, service, &popularity, config.stations,
@@ -158,11 +179,19 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     result.replications = vdr->metrics().replications;
     result.evictions = vdr->metrics().evictions;
     result.resident_objects_end = vdr->ResidentObjectCount();
+    result.displays_interrupted = vdr->metrics().displays_interrupted;
+    result.failovers = vdr->metrics().failovers;
   } else {
     result.disk_utilization = disks.MeanUtilization();
     result.hiccups = striped->scheduler_metrics().hiccups;
     result.evictions = striped->object_manager().evictions();
     result.resident_objects_end = striped->object_manager().ResidentCount();
+    const SchedulerMetrics& sm = striped->scheduler_metrics();
+    result.degraded_reads = sm.degraded_reads;
+    result.streams_paused = sm.streams_paused;
+    result.streams_resumed = sm.streams_resumed;
+    result.displays_interrupted = sm.displays_interrupted;
+    result.mean_resume_latency_sec = sm.resume_latency_sec.mean();
   }
   return result;
 }

@@ -11,6 +11,7 @@
 
 #include "core/interval_scheduler.h"
 #include "disk/disk_parameters.h"
+#include "fault/fault_plan.h"
 #include "tertiary/tertiary_device.h"
 #include "util/result.h"
 #include "util/units.h"
@@ -51,6 +52,12 @@ struct ExperimentConfig {
   bool charge_materialization_writes = false;
   bool enable_replication = true;               ///< VDR only
   int32_t replication_wait_threshold = 1;       ///< VDR only
+
+  // Fault injection (src/fault/); empty plan = all-healthy run.
+  FaultPlan fault_plan;
+  /// Striped schemes' reaction to reads on unavailable disks; for VDR
+  /// the plan is mapped onto cluster failovers instead.
+  DegradedPolicy degraded_policy = DegradedPolicy::kRemapOrPause;
 
   // Workload (Section 4.1).
   int32_t stations = 16;
@@ -93,6 +100,13 @@ struct ExperimentResult {
   int64_t hiccups = 0;              ///< striping only; must be zero
   int64_t unique_objects_referenced = 0;
   int32_t resident_objects_end = 0;
+  // --- degraded-mode outcomes (zero on all-healthy runs) ---------------
+  int64_t degraded_reads = 0;          ///< striping: remapped fragment reads
+  int64_t streams_paused = 0;          ///< striping: pauses forced by faults
+  int64_t streams_resumed = 0;         ///< striping: successful re-admissions
+  int64_t displays_interrupted = 0;    ///< both schemes: displays cut short
+  int64_t failovers = 0;               ///< VDR: displays moved to a replica
+  double mean_resume_latency_sec = 0;  ///< striping: pause -> re-admission
 };
 
 /// Runs one experiment to completion (warmup + measurement).

@@ -23,6 +23,35 @@ Status StripedConfig::Validate() const {
   if (preload_objects < 0) {
     return Status::InvalidArgument("preload count must be >= 0");
   }
+  if (policy == AdmissionPolicy::kFragmented && fragmented_lookahead <= 0) {
+    // Lookahead zero degenerates kFragmented to contiguous admission
+    // while still paying Algorithm 1's bookkeeping; reject the
+    // misconfiguration instead of silently running it.
+    return Status::InvalidArgument(
+        "fragmented admission requires a positive lookahead");
+  }
+  if (coalesce) {
+    if (policy != AdmissionPolicy::kFragmented) {
+      return Status::InvalidArgument(
+          "coalescing (Algorithm 2) requires the fragmented policy");
+    }
+    // A coalescing lane buffers up to delta_max <= lookahead fragments
+    // while it drains; a bounded pool smaller than that can never hold
+    // one migrated lane's lead, so migrations would never be admitted.
+    if (buffer_capacity_fragments > 0 &&
+        buffer_capacity_fragments < fragmented_lookahead) {
+      return Status::InvalidArgument(
+          "coalescing needs a buffer pool of at least one lookahead's "
+          "worth of fragments (or an unlimited pool)");
+    }
+  }
+  if (retry_backoff_intervals < 1) {
+    return Status::InvalidArgument("retry backoff must be >= 1 interval");
+  }
+  if (max_retry_backoff_intervals < retry_backoff_intervals) {
+    return Status::InvalidArgument(
+        "max retry backoff must be >= the initial backoff");
+  }
   return Status::OK();
 }
 
@@ -44,6 +73,11 @@ Result<std::unique_ptr<StripedServer>> StripedServer::Create(
   sched.fragmented_lookahead = config.fragmented_lookahead;
   sched.buffer_capacity_fragments = config.buffer_capacity_fragments;
   sched.allow_backfill = config.allow_backfill;
+  sched.degraded_policy = config.degraded_policy;
+  sched.retry_backoff_intervals = config.retry_backoff_intervals;
+  sched.max_retry_backoff_intervals = config.max_retry_backoff_intervals;
+  sched.max_pause_intervals = config.max_pause_intervals;
+  sched.read_observer = config.read_observer;
   STAGGER_ASSIGN_OR_RETURN(server->scheduler_,
                            IntervalScheduler::Create(sim, disks, sched));
   STAGGER_RETURN_NOT_OK(server->Preload());
@@ -111,7 +145,8 @@ StaggeredLayout StripedServer::MakeLayout(ObjectId object) {
 }
 
 Status StripedServer::RequestDisplay(ObjectId object, StartedFn on_started,
-                                     CompletedFn on_completed) {
+                                     CompletedFn on_completed,
+                                     InterruptedFn on_interrupted) {
   if (!catalog_->Contains(object)) {
     return Status::NotFound("object " + std::to_string(object) +
                             " not in catalog");
@@ -121,12 +156,14 @@ Status StripedServer::RequestDisplay(ObjectId object, StartedFn on_started,
 
   if (objects_->IsResident(object)) {
     ++metrics_.resident_hits;
-    SubmitDisplay(object, std::move(on_started), std::move(on_completed));
+    SubmitDisplay(object, std::move(on_started), std::move(on_completed),
+                  std::move(on_interrupted));
     return Status::OK();
   }
 
-  waiters_[object].push_back(
-      Waiter{std::move(on_started), std::move(on_completed)});
+  waiters_[object].push_back(Waiter{std::move(on_started),
+                                    std::move(on_completed),
+                                    std::move(on_interrupted)});
   if (!materializing_[static_cast<size_t>(object)]) {
     materializing_[static_cast<size_t>(object)] = 1;
     ++metrics_.materializations_started;
@@ -178,7 +215,8 @@ void StripedServer::SubmitWriteStream(ObjectId object) {
 }
 
 void StripedServer::SubmitDisplay(ObjectId object, StartedFn on_started,
-                                  CompletedFn on_completed) {
+                                  CompletedFn on_completed,
+                                  InterruptedFn on_interrupted) {
   const StaggeredLayout& layout = objects_->LayoutOf(object);
   const MediaObject& obj = catalog_->Get(object);
   objects_->Pin(object);
@@ -192,6 +230,13 @@ void StripedServer::SubmitDisplay(ObjectId object, StartedFn on_started,
   req.on_completed = [this, object, done = std::move(on_completed)] {
     objects_->Unpin(object);
     if (done) done();
+    RetryLandings();
+  };
+  // An abandoned display must release its pin too, or the object could
+  // never be evicted and deferred landings would wedge.
+  req.on_interrupted = [this, object, gave_up = std::move(on_interrupted)] {
+    objects_->Unpin(object);
+    if (gave_up) gave_up();
     RetryLandings();
   };
   Result<RequestId> id = scheduler_->Submit(std::move(req));
@@ -222,7 +267,8 @@ void StripedServer::Land(ObjectId object) {
   auto node = waiters_.extract(object);
   if (node.empty()) return;
   for (Waiter& w : node.mapped()) {
-    SubmitDisplay(object, std::move(w.on_started), std::move(w.on_completed));
+    SubmitDisplay(object, std::move(w.on_started), std::move(w.on_completed),
+                  std::move(w.on_interrupted));
   }
 }
 

@@ -15,6 +15,7 @@
 #define STAGGER_SERVER_STRIPED_SERVER_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +56,15 @@ struct StripedConfig {
   bool charge_materialization_writes = false;
   /// B_Tertiary, used to size the write stream when charging.
   Bandwidth tertiary_bandwidth = Bandwidth::Mbps(40);
+  /// Reaction to reads landing on failed or stalled disks (src/fault/);
+  /// forwarded to the scheduler together with the backoff knobs below.
+  DegradedPolicy degraded_policy = DegradedPolicy::kRemapOrPause;
+  int64_t retry_backoff_intervals = 1;
+  int64_t max_retry_backoff_intervals = 64;
+  int64_t max_pause_intervals = 4096;
+  /// Forwarded to SchedulerConfig::read_observer (schedule tracing).
+  std::function<void(int64_t, ObjectId, int64_t, int32_t, int32_t)>
+      read_observer;
 
   Status Validate() const;
 };
@@ -77,7 +87,8 @@ class StripedServer : public MediaService {
       MaterializationService* tertiary, const StripedConfig& config);
 
   Status RequestDisplay(ObjectId object, StartedFn on_started,
-                        CompletedFn on_completed) override;
+                        CompletedFn on_completed,
+                        InterruptedFn on_interrupted = nullptr) override;
 
   /// Full invariant sweep (core/invariants.h): catalog sanity, the
   /// staggered layout of every resident object, and the scheduler's
@@ -98,6 +109,7 @@ class StripedServer : public MediaService {
   struct Waiter {
     StartedFn on_started;
     CompletedFn on_completed;
+    InterruptedFn on_interrupted;
   };
 
   StripedServer(Simulator* sim, const Catalog* catalog, DiskArray* disks,
@@ -111,7 +123,7 @@ class StripedServer : public MediaService {
   /// enqueue so the write stream matches the final placement).
   const StaggeredLayout& PlannedLayout(ObjectId object);
   void SubmitDisplay(ObjectId object, StartedFn on_started,
-                     CompletedFn on_completed);
+                     CompletedFn on_completed, InterruptedFn on_interrupted);
   /// Submits the Section 3.2.4 disk-side write stream.
   void SubmitWriteStream(ObjectId object);
   void OnMaterialized(ObjectId object);

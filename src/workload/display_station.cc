@@ -41,16 +41,27 @@ void StationPool::IssueRequest(int32_t station) {
       [this, station, issued_at] {
         ++metrics_.displays_completed;
         if (issued_at >= window_start_) ++metrics_.displays_completed_in_window;
-        if (mean_think_ <= SimTime::Zero()) {
-          // Closed loop, zero think time: request again immediately.
-          IssueRequest(station);
-        } else {
-          const SimTime think = SimTime::Seconds(
-              rng_.NextExponential(mean_think_.seconds()));
-          sim_->ScheduleAfter(think, [this, station] { IssueRequest(station); });
-        }
+        NextRequest(station);
+      },
+      [this, station] {
+        // The server gave up on this display (degraded-mode
+        // interruption).  The viewer walks away unserved, but the
+        // station stays in the closed loop: count it and move on.
+        ++metrics_.displays_interrupted;
+        NextRequest(station);
       });
   STAGGER_CHECK(st.ok()) << "RequestDisplay failed: " << st.ToString();
+}
+
+void StationPool::NextRequest(int32_t station) {
+  if (mean_think_ <= SimTime::Zero()) {
+    // Closed loop, zero think time: request again immediately.
+    IssueRequest(station);
+  } else {
+    const SimTime think =
+        SimTime::Seconds(rng_.NextExponential(mean_think_.seconds()));
+    sim_->ScheduleAfter(think, [this, station] { IssueRequest(station); });
+  }
 }
 
 }  // namespace stagger

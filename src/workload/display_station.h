@@ -22,6 +22,9 @@ namespace stagger {
 struct WorkloadMetrics {
   int64_t requests_issued = 0;
   int64_t displays_completed = 0;
+  /// Displays the server abandoned mid-stream (degraded-mode give-up);
+  /// the station moves on to its next request without a completion.
+  int64_t displays_interrupted = 0;
   /// Completions with start time inside the measurement window.
   int64_t displays_completed_in_window = 0;
   StreamingStats startup_latency_sec;
@@ -73,6 +76,9 @@ class StationPool {
 
  private:
   void IssueRequest(int32_t station);
+  /// Schedules the station's next request (immediately, or after an
+  /// exponential think time).
+  void NextRequest(int32_t station);
 
   Simulator* sim_;
   MediaService* service_;

@@ -24,13 +24,20 @@ class MediaService {
   using StartedFn = std::function<void(SimTime)>;
   /// Invoked when the display's last subobject is delivered.
   using CompletedFn = std::function<void()>;
+  /// Invoked when the service abandons the display mid-stream (a
+  /// degraded-mode interruption that exhausted its retry budget).
+  /// Exactly one of on_completed / on_interrupted eventually fires for
+  /// an accepted request; a service that never abandons displays simply
+  /// never invokes it.
+  using InterruptedFn = std::function<void()>;
 
   /// Requests one complete display of `object`.  The call returns
   /// immediately; progress is reported through the callbacks.  Errors
   /// (unknown object, invalid state) surface as a non-OK Status and no
   /// callbacks fire.
   virtual Status RequestDisplay(ObjectId object, StartedFn on_started,
-                                CompletedFn on_completed) = 0;
+                                CompletedFn on_completed,
+                                InterruptedFn on_interrupted = nullptr) = 0;
 };
 
 }  // namespace stagger

@@ -1,0 +1,384 @@
+// Degraded-mode behavior: the scheduler's remap / pause / resume
+// machinery and the VDR baseline's cluster failover, driven by the
+// fault subsystem.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "baseline/vdr_server.h"
+#include "core/interval_scheduler.h"
+#include "disk/disk_array.h"
+#include "fault/fault_injector.h"
+#include "sim/simulator.h"
+
+namespace stagger {
+namespace {
+
+constexpr SimTime kInterval = SimTime::Millis(605);
+
+class DegradedSchedulerTest : public ::testing::Test {
+ protected:
+  void Init(int32_t num_disks, int32_t stride, DegradedPolicy policy,
+            int64_t max_pause_intervals = 4096) {
+    auto disks = DiskArray::Create(num_disks, DiskParameters::Evaluation());
+    ASSERT_TRUE(disks.ok());
+    disks_ = std::make_unique<DiskArray>(*std::move(disks));
+    SchedulerConfig config;
+    config.stride = stride;
+    config.interval = kInterval;
+    config.degraded_policy = policy;
+    config.max_pause_intervals = max_pause_intervals;
+    config.read_observer = [this](int64_t interval, ObjectId object,
+                                  int64_t subobject, int32_t fragment,
+                                  int32_t disk) {
+      reads_.emplace_back(interval, object, subobject, fragment, disk);
+    };
+    auto sched = IntervalScheduler::Create(&sim_, disks_.get(), config);
+    ASSERT_TRUE(sched.ok()) << sched.status();
+    sched_ = *std::move(sched);
+  }
+
+  void Inject(const FaultPlan& plan) {
+    auto injector = FaultInjector::Create(&sim_, disks_.get(), plan);
+    ASSERT_TRUE(injector.ok()) << injector.status();
+    injector_ = *std::move(injector);
+  }
+
+  struct Probe {
+    bool started = false;
+    bool completed = false;
+    SimTime latency;
+    SimTime completed_at;
+  };
+
+  RequestId Request(ObjectId object, int32_t start_disk, int32_t degree,
+                    int64_t subobjects, Probe* probe) {
+    DisplayRequest req;
+    req.object = object;
+    req.start_disk = start_disk;
+    req.degree = degree;
+    req.num_subobjects = subobjects;
+    req.on_started = [probe](SimTime latency) {
+      probe->started = true;
+      probe->latency = latency;
+    };
+    req.on_completed = [this, probe] {
+      probe->completed = true;
+      probe->completed_at = sim_.Now();
+    };
+    auto id = sched_->Submit(std::move(req));
+    STAGGER_CHECK(id.ok()) << id.status();
+    return *id;
+  }
+
+  // (interval, object, subobject, fragment, physical disk)
+  using Read = std::tuple<int64_t, ObjectId, int64_t, int32_t, int32_t>;
+
+  Simulator sim_;
+  std::unique_ptr<DiskArray> disks_;
+  std::unique_ptr<IntervalScheduler> sched_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::vector<Read> reads_;
+};
+
+// A single failed disk with idle disks around it: the lost fragment's
+// read is remapped and the display never notices.
+TEST_F(DegradedSchedulerTest, RemapKeepsDisplayOnSchedule) {
+  Init(10, 1, DegradedPolicy::kRemapOrPause);
+  FaultPlan plan;
+  plan.FailAt(5, kInterval * 5).RecoverAt(5, kInterval * 6);
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 3, 20, &probe);
+  sim_.RunUntil(SimTime::Minutes(2));
+
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(probe.completed_at, kInterval * 19);  // no delay at all
+  EXPECT_EQ(sched_->metrics().degraded_reads, 1);
+  EXPECT_EQ(sched_->metrics().streams_paused, 0);
+  EXPECT_EQ(sched_->metrics().hiccups, 0);
+  EXPECT_EQ(sched_->metrics().displays_completed, 1);
+
+  // At interval 5 the stream's stripe is disks {5,6,7}; 6 and 7 are
+  // claimed by its own lanes, so the lost read lands on the lowest idle
+  // disk, 0.
+  bool found = false;
+  for (const Read& r : reads_) {
+    if (std::get<0>(r) == 5 && std::get<3>(r) == 0) {
+      EXPECT_EQ(std::get<4>(r), 0) << "remapped read on wrong disk";
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// A transient stall is treated exactly like a short outage.
+TEST_F(DegradedSchedulerTest, StallRemapsForItsDuration) {
+  Init(10, 1, DegradedPolicy::kRemapOrPause);
+  FaultPlan plan;
+  plan.StallAt(6, kInterval * 5, kInterval * 2);
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 3, 20, &probe);
+  sim_.RunUntil(SimTime::Minutes(2));
+
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(probe.completed_at, kInterval * 19);
+  // Disk 6 is read at intervals 4..6 (lanes 2,1,0); the stall covers
+  // intervals 5 and 6.
+  EXPECT_EQ(sched_->metrics().degraded_reads, 2);
+  EXPECT_EQ(sched_->metrics().streams_paused, 0);
+  EXPECT_EQ(sched_->metrics().hiccups, 0);
+}
+
+// kPause never remaps: the stream parks and resumes with exponential
+// backoff once the disk recovers.
+TEST_F(DegradedSchedulerTest, PauseAndResumeAfterRecovery) {
+  Init(10, 1, DegradedPolicy::kPause);
+  FaultPlan plan;
+  plan.FailAt(5, kInterval * 5).RecoverAt(5, kInterval * 10);
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 3, 20, &probe);
+
+  sim_.RunUntil(kInterval * 5 + SimTime::Millis(1));
+  EXPECT_EQ(sched_->paused_streams(), 1u);
+  EXPECT_EQ(sched_->active_streams(), 0u);
+
+  sim_.RunUntil(SimTime::Minutes(2));
+  // Paused at interval 5 with 5 subobjects delivered; retries at 6 and
+  // 8 fail (disk still down), backoff doubles to 4, the retry at 12
+  // succeeds, and the remaining 15 subobjects run through interval 26.
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(probe.completed_at, kInterval * 26);
+  EXPECT_EQ(sched_->metrics().streams_paused, 1);
+  EXPECT_EQ(sched_->metrics().streams_resumed, 1);
+  EXPECT_EQ(sched_->metrics().displays_admitted, 1);  // counted once
+  EXPECT_EQ(sched_->metrics().displays_interrupted, 0);
+  EXPECT_EQ(sched_->metrics().degraded_reads, 0);
+  EXPECT_EQ(sched_->metrics().hiccups, 0);
+  EXPECT_NEAR(sched_->metrics().resume_latency_sec.mean(),
+              (kInterval * 7).seconds(), 1e-9);
+  // on_started fired exactly once, at the original admission.
+  EXPECT_TRUE(probe.started);
+  EXPECT_EQ(probe.latency, SimTime::Zero());
+}
+
+// A stream paused past max_pause_intervals is cancelled as an
+// interrupted display.
+TEST_F(DegradedSchedulerTest, PausedPastDeadlineIsCancelled) {
+  Init(10, 1, DegradedPolicy::kPause, /*max_pause_intervals=*/3);
+  FaultPlan plan;
+  plan.FailAt(5, kInterval * 5);  // never recovers
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 3, 20, &probe);
+  sim_.RunUntil(SimTime::Minutes(2));
+
+  EXPECT_TRUE(probe.started);
+  EXPECT_FALSE(probe.completed);
+  EXPECT_EQ(sched_->paused_streams(), 0u);
+  EXPECT_EQ(sched_->metrics().streams_paused, 1);
+  EXPECT_EQ(sched_->metrics().streams_resumed, 0);
+  EXPECT_EQ(sched_->metrics().displays_interrupted, 1);
+  EXPECT_EQ(sched_->metrics().displays_cancelled, 1);
+}
+
+// With every disk claimed by the stream itself there is no slack, so
+// kRemapOrPause falls back to pausing.
+TEST_F(DegradedSchedulerTest, RemapFallsBackToPauseWithoutSlack) {
+  Init(3, 1, DegradedPolicy::kRemapOrPause);
+  FaultPlan plan;
+  plan.FailAt(1, kInterval * 2).RecoverAt(1, kInterval * 4);
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 3, 10, &probe);
+  sim_.RunUntil(SimTime::Minutes(2));
+
+  // Paused at interval 2 (2 delivered); retry at 3 fails, backoff 2,
+  // retry at 5 succeeds; the remaining 8 subobjects end at interval 12.
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(probe.completed_at, kInterval * 12);
+  EXPECT_EQ(sched_->metrics().degraded_reads, 0);
+  EXPECT_EQ(sched_->metrics().streams_paused, 1);
+  EXPECT_EQ(sched_->metrics().streams_resumed, 1);
+  EXPECT_EQ(sched_->metrics().hiccups, 0);
+}
+
+// Fresh admissions are availability-gated: a request whose first
+// stripe includes a down disk waits instead of admitting into a pause.
+TEST_F(DegradedSchedulerTest, AdmissionWaitsForDownStripeDisk) {
+  Init(6, 1, DegradedPolicy::kRemapOrPause);
+  FaultPlan plan;
+  plan.FailAt(1, SimTime::Zero()).RecoverAt(1, kInterval * 3);
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 2, 8, &probe);
+
+  sim_.RunUntil(kInterval * 2 + SimTime::Millis(1));
+  EXPECT_FALSE(probe.started);
+  EXPECT_EQ(sched_->pending_requests(), 1u);
+
+  sim_.RunUntil(SimTime::Minutes(1));
+  EXPECT_TRUE(probe.started);
+  EXPECT_EQ(probe.latency, kInterval * 3);
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(probe.completed_at, kInterval * 10);
+  EXPECT_EQ(sched_->metrics().streams_paused, 0);
+}
+
+// ---------------------------------------------------------------------
+// VDR cluster failover.
+// ---------------------------------------------------------------------
+
+class VdrFailoverTest : public ::testing::Test {
+ protected:
+  // Two clusters of five disks, one object of 10 subobjects.
+  void MakeServer(std::vector<int32_t> preload_replicas) {
+    catalog_ = Catalog::Uniform(1, 10, Bandwidth::Mbps(100));
+    TertiaryParameters tp;
+    tp.bandwidth = Bandwidth::Mbps(40);
+    tp.reposition = SimTime::Zero();
+    tertiary_ = std::make_unique<TertiaryManager>(&sim_, TertiaryDevice(tp));
+    VdrConfig config;
+    config.num_clusters = 2;
+    config.cluster_degree = 5;
+    config.interval = kInterval;
+    config.fragment_size = DataSize::MB(1.512);
+    config.enable_replication = false;
+    config.preload_objects = 0;
+    config.objects_per_cluster = 1;
+    config.preload_replicas = std::move(preload_replicas);
+    auto server = VdrServer::Create(&sim_, &catalog_, tertiary_.get(), config);
+    ASSERT_TRUE(server.ok()) << server.status();
+    server_ = *std::move(server);
+  }
+
+  struct Probe {
+    bool started = false;
+    int32_t starts = 0;
+    bool completed = false;
+    SimTime completed_at;
+  };
+
+  void Request(ObjectId object, Probe* probe) {
+    Status st = server_->RequestDisplay(
+        object,
+        [probe](SimTime) {
+          probe->started = true;
+          ++probe->starts;
+        },
+        [this, probe] {
+          probe->completed = true;
+          probe->completed_at = sim_.Now();
+        });
+    ASSERT_TRUE(st.ok()) << st;
+  }
+
+  SimTime DisplayTime() const { return kInterval * 10; }
+
+  Simulator sim_;
+  Catalog catalog_;
+  std::unique_ptr<TertiaryManager> tertiary_;
+  std::unique_ptr<VdrServer> server_;
+};
+
+TEST_F(VdrFailoverTest, DisplayFailsOverToSurvivingReplica) {
+  MakeServer(/*preload_replicas=*/{2});
+  Probe probe;
+  Request(0, &probe);
+  EXPECT_TRUE(probe.started);
+
+  // Lose a disk (and its cluster's media) mid-display.
+  sim_.RunUntil(kInterval * 4);
+  server_->OnDiskDown(0, /*media_lost=*/true);
+  EXPECT_FALSE(server_->ClusterUp(0));
+
+  sim_.RunUntil(kInterval * 4 + DisplayTime() + SimTime::Seconds(1));
+  EXPECT_TRUE(probe.completed);
+  // The display restarted from the surviving replica at the failure
+  // instant and ran a full display time from there.
+  EXPECT_EQ(probe.completed_at, kInterval * 4 + DisplayTime());
+  EXPECT_EQ(probe.starts, 1);  // no duplicate on_started
+  EXPECT_EQ(server_->metrics().displays_interrupted, 1);
+  EXPECT_EQ(server_->metrics().failovers, 1);
+  EXPECT_EQ(server_->metrics().replicas_lost, 1);
+  EXPECT_EQ(server_->metrics().displays_completed, 1);
+
+  server_->OnDiskUp(0);
+  EXPECT_TRUE(server_->ClusterUp(0));
+}
+
+TEST_F(VdrFailoverTest, StallFailsOverWithoutLosingMedia) {
+  MakeServer(/*preload_replicas=*/{2});
+  Probe probe;
+  Request(0, &probe);
+
+  sim_.RunUntil(kInterval * 4);
+  server_->OnDiskDown(0, /*media_lost=*/false);
+  sim_.RunUntil(kInterval * 4 + DisplayTime() + SimTime::Seconds(1));
+
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(server_->metrics().failovers, 1);
+  EXPECT_EQ(server_->metrics().replicas_lost, 0);
+  EXPECT_EQ(server_->ResidentObjectCount(), 1);
+}
+
+TEST_F(VdrFailoverTest, LastReplicaLossRematerializesFromTertiary) {
+  MakeServer(/*preload_replicas=*/{1});
+  Probe probe;
+  Request(0, &probe);
+
+  sim_.RunUntil(kInterval * 4);
+  server_->OnDiskDown(0, /*media_lost=*/true);
+  EXPECT_EQ(server_->metrics().replicas_lost, 1);
+  EXPECT_EQ(server_->ResidentObjectCount(), 0);
+
+  // The only copy is gone: the re-queued display must wait for a fresh
+  // materialization onto the surviving cluster.
+  sim_.RunUntil(SimTime::Hours(2));
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(server_->metrics().displays_interrupted, 1);
+  EXPECT_EQ(server_->metrics().displays_completed, 1);
+  EXPECT_EQ(server_->ResidentObjectCount(), 1);
+}
+
+TEST_F(VdrFailoverTest, ClusterReturnsOnlyWhenAllDisksAreUp) {
+  MakeServer(/*preload_replicas=*/{1});
+  server_->OnDiskDown(0, /*media_lost=*/false);
+  server_->OnDiskDown(1, /*media_lost=*/false);
+  EXPECT_FALSE(server_->ClusterUp(0));
+  server_->OnDiskUp(0);
+  EXPECT_FALSE(server_->ClusterUp(0));
+  server_->OnDiskUp(1);
+  EXPECT_TRUE(server_->ClusterUp(0));
+  EXPECT_EQ(server_->metrics().failovers, 0);  // nothing was displaying
+}
+
+TEST_F(VdrFailoverTest, QueuedRequestWaitsOutFullOutage) {
+  MakeServer(/*preload_replicas=*/{1});
+  server_->OnDiskDown(0, /*media_lost=*/false);
+
+  Probe probe;
+  Request(0, &probe);
+  EXPECT_FALSE(probe.started);  // sole replica's cluster is down
+
+  sim_.RunUntil(SimTime::Seconds(1));
+  server_->OnDiskUp(0);  // dispatches the queued request
+  EXPECT_TRUE(probe.started);
+  sim_.RunUntil(SimTime::Seconds(1) + DisplayTime() + SimTime::Seconds(1));
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(server_->metrics().displays_interrupted, 0);
+}
+
+}  // namespace
+}  // namespace stagger

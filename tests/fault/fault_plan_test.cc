@@ -1,0 +1,155 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace stagger {
+namespace {
+
+TEST(FaultPlanTest, EmptyPlanValidates) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.Validate(10).ok());
+}
+
+TEST(FaultPlanTest, BuilderAndValidate) {
+  FaultPlan plan;
+  plan.FailAt(3, SimTime::Seconds(10))
+      .RecoverAt(3, SimTime::Seconds(50))
+      .StallAt(7, SimTime::Seconds(20), SimTime::Seconds(5));
+  EXPECT_EQ(plan.size(), 3u);
+  EXPECT_TRUE(plan.Validate(10).ok());
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeDisk) {
+  FaultPlan plan;
+  plan.FailAt(10, SimTime::Seconds(1));
+  EXPECT_TRUE(plan.Validate(10).IsInvalidArgument());
+  FaultPlan negative;
+  negative.FailAt(-1, SimTime::Seconds(1));
+  EXPECT_TRUE(negative.Validate(10).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, RejectsNegativeTimeAndNonPositiveStall) {
+  FaultPlan plan;
+  plan.FailAt(0, SimTime::Micros(-1));
+  EXPECT_FALSE(plan.Validate(4).ok());
+  FaultPlan stall;
+  stall.StallAt(0, SimTime::Seconds(1), SimTime::Zero());
+  EXPECT_FALSE(stall.Validate(4).ok());
+}
+
+TEST(FaultPlanTest, RejectsDoubleFailure) {
+  FaultPlan plan;
+  plan.FailAt(2, SimTime::Seconds(1)).FailAt(2, SimTime::Seconds(2));
+  EXPECT_FALSE(plan.Validate(4).ok());
+}
+
+TEST(FaultPlanTest, RejectsRecoverOfHealthyDisk) {
+  FaultPlan plan;
+  plan.RecoverAt(2, SimTime::Seconds(1));
+  EXPECT_FALSE(plan.Validate(4).ok());
+}
+
+TEST(FaultPlanTest, RejectsStallInsideOutage) {
+  FaultPlan plan;
+  plan.FailAt(1, SimTime::Seconds(1))
+      .StallAt(1, SimTime::Seconds(2), SimTime::Seconds(1))
+      .RecoverAt(1, SimTime::Seconds(10));
+  EXPECT_FALSE(plan.Validate(4).ok());
+}
+
+TEST(FaultPlanTest, RejectsOverlappingStalls) {
+  FaultPlan plan;
+  plan.StallAt(1, SimTime::Seconds(1), SimTime::Seconds(10))
+      .StallAt(1, SimTime::Seconds(5), SimTime::Seconds(1));
+  EXPECT_FALSE(plan.Validate(4).ok());
+}
+
+TEST(FaultPlanTest, AllowsSequentialEventsOnOneDisk) {
+  FaultPlan plan;
+  plan.StallAt(1, SimTime::Seconds(1), SimTime::Seconds(2))
+      .FailAt(1, SimTime::Seconds(4))
+      .RecoverAt(1, SimTime::Seconds(6))
+      .StallAt(1, SimTime::Seconds(7), SimTime::Seconds(1));
+  EXPECT_TRUE(plan.Validate(4).ok()) << plan.Validate(4);
+}
+
+TEST(FaultPlanTest, IndependentDisksDoNotInterfere) {
+  FaultPlan plan;
+  plan.FailAt(0, SimTime::Seconds(1)).FailAt(1, SimTime::Seconds(1));
+  EXPECT_TRUE(plan.Validate(4).ok());
+}
+
+TEST(FaultPlanTest, RoundTripsThroughText) {
+  FaultPlan plan;
+  plan.FailAt(3, SimTime::Seconds(10))
+      .RecoverAt(3, SimTime::Seconds(50))
+      .StallAt(7, SimTime::Millis(20500), SimTime::Seconds(5));
+  const std::string text = plan.ToString();
+  auto parsed = FaultPlan::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->ToString(), text);
+  EXPECT_TRUE(parsed->Validate(10).ok());
+}
+
+TEST(FaultPlanTest, ParseSkipsCommentsAndBlankLines) {
+  auto plan = FaultPlan::Parse(
+      "# a failure scenario\n"
+      "\n"
+      "1000000 fail 2\n"
+      "  # indented comment\n"
+      "5000000 recover 2\n"
+      "2000000 stall 3 250000\n");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->size(), 3u);
+  EXPECT_TRUE(plan->Validate(8).ok());
+}
+
+TEST(FaultPlanTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(FaultPlan::Parse("once upon a time").ok());
+  EXPECT_FALSE(FaultPlan::Parse("1000 explode 3").ok());
+  EXPECT_FALSE(FaultPlan::Parse("1000 stall 3").ok());  // missing duration
+  EXPECT_FALSE(FaultPlan::Parse("1000 fail 3 extra").ok());
+}
+
+TEST(FaultPlanTest, SortedOrdersByTime) {
+  FaultPlan plan;
+  plan.RecoverAt(0, SimTime::Seconds(9))
+      .FailAt(0, SimTime::Seconds(1))
+      .StallAt(1, SimTime::Seconds(4), SimTime::Seconds(1));
+  const auto sorted = plan.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_LE(sorted[0].at, sorted[1].at);
+  EXPECT_LE(sorted[1].at, sorted[2].at);
+}
+
+TEST(FaultPlanTest, RandomPlansAlwaysValidate) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    FaultPlan plan = FaultPlan::Random(&rng, /*num_disks=*/12,
+                                       /*horizon=*/SimTime::Hours(1),
+                                       /*num_failures=*/3, /*num_stalls=*/3,
+                                       /*mean_outage=*/SimTime::Minutes(5),
+                                       /*mean_stall=*/SimTime::Seconds(30));
+    EXPECT_TRUE(plan.Validate(12).ok())
+        << "seed " << seed << ": " << plan.Validate(12) << "\n"
+        << plan.ToString();
+  }
+}
+
+TEST(FaultPlanTest, RandomIsDeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  const FaultPlan pa =
+      FaultPlan::Random(&a, 8, SimTime::Hours(1), 2, 2,
+                        SimTime::Minutes(3), SimTime::Seconds(10));
+  const FaultPlan pb =
+      FaultPlan::Random(&b, 8, SimTime::Hours(1), 2, 2,
+                        SimTime::Minutes(3), SimTime::Seconds(10));
+  EXPECT_EQ(pa.ToString(), pb.ToString());
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,260 @@
+// Golden-trace regression tests: fixed-seed runs are serialized — the
+// per-interval read schedule for the striped scheduler, an event log
+// for the VDR baseline — and compared byte-for-byte against checked-in
+// baselines in tests/golden/.  Any change to a scheduling decision
+// shows up as a readable diff.
+//
+// To refresh the baselines after an *intentional* behavior change:
+//
+//   ./build/tests/golden_trace_test --update-golden
+//
+// then review the diff and commit the .golden files with the change.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "baseline/vdr_server.h"
+#include "core/interval_scheduler.h"
+#include "core/schedule_trace.h"
+#include "disk/disk_array.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace stagger {
+
+// Set by --update-golden in main(): record baselines instead of
+// comparing against them.
+bool g_update_golden = false;
+
+namespace {
+
+constexpr SimTime kInterval = SimTime::Millis(605);
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(STAGGER_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+void CompareOrUpdate(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_golden) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden baseline " << path
+      << " — run golden_trace_test --update-golden to record it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "schedule diverged from " << path
+      << "; if the change is intentional, re-record with --update-golden";
+}
+
+// --- striped scheduler traces -----------------------------------------
+
+struct StripedScenario {
+  int32_t num_disks = 10;
+  int32_t stride = 1;
+  AdmissionPolicy policy = AdmissionPolicy::kContiguous;
+  bool coalesce = false;
+  int64_t buffer_cap = 0;
+  FaultPlan faults;
+  uint64_t seed = 7;
+  int64_t run_intervals = 48;
+};
+
+std::string TraceStriped(const StripedScenario& sc) {
+  Simulator sim;
+  auto disks = DiskArray::Create(sc.num_disks, DiskParameters::Evaluation());
+  STAGGER_CHECK(disks.ok());
+
+  ScheduleTracer tracer(sc.num_disks, /*max_intervals=*/sc.run_intervals + 1);
+  SchedulerConfig config;
+  config.stride = sc.stride;
+  config.interval = kInterval;
+  config.policy = sc.policy;
+  config.coalesce = sc.coalesce;
+  config.buffer_capacity_fragments = sc.buffer_cap;
+  config.read_observer = [&tracer](int64_t interval, ObjectId object,
+                                   int64_t subobject, int32_t fragment,
+                                   int32_t disk) {
+    tracer.Record(interval, object, subobject, fragment, disk);
+  };
+  auto sched = IntervalScheduler::Create(&sim, &*disks, config);
+  STAGGER_CHECK(sched.ok());
+
+  std::unique_ptr<FaultInjector> injector;
+  if (!sc.faults.empty()) {
+    auto created = FaultInjector::Create(&sim, &*disks, sc.faults);
+    STAGGER_CHECK(created.ok()) << created.status();
+    injector = *std::move(created);
+  }
+
+  // A fixed-seed randomized load: the seed pins every request, so the
+  // recorded schedule is a pure function of the scheduler's decisions.
+  Rng rng(sc.seed);
+  for (int i = 0; i < 5; ++i) {
+    DisplayRequest req;
+    req.object = i;
+    req.degree = static_cast<int32_t>(1 + rng.NextBounded(3));
+    req.start_disk =
+        static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(sc.num_disks)));
+    req.num_subobjects = static_cast<int64_t>(8 + rng.NextBounded(16));
+    const SimTime at = kInterval * static_cast<int64_t>(rng.NextBounded(8));
+    sim.ScheduleAt(at, [&sched, req = std::move(req)]() mutable {
+      STAGGER_CHECK((*sched)->Submit(std::move(req)).ok());
+    });
+  }
+  sim.RunUntil(kInterval * sc.run_intervals);
+
+  std::ostringstream os;
+  os << "# D=" << sc.num_disks << " k=" << sc.stride << " policy="
+     << (sc.policy == AdmissionPolicy::kContiguous ? "contiguous"
+                                                   : "fragmented")
+     << (sc.coalesce ? "+coalesce" : "") << " seed=" << sc.seed << "\n";
+  if (!sc.faults.empty()) {
+    os << "# fault plan:\n" << sc.faults.ToString();
+  }
+  tracer.RenderDisks().Print(os);
+  const SchedulerMetrics& m = (*sched)->metrics();
+  os << "reads=" << tracer.num_events()
+     << " collisions=" << tracer.num_collisions() << "\n"
+     << "displays: requested=" << m.displays_requested
+     << " admitted=" << m.displays_admitted
+     << " completed=" << m.displays_completed
+     << " cancelled=" << m.displays_cancelled << "\n"
+     << "fragmented_admissions=" << m.fragmented_admissions
+     << " coalesce_migrations=" << m.coalesce_migrations << "\n"
+     << "degraded: reads=" << m.degraded_reads
+     << " paused=" << m.streams_paused << " resumed=" << m.streams_resumed
+     << " interrupted=" << m.displays_interrupted << "\n"
+     << "hiccups=" << m.hiccups << "\n";
+  return os.str();
+}
+
+TEST(GoldenTraceTest, StripedContiguous) {
+  CompareOrUpdate("striped_contiguous", TraceStriped({}));
+}
+
+TEST(GoldenTraceTest, StripedFragmentedCoalesce) {
+  StripedScenario sc;
+  sc.stride = 2;
+  sc.policy = AdmissionPolicy::kFragmented;
+  sc.coalesce = true;
+  sc.buffer_cap = 64;
+  CompareOrUpdate("striped_fragmented_coalesce", TraceStriped(sc));
+}
+
+// The acceptance scenario: a single-disk failure mid-run under load.
+// The trace records the remapped reads and the pause/resume decisions;
+// a fixed seed must reproduce the identical failure trace.
+TEST(GoldenTraceTest, StripedSingleDiskFailure) {
+  StripedScenario sc;
+  sc.faults.FailAt(4, kInterval * 12)
+      .RecoverAt(4, kInterval * 24)
+      .StallAt(8, kInterval * 30, kInterval * 2);
+  sc.run_intervals = 64;
+  CompareOrUpdate("striped_single_disk_failure", TraceStriped(sc));
+}
+
+// --- VDR event log ----------------------------------------------------
+
+TEST(GoldenTraceTest, VdrFailoverEventLog) {
+  Simulator sim;
+  Catalog catalog = Catalog::Uniform(6, 8, Bandwidth::Mbps(100));
+  TertiaryParameters tp;
+  tp.bandwidth = Bandwidth::Mbps(40);
+  tp.reposition = SimTime::Zero();
+  TertiaryManager tertiary(&sim, TertiaryDevice(tp));
+  VdrConfig config;
+  config.num_clusters = 4;
+  config.cluster_degree = 2;
+  config.interval = kInterval;
+  config.fragment_size = DataSize::MB(1.512);
+  config.enable_replication = true;
+  config.preload_objects = 4;
+  auto server = VdrServer::Create(&sim, &catalog, &tertiary, config);
+  ASSERT_TRUE(server.ok()) << server.status();
+  VdrServer& vdr = **server;
+
+  std::ostringstream log;
+  auto event = [&log, &sim](const std::string& what) {
+    log << "t=" << sim.Now().micros() << "us " << what << "\n";
+  };
+
+  // A fixed-seed request mix over the preloaded objects.
+  Rng rng(11);
+  for (int i = 0; i < 8; ++i) {
+    const auto object = static_cast<ObjectId>(rng.NextBounded(6));
+    const SimTime at = kInterval * static_cast<int64_t>(rng.NextBounded(20));
+    sim.ScheduleAt(at, [&vdr, &event, object] {
+      event("request obj=" + std::to_string(object));
+      STAGGER_CHECK(
+          vdr.RequestDisplay(
+                 object,
+                 [&event, object](SimTime latency) {
+                   event("start obj=" + std::to_string(object) +
+                         " latency_us=" + std::to_string(latency.micros()));
+                 },
+                 [&event, object] {
+                   event("complete obj=" + std::to_string(object));
+                 })
+              .ok());
+    });
+  }
+
+  // Scripted outages: cluster 1 loses a disk (and its media) mid-run;
+  // cluster 2 sees a transient, media-preserving stall.
+  sim.ScheduleAt(kInterval * 5, [&vdr, &event] {
+    event("disk-down 2 media-lost");
+    vdr.OnDiskDown(2, /*media_lost=*/true);
+  });
+  sim.ScheduleAt(kInterval * 14, [&vdr, &event] {
+    event("disk-up 2");
+    vdr.OnDiskUp(2);
+  });
+  sim.ScheduleAt(kInterval * 9, [&vdr, &event] {
+    event("disk-down 4");
+    vdr.OnDiskDown(4, /*media_lost=*/false);
+  });
+  sim.ScheduleAt(kInterval * 11, [&vdr, &event] {
+    event("disk-up 4");
+    vdr.OnDiskUp(4);
+  });
+
+  sim.RunUntil(kInterval * 120);
+
+  const VdrMetrics& m = vdr.metrics();
+  log << "displays_completed=" << m.displays_completed
+      << " interrupted=" << m.displays_interrupted
+      << " failovers=" << m.failovers << "\n"
+      << "replicas_lost=" << m.replicas_lost
+      << " replications=" << m.replications
+      << " replications_aborted=" << m.replications_aborted
+      << " materializations=" << m.materializations
+      << " evictions=" << m.evictions << "\n"
+      << "resident_objects_end=" << vdr.ResidentObjectCount() << "\n";
+  CompareOrUpdate("vdr_failover_event_log", log.str());
+}
+
+}  // namespace
+}  // namespace stagger
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      stagger::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

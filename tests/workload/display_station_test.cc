@@ -16,7 +16,8 @@ class FakeService : public MediaService {
       : sim_(sim), duration_(duration) {}
 
   Status RequestDisplay(ObjectId object, StartedFn on_started,
-                        CompletedFn on_completed) override {
+                        CompletedFn on_completed,
+                        InterruptedFn /*on_interrupted*/ = nullptr) override {
     ++requests_;
     last_object_ = object;
     if (on_started) on_started(SimTime::Zero());

@@ -15,7 +15,8 @@ class DelayService : public MediaService {
   DelayService(Simulator* sim, SimTime duration)
       : sim_(sim), duration_(duration) {}
   Status RequestDisplay(ObjectId, StartedFn on_started,
-                        CompletedFn on_completed) override {
+                        CompletedFn on_completed,
+                        InterruptedFn /*on_interrupted*/ = nullptr) override {
     if (on_started) on_started(SimTime::Millis(250));
     sim_->ScheduleAfter(duration_, [done = std::move(on_completed)] {
       if (done) done();

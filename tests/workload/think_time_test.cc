@@ -17,7 +17,8 @@ class InstantService : public MediaService {
  public:
   explicit InstantService(Simulator* sim) : sim_(sim) {}
   Status RequestDisplay(ObjectId, StartedFn on_started,
-                        CompletedFn on_completed) override {
+                        CompletedFn on_completed,
+                        InterruptedFn /*on_interrupted*/ = nullptr) override {
     ++requests_;
     if (on_started) on_started(SimTime::Zero());
     sim_->ScheduleAfter(SimTime::Seconds(10), [done = std::move(on_completed)] {
