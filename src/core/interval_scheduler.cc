@@ -106,6 +106,7 @@ Result<RequestId> IntervalScheduler::Seek(RequestId id, int32_t new_start_disk,
   req.degree = sit->second.degree;
   req.start_disk = new_start_disk;
   req.num_subobjects = new_num_subobjects;
+  req.parity = sit->second.parity;
   req.on_started = sit->second.on_started;
   req.on_completed = sit->second.on_completed;
   req.on_interrupted = sit->second.on_interrupted;
@@ -131,6 +132,11 @@ void IntervalScheduler::Tick(int64_t tick_index) {
   // buffer accounting, and non-underflow (see core/invariants.h).
   STAGGER_CHECK_OK(InvariantAuditor::AuditScheduler(*this));
 #endif
+  // Whatever slack remains after display reads is genuinely idle
+  // bandwidth: the rebuild hook may consume it before the interval
+  // closes.  It runs after the audit so display-path invariants are
+  // checked against display reads alone.
+  if (idle_hook_) idle_hook_(interval_index_);
   // Interval close-out runs after the audit so the degraded-state rules
   // can inspect this interval's busy flags (a failed disk carries zero
   // load).
@@ -173,11 +179,22 @@ bool IntervalScheduler::TryAdmitContiguous(const Pending& p) {
   if (config_.degraded_policy != DegradedPolicy::kNone) {
     // The stream reads its first stripe immediately — refuse to start a
     // display whose first reads land on unavailable disks (it would
-    // pause on its very first interval).
+    // pause on its very first interval).  Under kReconstruct a single
+    // lost fragment is tolerable when the stripe's parity disk can
+    // stand in for it.
+    int32_t down = 0;
     for (int32_t j = 0; j < m; ++j) {
       const int32_t physical = static_cast<int32_t>(PositiveMod(
           static_cast<int64_t>(p.req.start_disk) + j, frame_.num_disks()));
-      if (!disks_->IsAvailable(physical)) return false;
+      if (!disks_->IsAvailable(physical)) ++down;
+    }
+    if (down > 0) {
+      const int32_t parity_disk = static_cast<int32_t>(PositiveMod(
+          static_cast<int64_t>(p.req.start_disk) + m, frame_.num_disks()));
+      const bool reconstructable =
+          config_.degraded_policy == DegradedPolicy::kReconstruct &&
+          p.req.parity && down == 1 && disks_->IsAvailable(parity_disk);
+      if (!reconstructable) return false;
     }
   }
   std::vector<FragmentLane> lanes(static_cast<size_t>(m));
@@ -256,6 +273,7 @@ void IntervalScheduler::AdmitStream(const Pending& p,
   s.arrival_time = p.arrival;
   s.lanes = std::move(lanes);
   s.fragmented = fragmented;
+  s.parity = p.req.parity;
   s.buffer_reserved = buffer_frags;
   s.resumed_mid_display = p.started;
   s.on_completed = p.req.on_completed;
@@ -323,16 +341,37 @@ void IntervalScheduler::AdvanceStreams() {
           << "lane misalignment: stream " << s.id << " fragment " << j;
       int32_t read_disk = physical;
       if (degraded && !disks_->IsAvailable(physical)) {
-        read_disk = config_.degraded_policy == DegradedPolicy::kRemapOrPause
-                        ? FindDegradedSubstitute(s, static_cast<size_t>(j),
-                                                 claimed)
-                        : -1;
+        read_disk = -1;
+        if (config_.degraded_policy == DegradedPolicy::kReconstruct &&
+            s.parity) {
+          // Read the stripe's parity fragment in place of the lost one:
+          // the M-1 surviving lanes plus parity reconstruct it in
+          // buffer.  The extra read is charged against the parity
+          // disk's slack this interval.
+          const int32_t parity_disk = static_cast<int32_t>(PositiveMod(
+              static_cast<int64_t>(s.start_disk) +
+                  lane.reads_done * config_.stride + s.degree,
+              frame_.num_disks()));
+          if (disks_->IsAvailable(parity_disk) &&
+              !disks_->disk(parity_disk).busy() &&
+              !claimed[static_cast<size_t>(parity_disk)]) {
+            read_disk = parity_disk;
+            ++metrics_.reconstructed_reads;
+          }
+        }
+        if (read_disk < 0 &&
+            config_.degraded_policy != DegradedPolicy::kPause) {
+          // kRemapOrPause, or kReconstruct falling down its ladder when
+          // parity offers no slack (or the stream carries none).
+          read_disk =
+              FindDegradedSubstitute(s, static_cast<size_t>(j), claimed);
+          if (read_disk >= 0) ++metrics_.degraded_reads;
+        }
         if (read_disk < 0) {
           pausing = true;
           break;
         }
         claimed[static_cast<size_t>(read_disk)] = true;
-        ++metrics_.degraded_reads;
       }
       disks_->disk(read_disk).Reserve();
       if (config_.read_observer) {
@@ -420,6 +459,7 @@ void IntervalScheduler::PauseStream(StreamId id) {
       static_cast<int64_t>(s.start_disk) + s.delivered * config_.stride,
       frame_.num_disks()));
   p.remainder.num_subobjects = s.num_subobjects - s.delivered;
+  p.remainder.parity = s.parity;
   p.remainder.on_started = std::move(s.on_started);
   p.remainder.on_completed = std::move(s.on_completed);
   p.remainder.on_interrupted = std::move(s.on_interrupted);

@@ -59,6 +59,12 @@ enum class DegradedPolicy {
   /// stripe-level replica) — and fall back to pause-and-retry when no
   /// slack exists.
   kRemapOrPause,
+  /// For parity-carrying streams, read the stripe's parity fragment in
+  /// the same interval and reconstruct the lost fragment in buffer —
+  /// one extra read charged against the parity disk's slack.  Streams
+  /// without parity, or intervals where the parity disk has no slack,
+  /// fall through the kRemapOrPause ladder.
+  kReconstruct,
 };
 
 /// \brief Counters and distributions reported by the scheduler.
@@ -75,6 +81,9 @@ struct SchedulerMetrics {
   // --- degraded-mode counters (DegradedPolicy) -------------------------
   /// Fragment reads remapped onto a surviving disk with slack.
   int64_t degraded_reads = 0;
+  /// Fragment reads rebuilt in buffer from the stripe's survivors plus
+  /// parity (kReconstruct only).
+  int64_t reconstructed_reads = 0;
   /// Streams paused because a read hit an unavailable disk with no slack.
   int64_t streams_paused = 0;
   /// Paused streams successfully re-admitted.
@@ -131,6 +140,9 @@ struct DisplayRequest {
   int32_t start_disk = 0;
   int32_t degree = 0;
   int64_t num_subobjects = 0;
+  /// True when the object's layout stores a per-subobject parity
+  /// fragment on the disk after the stripe (kReconstruct eligibility).
+  bool parity = false;
   /// Invoked when the first subobject is delivered, with the startup
   /// latency (arrival to display start).
   std::function<void(SimTime)> on_started;
@@ -183,6 +195,14 @@ class IntervalScheduler {
   /// Interval-start wall time of interval index `t`.
   SimTime IntervalStart(int64_t t) const {
     return epoch_ + config_.interval * t;
+  }
+
+  /// Installs a hook invoked once per interval after display reads are
+  /// scheduled but before the interval closes, with the interval index.
+  /// Leftover disk slack at that point is genuinely idle bandwidth; the
+  /// rebuild subsystem (src/rebuild/) consumes it for spare rebuilding.
+  void SetIdleBandwidthHook(std::function<void(int64_t)> hook) {
+    idle_hook_ = std::move(hook);
   }
 
  private:
@@ -262,6 +282,7 @@ class IntervalScheduler {
   std::unordered_map<RequestId, StreamId> request_to_stream_;
 
   SchedulerMetrics metrics_;
+  std::function<void(int64_t)> idle_hook_;
   std::unique_ptr<PeriodicTicker> ticker_;
 };
 

@@ -14,15 +14,19 @@
 namespace stagger {
 
 PlacementTable MaterializePlacement(const StaggeredLayout& layout,
-                                    int64_t num_subobjects) {
+                                    int64_t num_subobjects,
+                                    bool include_parity) {
   STAGGER_CHECK_GE(num_subobjects, 0);
+  STAGGER_CHECK(!include_parity || layout.has_parity());
   PlacementTable table(static_cast<size_t>(num_subobjects));
   for (int64_t i = 0; i < num_subobjects; ++i) {
     auto& row = table[static_cast<size_t>(i)];
+    row.reserve(static_cast<size_t>(layout.degree()) + (include_parity ? 1 : 0));
     row.resize(static_cast<size_t>(layout.degree()));
     for (int32_t j = 0; j < layout.degree(); ++j) {
       row[static_cast<size_t>(j)] = layout.DiskFor(i, j);
     }
+    if (include_parity) row.push_back(layout.ParityDiskFor(i));
   }
   return table;
 }
@@ -131,10 +135,17 @@ Status InvariantAuditor::AuditLayout(const StaggeredLayout& layout,
                                      int64_t num_subobjects) {
   STAGGER_AUDIT_VERIFY(num_subobjects >= 0)
       << " (n=" << num_subobjects << ")";
-  const PlacementTable table = MaterializePlacement(layout, num_subobjects);
+  // With parity the augmented row is exactly a staggered stripe of
+  // window M+1, so contiguity, stride progression, and the gcd skew
+  // bounds are audited over the wider window unchanged.
+  const PlacementTable table = MaterializePlacement(
+      layout, num_subobjects, /*include_parity=*/layout.has_parity());
   STAGGER_RETURN_NOT_OK(
       AuditPlacement(table, layout.num_disks(), layout.stride()));
   STAGGER_RETURN_NOT_OK(AuditSkew(table, layout.num_disks(), layout.stride()));
+  if (layout.has_parity()) {
+    STAGGER_RETURN_NOT_OK(AuditParityPlacement(layout, num_subobjects));
+  }
 
   // Cross-check the closed-form skew analysis against the materialized
   // placement.
@@ -154,6 +165,37 @@ Status InvariantAuditor::AuditLayout(const StaggeredLayout& layout,
                        static_cast<int32_t>(touched.size()))
       << "; UniqueDisksUsed=" << layout.UniqueDisksUsed(num_subobjects)
       << " but the placement touches " << touched.size() << " disks";
+  return Status::OK();
+}
+
+Status InvariantAuditor::AuditParityPlacement(const StaggeredLayout& layout,
+                                              int64_t num_subobjects) {
+  STAGGER_AUDIT_VERIFY(layout.has_parity())
+      << "; layout carries no parity fragment";
+  STAGGER_AUDIT_VERIFY(layout.degree() + 1 <= layout.num_disks())
+      << "; parity needs M+1 <= D (M=" << layout.degree()
+      << ", D=" << layout.num_disks() << ")";
+  // The parity walk has the same period as the start-disk walk; checking
+  // one full period covers every distinct stripe.
+  const int64_t g = std::gcd(static_cast<int64_t>(layout.num_disks()),
+                             static_cast<int64_t>(layout.stride()));
+  const int64_t period = layout.num_disks() / g;
+  const int64_t check = std::min<int64_t>(num_subobjects, period);
+  for (int64_t i = 0; i < check; ++i) {
+    const int32_t parity = layout.ParityDiskFor(i);
+    const int32_t expected = static_cast<int32_t>(PositiveMod(
+        static_cast<int64_t>(layout.start_disk()) + i * layout.stride() +
+            layout.degree(),
+        layout.num_disks()));
+    STAGGER_AUDIT_VERIFY(parity == expected)
+        << "; subobject " << i << " parity on disk " << parity
+        << ", expected " << expected;
+    for (int32_t j = 0; j < layout.degree(); ++j) {
+      STAGGER_AUDIT_VERIFY(parity != layout.DiskFor(i, j))
+          << "; subobject " << i << " parity disk " << parity
+          << " co-resides with its own data fragment " << j;
+    }
+  }
   return Status::OK();
 }
 

@@ -47,9 +47,13 @@ class LogicalDiskScheduler;
 using PlacementTable = std::vector<std::vector<int32_t>>;
 
 /// Expands a layout into the explicit placement of its first
-/// `num_subobjects` subobjects.
+/// `num_subobjects` subobjects.  With `include_parity`, each row gains
+/// the subobject's parity disk as an extra trailing column — the
+/// augmented row is M+1 consecutive disks mod D, so the placement and
+/// skew audits apply unchanged with the wider window.
 PlacementTable MaterializePlacement(const StaggeredLayout& layout,
-                                    int64_t num_subobjects);
+                                    int64_t num_subobjects,
+                                    bool include_parity = false);
 
 /// \brief Options for ScheduleTracer audits.
 struct TraceAuditOptions {
@@ -84,9 +88,17 @@ class InvariantAuditor {
   /// Full audit of a StaggeredLayout: materializes the placement, runs
   /// AuditPlacement + AuditSkew, and cross-checks the layout's own
   /// FragmentsPerDisk / UniqueDisksUsed closed forms against the
-  /// materialized table.
+  /// materialized table.  Parity-carrying layouts are audited over the
+  /// augmented M+1-column table (parity is the stripe's next
+  /// consecutive disk), plus AuditParityPlacement.
   static Status AuditLayout(const StaggeredLayout& layout,
                             int64_t num_subobjects);
+
+  /// Parity disjointness (fault-tolerance layer): every subobject's
+  /// parity fragment sits on the expected disk (p + i*k + M mod D) and
+  /// never co-resides with any of the stripe's own data disks.
+  static Status AuditParityPlacement(const StaggeredLayout& layout,
+                                     int64_t num_subobjects);
 
   /// Catalog sanity under an effective disk bandwidth: every object has
   /// subobjects to display, positive display bandwidth, and a degree of

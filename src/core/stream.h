@@ -53,6 +53,10 @@ struct Stream {
   int64_t delivered = 0;
   /// True when admitted over non-adjacent disks (buffers in use).
   bool fragmented = false;
+  /// True when the object's layout carries a per-subobject parity
+  /// fragment on the disk after the stripe; enables kReconstruct
+  /// degraded reads for this stream.
+  bool parity = false;
   /// True when this stream resumes a display that had already delivered
   /// subobjects before a degraded-mode pause; on_started and the
   /// startup-latency sample fired at the original start and must not

@@ -6,15 +6,30 @@
 
 namespace stagger {
 
-Result<DiskArray> DiskArray::Create(int32_t num_disks, const DiskParameters& params) {
+Result<DiskArray> DiskArray::Create(int32_t num_disks, const DiskParameters& params,
+                                    int32_t num_spares) {
   if (num_disks < 1) {
     return Status::InvalidArgument("disk array needs at least one disk");
   }
+  if (num_spares < 0) {
+    return Status::InvalidArgument("spare count must be >= 0");
+  }
   STAGGER_RETURN_NOT_OK(params.Validate());
-  std::vector<Disk> disks;
-  disks.reserve(static_cast<size_t>(num_disks));
-  for (int32_t i = 0; i < num_disks; ++i) disks.emplace_back(i, params);
-  return DiskArray(std::move(disks), params);
+  std::vector<Disk> drives;
+  drives.reserve(static_cast<size_t>(num_disks + num_spares));
+  for (int32_t i = 0; i < num_disks + num_spares; ++i) {
+    drives.emplace_back(i, params);
+  }
+  return DiskArray(std::move(drives), params, num_disks, num_spares);
+}
+
+DiskArray::DiskArray(std::vector<Disk> drives, DiskParameters params,
+                     int32_t num_slots, int32_t num_spares)
+    : drives_(std::move(drives)), params_(params), num_slots_(num_slots),
+      num_spares_(num_spares) {
+  slot_to_drive_.resize(static_cast<size_t>(num_slots));
+  for (int32_t i = 0; i < num_slots; ++i) slot_to_drive_[static_cast<size_t>(i)] = i;
+  for (int32_t s = 0; s < num_spares; ++s) free_spares_.push_back(num_slots + s);
 }
 
 bool DiskArray::RunIsIdle(DiskId start, int32_t len) const {
@@ -33,63 +48,115 @@ void DiskArray::ReserveRun(DiskId start, int32_t len) {
 
 int32_t DiskArray::IdleCount() const {
   int32_t idle = 0;
-  for (const Disk& d : disks_) {
-    if (!d.busy()) ++idle;
+  for (int32_t d = 0; d < num_slots_; ++d) {
+    if (!disk(d).busy()) ++idle;
   }
   return idle;
 }
 
 int32_t DiskArray::AvailableCount() const {
   int32_t available = 0;
-  for (const Disk& d : disks_) {
-    if (d.available()) ++available;
+  for (int32_t d = 0; d < num_slots_; ++d) {
+    if (disk(d).available()) ++available;
   }
   return available;
 }
 
+Result<int32_t> DiskArray::AcquireSpare() {
+  if (free_spares_.empty()) {
+    return Status::ResourceExhausted("no free hot-spare drive");
+  }
+  const int32_t drive = free_spares_.back();
+  free_spares_.pop_back();
+  claimed_spares_.push_back(drive);
+  return drive;
+}
+
+void DiskArray::ReturnSpare(int32_t drive) {
+  auto it = std::find(claimed_spares_.begin(), claimed_spares_.end(), drive);
+  STAGGER_CHECK(it != claimed_spares_.end())
+      << "drive " << drive << " is not a claimed spare";
+  claimed_spares_.erase(it);
+  free_spares_.push_back(drive);
+}
+
+Disk& DiskArray::spare_drive(int32_t drive) {
+  STAGGER_CHECK(std::find(claimed_spares_.begin(), claimed_spares_.end(),
+                          drive) != claimed_spares_.end())
+      << "drive " << drive << " is not a claimed spare";
+  return drives_[static_cast<size_t>(drive)];
+}
+
+void DiskArray::PromoteSpare(DiskId slot, int32_t drive) {
+  STAGGER_CHECK(slot >= 0 && slot < num_slots_) << "bad slot " << slot;
+  auto it = std::find(claimed_spares_.begin(), claimed_spares_.end(), drive);
+  STAGGER_CHECK(it != claimed_spares_.end())
+      << "drive " << drive << " is not a claimed spare";
+  Disk& old = drives_[DriveOf(slot)];
+  STAGGER_CHECK(old.health() == DiskHealth::kFailed)
+      << "slot " << slot << " promoted while its drive is not failed";
+  Disk& fresh = drives_[static_cast<size_t>(drive)];
+  // Carry the slot's storage accounting over so later frees balance.
+  const int64_t used = old.used_cylinders();
+  STAGGER_CHECK_OK(fresh.AllocateStorage(used));
+  old.FreeStorage(used);
+  claimed_spares_.erase(it);
+  slot_to_drive_[static_cast<size_t>(slot)] = drive;
+  // The dead drive stays retired: it is reachable by no slot and never
+  // returns to the spare pool.
+}
+
 void DiskArray::EndInterval() {
-  for (Disk& d : disks_) d.EndInterval();
+  for (Disk& d : drives_) d.EndInterval();
 }
 
 int64_t DiskArray::TotalCylinders() const {
   int64_t total = 0;
-  for (const Disk& d : disks_) total += d.total_cylinders();
+  for (int32_t d = 0; d < num_slots_; ++d) total += disk(d).total_cylinders();
   return total;
 }
 
 int64_t DiskArray::FreeCylinders() const {
   int64_t free = 0;
-  for (const Disk& d : disks_) free += d.free_cylinders();
+  for (int32_t d = 0; d < num_slots_; ++d) free += disk(d).free_cylinders();
   return free;
 }
 
 double DiskArray::MeanUtilization() const {
   double sum = 0.0;
-  for (const Disk& d : disks_) sum += d.Utilization();
-  return sum / static_cast<double>(disks_.size());
+  for (int32_t d = 0; d < num_slots_; ++d) sum += disk(d).Utilization();
+  return sum / static_cast<double>(num_slots_);
 }
 
 double DiskArray::MaxUtilization() const {
   double best = 0.0;
-  for (const Disk& d : disks_) best = std::max(best, d.Utilization());
+  for (int32_t d = 0; d < num_slots_; ++d) {
+    best = std::max(best, disk(d).Utilization());
+  }
   return best;
 }
 
 double DiskArray::MinUtilization() const {
   double best = 1.0;
-  for (const Disk& d : disks_) best = std::min(best, d.Utilization());
+  for (int32_t d = 0; d < num_slots_; ++d) {
+    best = std::min(best, disk(d).Utilization());
+  }
   return best;
 }
 
 int64_t DiskArray::MaxUsedCylinders() const {
   int64_t best = 0;
-  for (const Disk& d : disks_) best = std::max(best, d.used_cylinders());
+  for (int32_t d = 0; d < num_slots_; ++d) {
+    best = std::max(best, disk(d).used_cylinders());
+  }
   return best;
 }
 
 int64_t DiskArray::MinUsedCylinders() const {
-  int64_t best = disks_.empty() ? 0 : disks_[0].used_cylinders();
-  for (const Disk& d : disks_) best = std::min(best, d.used_cylinders());
+  int64_t best = num_slots_ == 0 ? 0 : disk(0).used_cylinders();
+  for (int32_t d = 0; d < num_slots_; ++d) {
+    best = std::min(best, disk(d).used_cylinders());
+  }
   return best;
 }
 

@@ -1,6 +1,14 @@
 // The farm of D disks.  Provides modular-adjacent idle-run queries used
 // by staggered-striping admission, aggregate capacity accounting, and
 // utilization reporting.
+//
+// Hot spares (fault-tolerance layer, src/rebuild/): the array may be
+// created with S spare drives beyond the D addressable slots.  Layouts
+// and schedulers address *slots*; a slot resolves to a physical drive
+// through an indirection table.  Promoting a spare rewires a failed
+// slot onto a healthy drive without renaming any fragment, so a
+// rebuilt array is bit-identical to the pre-failure placement in slot
+// space — the invariant the rebuild subsystem audits.
 
 #ifndef STAGGER_DISK_DISK_ARRAY_H_
 #define STAGGER_DISK_DISK_ARRAY_H_
@@ -14,18 +22,21 @@
 
 namespace stagger {
 
-/// \brief A homogeneous array of `D` simulated disks.
+/// \brief A homogeneous array of `D` simulated disks plus an optional
+/// pool of hot-spare drives.
 class DiskArray {
  public:
   /// \param num_disks  D; must be >= 1.
-  /// \param params     drive model shared by all disks.
-  static Result<DiskArray> Create(int32_t num_disks, const DiskParameters& params);
+  /// \param params     drive model shared by all disks (and spares).
+  /// \param num_spares hot spares beyond the D slots; >= 0.
+  static Result<DiskArray> Create(int32_t num_disks, const DiskParameters& params,
+                                  int32_t num_spares = 0);
 
-  int32_t num_disks() const { return static_cast<int32_t>(disks_.size()); }
+  int32_t num_disks() const { return num_slots_; }
   const DiskParameters& params() const { return params_; }
 
-  Disk& disk(DiskId id) { return disks_[static_cast<size_t>(Wrap(id))]; }
-  const Disk& disk(DiskId id) const { return disks_[static_cast<size_t>(Wrap(id))]; }
+  Disk& disk(DiskId id) { return drives_[DriveOf(Wrap(id))]; }
+  const Disk& disk(DiskId id) const { return drives_[DriveOf(Wrap(id))]; }
 
   /// Maps any integer onto a valid disk id (modulo D).
   DiskId Wrap(int64_t id) const {
@@ -53,8 +64,31 @@ class DiskArray {
   /// Disks currently failed or stalled.
   int32_t UnavailableCount() const { return num_disks() - AvailableCount(); }
 
-  /// Ends the current interval on every disk (clears busy flags and
-  /// accumulates utilization counters).
+  // --- hot spares (online rebuild, src/rebuild/) ------------------------
+  /// Spare drives configured at creation.
+  int32_t num_spares() const { return num_spares_; }
+  /// Spare drives not currently claimed by a rebuild.
+  int32_t FreeSpareCount() const {
+    return static_cast<int32_t>(free_spares_.size());
+  }
+  /// Claims a spare drive for a rebuild; returns its drive index (only
+  /// meaningful to spare_drive / ReturnSpare / PromoteSpare).  Fails
+  /// with ResourceExhausted when the pool is empty.
+  Result<int32_t> AcquireSpare();
+  /// Returns an unused spare to the pool (rebuild cancelled because the
+  /// original drive recovered naturally).
+  void ReturnSpare(int32_t drive);
+  /// Direct access to a claimed spare drive, for rebuild writes.
+  Disk& spare_drive(int32_t drive);
+  /// Rewires `slot` onto the claimed spare `drive` and marks the slot
+  /// healthy.  The failed drive's storage accounting transfers to the
+  /// spare so later frees balance; the dead drive is retired.
+  /// Preconditions: the slot's current drive is failed; `drive` was
+  /// returned by AcquireSpare and not yet promoted or returned.
+  void PromoteSpare(DiskId slot, int32_t drive);
+
+  /// Ends the current interval on every drive — slots and spares — so
+  /// rebuild writes clear their busy flags like any other transfer.
   void EndInterval();
 
   // --- aggregate storage ------------------------------------------------
@@ -75,10 +109,24 @@ class DiskArray {
   int64_t MinUsedCylinders() const;
 
  private:
-  DiskArray(std::vector<Disk> disks, DiskParameters params)
-      : disks_(std::move(disks)), params_(params) {}
-  std::vector<Disk> disks_;
+  DiskArray(std::vector<Disk> drives, DiskParameters params, int32_t num_slots,
+            int32_t num_spares);
+
+  size_t DriveOf(DiskId slot) const {
+    return static_cast<size_t>(slot_to_drive_[static_cast<size_t>(slot)]);
+  }
+
+  /// All physical drives: indices [0, D) start as the slots' drives,
+  /// [D, D + S) as spares.  Promotion rewires slot_to_drive_.
+  std::vector<Disk> drives_;
   DiskParameters params_;
+  int32_t num_slots_;
+  int32_t num_spares_;
+  std::vector<int32_t> slot_to_drive_;
+  /// Spare drive indices not yet claimed.
+  std::vector<int32_t> free_spares_;
+  /// Spare drive indices claimed by AcquireSpare, pending promotion.
+  std::vector<int32_t> claimed_spares_;
 };
 
 }  // namespace stagger

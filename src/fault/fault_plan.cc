@@ -34,13 +34,30 @@ FaultPlan& FaultPlan::RecoverAt(DiskId disk, SimTime at) {
   return *this;
 }
 
+namespace {
+
+/// Apply rank for events sharing a disk and an instant: a recover ends
+/// the old outage before a new fail or stall opens the next one, so a
+/// back-to-back `recover` + `fail` pair at the same timestamp replays
+/// deterministically.
+int ApplyRank(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRecover: return 0;
+    case FaultKind::kFail: return 1;
+    case FaultKind::kStall: return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
 std::vector<FaultEvent> FaultPlan::Sorted() const {
   std::vector<FaultEvent> sorted = events_;
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      if (a.at != b.at) return a.at < b.at;
                      if (a.disk != b.disk) return a.disk < b.disk;
-                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                     return ApplyRank(a.kind) < ApplyRank(b.kind);
                    });
   return sorted;
 }
@@ -65,21 +82,31 @@ Status FaultPlan::Validate(int32_t num_disks) const {
   }
 
   for (auto& [disk, seq] : per_disk) {
+    // Same replay order the injector uses (Sorted): time, then the
+    // recover-before-fail apply rank for same-instant ties.
     std::stable_sort(seq.begin(), seq.end(),
                      [](const FaultEvent& a, const FaultEvent& b) {
-                       return a.at < b.at;
+                       if (a.at != b.at) return a.at < b.at;
+                       return ApplyRank(a.kind) < ApplyRank(b.kind);
                      });
     const std::string who = "disk " + std::to_string(disk);
     DiskHealth state = DiskHealth::kHealthy;
     SimTime stalled_until = SimTime::Zero();
     SimTime last_at = SimTime(-1);
+    FaultKind last_kind = FaultKind::kFail;
+    bool have_last = false;
     for (const FaultEvent& e : seq) {
-      if (e.at == last_at) {
+      // Exact duplicates are meaningless and rejected outright; distinct
+      // kinds at one instant replay in apply-rank order, so a same-time
+      // `recover` + `fail` pair is a legal back-to-back outage.
+      if (have_last && e.at == last_at && e.kind == last_kind) {
         return Status::InvalidArgument(
-            who + " has two fault events at the same instant (" +
-            e.at.ToString() + ")");
+            who + " has a duplicate " + FaultKindName(e.kind) +
+            " event at " + e.at.ToString());
       }
       last_at = e.at;
+      last_kind = e.kind;
+      have_last = true;
       if (state == DiskHealth::kStalled && e.at >= stalled_until) {
         state = DiskHealth::kHealthy;  // implicit stall recovery
       }
@@ -173,8 +200,9 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
 namespace {
 
 /// True when [start, end] touches no committed window.  Closed-interval
-/// comparison: a recover and the next fault may not share an instant
-/// (Validate rejects same-time events on one disk).
+/// comparison: a recover and the next fault *may* legally share an
+/// instant (the recover applies first), but Random keeps windows fully
+/// disjoint so every generated plan is unambiguous to read.
 bool WindowIsFree(const std::vector<std::pair<SimTime, SimTime>>& windows,
                   SimTime start, SimTime end) {
   for (const auto& [s, e] : windows) {

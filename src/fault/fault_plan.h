@@ -63,15 +63,20 @@ class FaultPlan {
   /// range, times non-negative, stall durations positive, and the
   /// per-disk event sequence consistent (fail only while healthy,
   /// recover only while failed, stalls only while healthy and never
-  /// overlapping a failure window or another stall).
+  /// overlapping a failure window or another stall).  Two events on one
+  /// disk at the same instant replay in the deterministic apply order
+  /// recover < fail < stall — a same-time `recover` + `fail` pair is a
+  /// legal back-to-back outage — but exact duplicates (same instant,
+  /// same kind) are rejected.
   Status Validate(int32_t num_disks) const;
 
   bool empty() const { return events_.empty(); }
   size_t size() const { return events_.size(); }
   const std::vector<FaultEvent>& events() const { return events_; }
 
-  /// Events sorted by (time, disk, kind) — the order the injector
-  /// applies them in.
+  /// Events sorted by (time, disk, apply rank) — the order the injector
+  /// applies them in.  Same-instant ties on one disk resolve recover
+  /// before fail before stall.
   std::vector<FaultEvent> Sorted() const;
 
   /// Line-oriented text form, one event per line:

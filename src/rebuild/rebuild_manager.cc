@@ -1,0 +1,195 @@
+#include "rebuild/rebuild_manager.h"
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace stagger {
+
+uint64_t FragmentWord(ObjectId object, int64_t subobject, int32_t fragment) {
+  // splitmix64 over the packed coordinates: cheap, deterministic, and
+  // distinct words for distinct fragments with overwhelming probability.
+  uint64_t x = static_cast<uint64_t>(object) * 0x9e3779b97f4a7c15ULL;
+  x ^= static_cast<uint64_t>(subobject) + 0xbf58476d1ce4e5b9ULL +
+       (x << 6) + (x >> 2);
+  x ^= static_cast<uint64_t>(fragment) + 0x94d049bb133111ebULL +
+       (x << 6) + (x >> 2);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t ParityWord(ObjectId object, int64_t subobject, int32_t degree) {
+  uint64_t parity = 0;
+  for (int32_t j = 0; j < degree; ++j) {
+    parity ^= FragmentWord(object, subobject, j);
+  }
+  return parity;
+}
+
+Result<std::unique_ptr<RebuildManager>> RebuildManager::Create(
+    DiskArray* disks, const RebuildConfig& config) {
+  if (config.rebuild_intervals_per_fragment < 1) {
+    return Status::InvalidArgument(
+        "rebuild rate cap must be >= 1 interval per fragment");
+  }
+  return std::unique_ptr<RebuildManager>(new RebuildManager(disks, config));
+}
+
+RebuildManager::RebuildManager(DiskArray* disks, RebuildConfig config)
+    : disks_(disks), config_(config) {}
+
+Status RebuildManager::StartRebuild(DiskId slot, std::vector<LostFragment> lost) {
+  if (jobs_.count(slot) > 0) {
+    return Status::FailedPrecondition("slot " + std::to_string(slot) +
+                                      " is already rebuilding");
+  }
+  for (const LostFragment& f : lost) {
+    if (f.degree < 1 || f.fragment < 0 || f.fragment > f.degree) {
+      return Status::InvalidArgument("lost fragment index outside [0, M]");
+    }
+  }
+  STAGGER_ASSIGN_OR_RETURN(int32_t spare, disks_->AcquireSpare());
+  Job job;
+  job.spare = spare;
+  job.lost = std::move(lost);
+  ++metrics_.rebuilds_started;
+  if (job.lost.empty()) {
+    // Nothing stored on the slot: the blank spare already matches.
+    jobs_.emplace(slot, std::move(job));
+    Promote(slot);
+    return Status::OK();
+  }
+  jobs_.emplace(slot, std::move(job));
+  return Status::OK();
+}
+
+Status RebuildManager::CancelRebuild(DiskId slot) {
+  auto it = jobs_.find(slot);
+  if (it == jobs_.end()) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " is not rebuilding");
+  }
+  disks_->ReturnSpare(it->second.spare);
+  jobs_.erase(it);
+  ++metrics_.rebuilds_cancelled;
+  return Status::OK();
+}
+
+void RebuildManager::OnIdleInterval(int64_t interval) {
+  std::vector<DiskId> done;
+  for (auto& [slot, job] : jobs_) {
+    if (job.last_rebuild_interval >= 0 &&
+        interval - job.last_rebuild_interval <
+            config_.rebuild_intervals_per_fragment) {
+      continue;  // throttled; not a stall
+    }
+    if (TryRebuildOne(&job, interval)) {
+      if (job.next >= job.lost.size()) done.push_back(slot);
+    } else {
+      ++metrics_.stalled_intervals;
+    }
+  }
+  for (DiskId slot : done) Promote(slot);
+}
+
+bool RebuildManager::TryRebuildOne(Job* job, int64_t interval) {
+  STAGGER_CHECK(job->next < job->lost.size());
+  const int32_t d = disks_->num_disks();
+  Disk& spare = disks_->spare_drive(job->spare);
+  if (spare.busy()) return false;
+
+  // Scan the remaining list for the first fragment whose whole source
+  // set has slack this interval.  Display traffic pins a moving window
+  // of disks, and a second outage can make individual stripes
+  // temporarily (or, for doubly-lost stripes, indefinitely)
+  // unreadable — skipping past them keeps the idle bandwidth working
+  // instead of serializing behind one blocked stripe.
+  for (size_t idx = job->next; idx < job->lost.size(); ++idx) {
+    const LostFragment& f = job->lost[idx];
+    // Source set: every fragment of the stripe except the lost one —
+    // the surviving data disks plus (for a lost data fragment) the
+    // parity disk.  Stripe disks are consecutive mod D starting at the
+    // stripe's first data disk, parity on the (M+1)-th.
+    bool sources_free = true;
+    for (int32_t j = 0; j <= f.degree && sources_free; ++j) {
+      if (j == f.fragment) continue;
+      const Disk& drive = disks_->disk(static_cast<int32_t>(
+          PositiveMod(static_cast<int64_t>(f.stripe_first_disk) + j, d)));
+      sources_free = drive.available() && !drive.busy();
+    }
+    if (!sources_free) continue;
+
+    // All sources have slack: take the reservations and reconstruct.
+    uint64_t word = 0;
+    for (int32_t j = 0; j <= f.degree; ++j) {
+      if (j == f.fragment) continue;
+      const int32_t src = static_cast<int32_t>(
+          PositiveMod(static_cast<int64_t>(f.stripe_first_disk) + j, d));
+      disks_->disk(src).Reserve();
+      ++metrics_.source_reads;
+      word ^= j == f.degree ? ParityWord(f.object, f.subobject, f.degree)
+                            : FragmentWord(f.object, f.subobject, j);
+    }
+    spare.Reserve();  // the rebuilt fragment's write transfer
+
+    const uint64_t expected =
+        f.fragment == f.degree
+            ? ParityWord(f.object, f.subobject, f.degree)
+            : FragmentWord(f.object, f.subobject, f.fragment);
+    if (word != expected) ++metrics_.mismatches;
+
+    std::swap(job->lost[job->next], job->lost[idx]);
+    ++job->next;
+    ++metrics_.fragments_rebuilt;
+    job->last_rebuild_interval = interval;
+    return true;
+  }
+  return false;
+}
+
+void RebuildManager::Promote(DiskId slot) {
+  auto it = jobs_.find(slot);
+  STAGGER_CHECK(it != jobs_.end());
+  disks_->PromoteSpare(slot, it->second.spare);
+  jobs_.erase(it);
+  ++metrics_.rebuilds_completed;
+}
+
+double RebuildManager::Progress(DiskId slot) const {
+  auto it = jobs_.find(slot);
+  STAGGER_CHECK(it != jobs_.end()) << "slot " << slot << " is not rebuilding";
+  if (it->second.lost.empty()) return 1.0;
+  return static_cast<double>(it->second.next) /
+         static_cast<double>(it->second.lost.size());
+}
+
+int64_t RebuildManager::EtaIntervals(DiskId slot) const {
+  auto it = jobs_.find(slot);
+  STAGGER_CHECK(it != jobs_.end()) << "slot " << slot << " is not rebuilding";
+  const int64_t remaining =
+      static_cast<int64_t>(it->second.lost.size() - it->second.next);
+  return remaining * config_.rebuild_intervals_per_fragment;
+}
+
+Status RebuildManager::AuditState() const {
+  for (const auto& [slot, job] : jobs_) {
+    STAGGER_AUDIT_VERIFY(slot >= 0 && slot < disks_->num_disks())
+        << "; rebuild job on nonexistent slot " << slot;
+    STAGGER_AUDIT_VERIFY(job.spare >= 0)
+        << "; rebuild job on slot " << slot << " holds no spare";
+    STAGGER_AUDIT_VERIFY(job.next < job.lost.size() || job.lost.empty())
+        << "; rebuild job on slot " << slot
+        << " is complete but was not promoted";
+  }
+  STAGGER_AUDIT_VERIFY(metrics_.mismatches == 0)
+      << "; " << metrics_.mismatches
+      << " reconstructed fragments failed the parity content check";
+  return Status::OK();
+}
+
+}  // namespace stagger

@@ -79,7 +79,8 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
                                      config.subobjects_per_object,
                                      config.display_bandwidth);
   STAGGER_ASSIGN_OR_RETURN(
-      DiskArray disks, DiskArray::Create(config.num_disks, config.disk));
+      DiskArray disks,
+      DiskArray::Create(config.num_disks, config.disk, config.num_spares));
   STAGGER_ASSIGN_OR_RETURN(
       std::unique_ptr<TertiaryPool> tertiary_pool,
       TertiaryPool::Create(&sim, TertiaryDevice(config.tertiary),
@@ -130,6 +131,8 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     sc.charge_materialization_writes = config.charge_materialization_writes;
     sc.tertiary_bandwidth = config.tertiary.bandwidth;
     sc.degraded_policy = config.degraded_policy;
+    sc.parity = config.parity;
+    sc.rebuild_intervals_per_fragment = config.rebuild_intervals_per_fragment;
     STAGGER_ASSIGN_OR_RETURN(
         striped,
         StripedServer::Create(&sim, &catalog, &disks, &tertiary, sc));
@@ -152,6 +155,15 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
                       d->disk(disk).health() == DiskHealth::kFailed);
       });
       injector->OnUp([v](DiskId disk, SimTime) { v->OnDiskUp(disk); });
+    } else {
+      // The striped scheduler notices outages via per-interval health
+      // checks, but the rebuild subsystem needs the failure edge to
+      // claim a spare (and the recovery edge to return it).
+      StripedServer* s = striped.get();
+      injector->OnDown(
+          [s](DiskId disk, SimTime now) { s->OnDiskDown(disk, now); });
+      injector->OnUp(
+          [s](DiskId disk, SimTime now) { s->OnDiskUp(disk, now); });
     }
   }
 
@@ -188,10 +200,15 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     result.resident_objects_end = striped->object_manager().ResidentCount();
     const SchedulerMetrics& sm = striped->scheduler_metrics();
     result.degraded_reads = sm.degraded_reads;
+    result.reconstructed_reads = sm.reconstructed_reads;
     result.streams_paused = sm.streams_paused;
     result.streams_resumed = sm.streams_resumed;
     result.displays_interrupted = sm.displays_interrupted;
     result.mean_resume_latency_sec = sm.resume_latency_sec.mean();
+    if (const RebuildManager* rebuild = striped->rebuild()) {
+      result.rebuilds_completed = rebuild->metrics().rebuilds_completed;
+      result.fragments_rebuilt = rebuild->metrics().fragments_rebuilt;
+    }
   }
   return result;
 }

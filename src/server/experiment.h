@@ -58,6 +58,15 @@ struct ExperimentConfig {
   /// Striped schemes' reaction to reads on unavailable disks; for VDR
   /// the plan is mapped onto cluster failovers instead.
   DegradedPolicy degraded_policy = DegradedPolicy::kRemapOrPause;
+  /// Striped schemes: store per-subobject parity fragments (required by
+  /// DegradedPolicy::kReconstruct and by online rebuild).
+  bool parity = false;
+  /// Hot-spare drives beyond the D slots; with parity on, a failed
+  /// slot's fragments are rebuilt onto a spare on idle bandwidth.
+  int32_t num_spares = 0;
+  /// Rebuild rate cap: one fragment per failed slot every this many
+  /// intervals.
+  int64_t rebuild_intervals_per_fragment = 1;
 
   // Workload (Section 4.1).
   int32_t stations = 16;
@@ -102,11 +111,15 @@ struct ExperimentResult {
   int32_t resident_objects_end = 0;
   // --- degraded-mode outcomes (zero on all-healthy runs) ---------------
   int64_t degraded_reads = 0;          ///< striping: remapped fragment reads
+  int64_t reconstructed_reads = 0;     ///< striping: parity reconstructions
   int64_t streams_paused = 0;          ///< striping: pauses forced by faults
   int64_t streams_resumed = 0;         ///< striping: successful re-admissions
   int64_t displays_interrupted = 0;    ///< both schemes: displays cut short
   int64_t failovers = 0;               ///< VDR: displays moved to a replica
   double mean_resume_latency_sec = 0;  ///< striping: pause -> re-admission
+  // --- rebuild outcomes (parity + spares only) -------------------------
+  int64_t rebuilds_completed = 0;      ///< spares promoted into failed slots
+  int64_t fragments_rebuilt = 0;
 };
 
 /// Runs one experiment to completion (warmup + measurement).

@@ -52,6 +52,14 @@ Status StripedConfig::Validate() const {
     return Status::InvalidArgument(
         "max retry backoff must be >= the initial backoff");
   }
+  if (rebuild_intervals_per_fragment < 1) {
+    return Status::InvalidArgument(
+        "rebuild rate cap must be >= 1 interval per fragment");
+  }
+  if (degraded_policy == DegradedPolicy::kReconstruct && !parity) {
+    return Status::InvalidArgument(
+        "kReconstruct requires parity layouts to reconstruct from");
+  }
   return Status::OK();
 }
 
@@ -80,6 +88,15 @@ Result<std::unique_ptr<StripedServer>> StripedServer::Create(
   sched.read_observer = config.read_observer;
   STAGGER_ASSIGN_OR_RETURN(server->scheduler_,
                            IntervalScheduler::Create(sim, disks, sched));
+  if (config.parity && disks->num_spares() > 0) {
+    RebuildConfig rc;
+    rc.rebuild_intervals_per_fragment = config.rebuild_intervals_per_fragment;
+    STAGGER_ASSIGN_OR_RETURN(server->rebuild_,
+                             RebuildManager::Create(disks, rc));
+    RebuildManager* rebuild = server->rebuild_.get();
+    server->scheduler_->SetIdleBandwidthHook(
+        [rebuild](int64_t interval) { rebuild->OnIdleInterval(interval); });
+  }
   STAGGER_RETURN_NOT_OK(server->Preload());
   return server;
 }
@@ -120,7 +137,51 @@ Status StripedServer::AuditInvariants() const {
     STAGGER_RETURN_NOT_OK(InvariantAuditor::AuditLayout(
         objects_->LayoutOf(id), catalog_->Get(id).num_subobjects));
   }
+  if (rebuild_) STAGGER_RETURN_NOT_OK(rebuild_->AuditState());
   return InvariantAuditor::AuditScheduler(*scheduler_);
+}
+
+std::vector<LostFragment> StripedServer::LostFragmentsOn(DiskId slot) const {
+  std::vector<LostFragment> lost;
+  for (ObjectId id = 0; id < catalog_->size(); ++id) {
+    if (!objects_->IsResident(id)) continue;
+    const StaggeredLayout& layout = objects_->LayoutOf(id);
+    const int64_t n = catalog_->Get(id).num_subobjects;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int32_t j = 0; j < layout.degree(); ++j) {
+        if (layout.DiskFor(i, j) != slot) continue;
+        lost.push_back(LostFragment{id, i, j, layout.FirstDiskFor(i),
+                                    layout.degree()});
+      }
+      if (layout.has_parity() && layout.ParityDiskFor(i) == slot) {
+        lost.push_back(LostFragment{id, i, layout.degree(),
+                                    layout.FirstDiskFor(i), layout.degree()});
+      }
+    }
+  }
+  return lost;
+}
+
+void StripedServer::OnDiskDown(DiskId disk, SimTime /*now*/) {
+  if (!rebuild_) return;
+  // Stalls recover by themselves; only a permanent failure is worth a
+  // spare.  A slot already rebuilding keeps its job.
+  if (disks_->disk(disk).health() != DiskHealth::kFailed) return;
+  if (rebuild_->rebuilding(disk)) return;
+  Status st = rebuild_->StartRebuild(disk, LostFragmentsOn(disk));
+  // An exhausted spare pool leaves the slot to the degraded-read path.
+  STAGGER_CHECK(st.ok() || st.IsResourceExhausted()) << st.ToString();
+}
+
+void StripedServer::OnDiskUp(DiskId disk, SimTime /*now*/) {
+  if (!rebuild_) return;
+  // The original drive came back before the rebuild finished: abandon
+  // the job and return the spare.  After a promotion the slot is no
+  // longer rebuilding, so a late plan `recover` event lands here as a
+  // no-op.
+  if (rebuild_->rebuilding(disk)) {
+    STAGGER_CHECK_OK(rebuild_->CancelRebuild(disk));
+  }
 }
 
 int32_t StripedServer::NextStartDisk() {
@@ -138,8 +199,11 @@ int32_t StripedServer::NextStartDisk() {
 StaggeredLayout StripedServer::MakeLayout(ObjectId object) {
   const MediaObject& obj = catalog_->Get(object);
   const int32_t degree = obj.DegreeOfDeclustering(EffectiveDiskBandwidth());
+  // Parity needs a disk disjoint from the stripe; a full-width object
+  // (M = D) falls back to a parity-less layout.
+  const bool parity = config_.parity && degree + 1 <= disks_->num_disks();
   auto layout = StaggeredLayout::Create(disks_->num_disks(), NextStartDisk(),
-                                        config_.stride, degree);
+                                        config_.stride, degree, parity);
   STAGGER_CHECK(layout.ok()) << layout.status().ToString();
   return *std::move(layout);
 }
@@ -226,6 +290,7 @@ void StripedServer::SubmitDisplay(ObjectId object, StartedFn on_started,
   req.start_disk = layout.FirstDiskFor(0);
   req.degree = layout.degree();
   req.num_subobjects = obj.num_subobjects;
+  req.parity = layout.has_parity();
   req.on_started = std::move(on_started);
   req.on_completed = [this, object, done = std::move(on_completed)] {
     objects_->Unpin(object);

@@ -22,6 +22,7 @@
 
 #include "core/interval_scheduler.h"
 #include "disk/disk_array.h"
+#include "rebuild/rebuild_manager.h"
 #include "storage/catalog.h"
 #include "storage/object_manager.h"
 #include "tertiary/tertiary_manager.h"
@@ -62,6 +63,16 @@ struct StripedConfig {
   int64_t retry_backoff_intervals = 1;
   int64_t max_retry_backoff_intervals = 64;
   int64_t max_pause_intervals = 4096;
+  /// Store a per-subobject parity fragment on the disk after each
+  /// stripe (fault-tolerance layer): enables kReconstruct degraded
+  /// reads and online rebuild, at one extra fragment per stripe of
+  /// storage.  Objects whose M_X + 1 exceeds D fall back to
+  /// parity-less layouts.
+  bool parity = false;
+  /// Rebuild rate cap forwarded to RebuildManager: at most one fragment
+  /// per failed disk every this many intervals.  Rebuild runs when the
+  /// array has hot spares (DiskArray num_spares > 0) and parity is on.
+  int64_t rebuild_intervals_per_fragment = 1;
   /// Forwarded to SchedulerConfig::read_observer (schedule tracing).
   std::function<void(int64_t, ObjectId, int64_t, int32_t, int32_t)>
       read_observer;
@@ -96,12 +107,22 @@ class StripedServer : public MediaService {
   /// automatically at preload and every landing when STAGGER_AUDIT is on.
   Status AuditInvariants() const;
 
+  /// Fault-injector listeners (fault/fault_injector.h OnDown / OnUp):
+  /// a permanent failure starts an online rebuild of the slot's lost
+  /// fragments onto a hot spare; a natural recovery cancels it.  No-ops
+  /// unless the server owns a rebuild manager (parity on + spares).
+  void OnDiskDown(DiskId disk, SimTime now);
+  void OnDiskUp(DiskId disk, SimTime now);
+
   const StripedMetrics& metrics() const { return metrics_; }
   const SchedulerMetrics& scheduler_metrics() const {
     return scheduler_->metrics();
   }
   const ObjectManager& object_manager() const { return *objects_; }
   IntervalScheduler* scheduler() { return scheduler_.get(); }
+  /// Rebuild subsystem, or nullptr when parity/spares are off.
+  RebuildManager* rebuild() { return rebuild_.get(); }
+  const RebuildManager* rebuild() const { return rebuild_.get(); }
   /// Effective per-disk bandwidth implied by fragment size and interval.
   Bandwidth EffectiveDiskBandwidth() const;
 
@@ -131,6 +152,10 @@ class StripedServer : public MediaService {
   /// Lands any deferred objects whose space is now reclaimable.
   void RetryLandings();
 
+  /// Every fragment resident objects store on `slot`, parity included —
+  /// the rebuild work list for a failed slot.
+  std::vector<LostFragment> LostFragmentsOn(DiskId slot) const;
+
   Simulator* sim_;
   const Catalog* catalog_;
   DiskArray* disks_;
@@ -138,6 +163,7 @@ class StripedServer : public MediaService {
   StripedConfig config_;
   std::unique_ptr<ObjectManager> objects_;
   std::unique_ptr<IntervalScheduler> scheduler_;
+  std::unique_ptr<RebuildManager> rebuild_;
   std::unordered_map<ObjectId, std::vector<Waiter>> waiters_;
   std::vector<char> materializing_;
   std::unordered_map<ObjectId, StaggeredLayout> planned_layouts_;

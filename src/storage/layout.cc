@@ -7,7 +7,8 @@ namespace stagger {
 
 Result<StaggeredLayout> StaggeredLayout::Create(int32_t num_disks,
                                                 int32_t start_disk,
-                                                int32_t stride, int32_t degree) {
+                                                int32_t stride, int32_t degree,
+                                                bool parity) {
   if (num_disks < 1) {
     return Status::InvalidArgument("layout: need at least one disk");
   }
@@ -20,7 +21,14 @@ Result<StaggeredLayout> StaggeredLayout::Create(int32_t num_disks,
   if (degree < 1 || degree > num_disks) {
     return Status::InvalidArgument("layout: degree must be in [1, D]");
   }
-  return StaggeredLayout(num_disks, start_disk, stride, degree);
+  if (parity && degree + 1 > num_disks) {
+    // The parity disk is the (M+1)-th consecutive disk of the stripe;
+    // it is disjoint from the data disks only while M + 1 <= D.
+    return Status::InvalidArgument(
+        "layout: parity requires degree + 1 <= D so the parity disk is "
+        "disjoint from its stripe");
+  }
+  return StaggeredLayout(num_disks, start_disk, stride, degree, parity);
 }
 
 int32_t StaggeredLayout::UniqueDisksUsed(int64_t num_subobjects) const {
@@ -29,6 +37,7 @@ int32_t StaggeredLayout::UniqueDisksUsed(int64_t num_subobjects) const {
     for (int32_t j = 0; j < degree_; ++j) {
       used[static_cast<size_t>(DiskFor(i, j))] = 1;
     }
+    if (parity_) used[static_cast<size_t>(ParityDiskFor(i))] = 1;
     // Once every disk is touched further subobjects change nothing; the
     // walk revisits after at most D/gcd(D,k) steps.
     if (i >= num_disks_) break;
@@ -50,6 +59,7 @@ std::vector<int64_t> StaggeredLayout::FragmentsPerDisk(int64_t num_subobjects) c
     for (int32_t j = 0; j < degree_; ++j) {
       counts[static_cast<size_t>(DiskFor(i, j))] += times;
     }
+    if (parity_) counts[static_cast<size_t>(ParityDiskFor(i))] += times;
   };
   if (full > 0) {
     for (int64_t i = 0; i < period; ++i) add_subobject(i, full);

@@ -10,6 +10,14 @@
 // This header also carries the Section 3.2.2 skew analysis: the number
 // of distinct disks an object touches and the per-disk fragment-count
 // balance, both governed by gcd(D, k).
+//
+// Parity extension (fault-tolerance layer, src/rebuild/): each
+// subobject stripe may carry one parity fragment on the next
+// consecutive disk after its data fragments, (p + i*k + M) mod D.  The
+// parity disk is disjoint from the stripe whenever M + 1 <= D, and the
+// augmented placement is exactly a staggered layout of window M + 1 —
+// so mod-D contiguity, stride progression, and the gcd skew bounds all
+// carry over unchanged with the wider window.
 
 #ifndef STAGGER_STORAGE_LAYOUT_H_
 #define STAGGER_STORAGE_LAYOUT_H_
@@ -30,14 +38,23 @@ class StaggeredLayout {
   /// \param num_disks   D, total disks; >= 1.
   /// \param start_disk  p, the disk holding fragment X_{0.0}.
   /// \param stride      k in [1, D].
-  /// \param degree      M_X in [1, D].
+  /// \param degree      M_X in [1, D]; with parity, M_X + 1 <= D so the
+  ///                    parity disk never co-resides with the stripe.
+  /// \param parity      each subobject carries a parity fragment on the
+  ///                    disk after its last data fragment.
   static Result<StaggeredLayout> Create(int32_t num_disks, int32_t start_disk,
-                                        int32_t stride, int32_t degree);
+                                        int32_t stride, int32_t degree,
+                                        bool parity = false);
 
   int32_t num_disks() const { return num_disks_; }
   int32_t start_disk() const { return start_disk_; }
   int32_t stride() const { return stride_; }
   int32_t degree() const { return degree_; }
+  bool has_parity() const { return parity_; }
+  /// Fragments stored per subobject: M_X data plus the optional parity.
+  int32_t FragmentsPerSubobject() const {
+    return degree_ + (parity_ ? 1 : 0);
+  }
 
   /// Physical disk holding fragment X_{i.j}.
   int32_t DiskFor(int64_t subobject, int32_t fragment) const {
@@ -49,12 +66,24 @@ class StaggeredLayout {
   /// First disk of subobject i (X_{i.0}).
   int32_t FirstDiskFor(int64_t subobject) const { return DiskFor(subobject, 0); }
 
+  /// Physical disk holding subobject i's parity fragment: the disk
+  /// after the stripe's last data fragment, (p + i*k + M) mod D.
+  /// Precondition: has_parity().
+  int32_t ParityDiskFor(int64_t subobject) const {
+    STAGGER_DCHECK(parity_);
+    return static_cast<int32_t>(PositiveMod(
+        start_disk_ + subobject * stride_ + degree_, num_disks_));
+  }
+
   /// Number of distinct disks touched by an object of `num_subobjects`
-  /// stripes (the Section 3.2.2 "28 disks" example).
+  /// stripes (the Section 3.2.2 "28 disks" example).  Includes parity
+  /// disks when the layout carries parity.
   int32_t UniqueDisksUsed(int64_t num_subobjects) const;
 
   /// Fragments stored per disk for an object of `num_subobjects` stripes
-  /// (index = physical disk).  Uneven counts == data skew.
+  /// (index = physical disk).  Uneven counts == data skew.  Parity
+  /// fragments are counted when the layout carries them, so storage
+  /// accounting charges the parity overhead automatically.
   std::vector<int64_t> FragmentsPerDisk(int64_t num_subobjects) const;
 
   /// True when this (D, k) pair guarantees no data skew for objects that
@@ -65,13 +94,14 @@ class StaggeredLayout {
 
  private:
   StaggeredLayout(int32_t num_disks, int32_t start_disk, int32_t stride,
-                  int32_t degree)
+                  int32_t degree, bool parity)
       : num_disks_(num_disks), start_disk_(start_disk), stride_(stride),
-        degree_(degree) {}
+        degree_(degree), parity_(parity) {}
   int32_t num_disks_;
   int32_t start_disk_;
   int32_t stride_;
   int32_t degree_;
+  bool parity_;
 };
 
 /// \brief Placement of one object under virtual data replication: the

@@ -112,5 +112,74 @@ TEST(DiskArrayTest, StorageSkewReporting) {
   EXPECT_EQ(array.MinUsedCylinders(), 0);
 }
 
+// ---------------------------------------------------------------------
+// Hot-spare pool (online rebuild).
+// ---------------------------------------------------------------------
+
+DiskArray MakeArrayWithSpares(int32_t n, int32_t spares) {
+  auto array = DiskArray::Create(n, DiskParameters::Evaluation(), spares);
+  STAGGER_CHECK(array.ok());
+  return *std::move(array);
+}
+
+TEST(DiskArraySpareTest, SparesAreInvisibleToSlotQueries) {
+  DiskArray array = MakeArrayWithSpares(4, 2);
+  EXPECT_EQ(array.num_disks(), 4);
+  EXPECT_EQ(array.num_spares(), 2);
+  EXPECT_EQ(array.FreeSpareCount(), 2);
+  // Slot-space accounting ignores spares entirely.
+  EXPECT_EQ(array.IdleCount(), 4);
+  EXPECT_EQ(array.AvailableCount(), 4);
+  EXPECT_EQ(array.TotalCylinders(), MakeArray(4).TotalCylinders());
+}
+
+TEST(DiskArraySpareTest, AcquireReturnCycle) {
+  DiskArray array = MakeArrayWithSpares(4, 1);
+  auto drive = array.AcquireSpare();
+  ASSERT_TRUE(drive.ok());
+  EXPECT_EQ(array.FreeSpareCount(), 0);
+  EXPECT_TRUE(array.AcquireSpare().status().IsResourceExhausted());
+  array.ReturnSpare(*drive);
+  EXPECT_EQ(array.FreeSpareCount(), 1);
+}
+
+TEST(DiskArraySpareTest, PromotionRewiresSlotAndTransfersStorage) {
+  DiskArray array = MakeArrayWithSpares(4, 1);
+  EXPECT_TRUE(array.disk(2).AllocateStorage(700).ok());
+  array.FailDisk(2);
+  EXPECT_FALSE(array.IsAvailable(2));
+
+  auto drive = array.AcquireSpare();
+  ASSERT_TRUE(drive.ok());
+  array.PromoteSpare(2, *drive);
+
+  // The slot is healthy again, addressed identically, and carries the
+  // failed drive's storage accounting — bit-identical in slot space.
+  EXPECT_TRUE(array.IsAvailable(2));
+  EXPECT_EQ(array.disk(2).used_cylinders(), 700);
+  EXPECT_EQ(array.FreeCylinders(), array.TotalCylinders() - 700);
+  EXPECT_EQ(array.FreeSpareCount(), 0);  // the dead drive is retired
+}
+
+TEST(DiskArraySpareTest, PromotedSlotServesReads) {
+  DiskArray array = MakeArrayWithSpares(3, 1);
+  array.FailDisk(1);
+  auto drive = array.AcquireSpare();
+  ASSERT_TRUE(drive.ok());
+  array.PromoteSpare(1, *drive);
+  EXPECT_TRUE(array.RunIsIdle(0, 3));
+  array.ReserveRun(0, 3);
+  EXPECT_EQ(array.IdleCount(), 0);
+  array.EndInterval();
+  EXPECT_EQ(array.IdleCount(), 3);
+}
+
+TEST(DiskArraySpareDeathTest, PromoteRequiresFailedSlot) {
+  DiskArray array = MakeArrayWithSpares(2, 1);
+  auto drive = array.AcquireSpare();
+  ASSERT_TRUE(drive.ok());
+  EXPECT_DEATH(array.PromoteSpare(0, *drive), "");
+}
+
 }  // namespace
 }  // namespace stagger

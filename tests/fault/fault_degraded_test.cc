@@ -55,12 +55,13 @@ class DegradedSchedulerTest : public ::testing::Test {
   };
 
   RequestId Request(ObjectId object, int32_t start_disk, int32_t degree,
-                    int64_t subobjects, Probe* probe) {
+                    int64_t subobjects, Probe* probe, bool parity = false) {
     DisplayRequest req;
     req.object = object;
     req.start_disk = start_disk;
     req.degree = degree;
     req.num_subobjects = subobjects;
+    req.parity = parity;
     req.on_started = [probe](SimTime latency) {
       probe->started = true;
       probe->latency = latency;
@@ -234,6 +235,100 @@ TEST_F(DegradedSchedulerTest, AdmissionWaitsForDownStripeDisk) {
   EXPECT_TRUE(probe.completed);
   EXPECT_EQ(probe.completed_at, kInterval * 10);
   EXPECT_EQ(sched_->metrics().streams_paused, 0);
+}
+
+// ---------------------------------------------------------------------
+// kReconstruct: the lost fragment is re-derived from the stripe's
+// parity fragment, read in the same interval.
+// ---------------------------------------------------------------------
+
+// One failed disk mid-display: the read shifts to the stripe's parity
+// disk and the display never notices.  At interval 5 the stripe is
+// disks {5,6,7}, so the parity fragment sits on disk 8.
+TEST_F(DegradedSchedulerTest, ReconstructReadsParityDisk) {
+  Init(10, 1, DegradedPolicy::kReconstruct);
+  FaultPlan plan;
+  plan.FailAt(5, kInterval * 5).RecoverAt(5, kInterval * 6);
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 3, 20, &probe, /*parity=*/true);
+  sim_.RunUntil(SimTime::Minutes(2));
+
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(probe.completed_at, kInterval * 19);  // no delay at all
+  EXPECT_EQ(sched_->metrics().reconstructed_reads, 1);
+  EXPECT_EQ(sched_->metrics().degraded_reads, 0);  // parity, not remap
+  EXPECT_EQ(sched_->metrics().streams_paused, 0);
+  EXPECT_EQ(sched_->metrics().hiccups, 0);
+
+  bool found = false;
+  for (const Read& r : reads_) {
+    if (std::get<0>(r) == 5 && std::get<4>(r) == 8) found = true;
+  }
+  EXPECT_TRUE(found) << "no read landed on the parity disk at interval 5";
+}
+
+// A parity-less stream under kReconstruct falls through to the remap
+// ladder — reconstruction needs the parity fragment on disk.
+TEST_F(DegradedSchedulerTest, ReconstructWithoutParityFallsBackToRemap) {
+  Init(10, 1, DegradedPolicy::kReconstruct);
+  FaultPlan plan;
+  plan.FailAt(5, kInterval * 5).RecoverAt(5, kInterval * 6);
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 3, 20, &probe, /*parity=*/false);
+  sim_.RunUntil(SimTime::Minutes(2));
+
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(probe.completed_at, kInterval * 19);
+  EXPECT_EQ(sched_->metrics().reconstructed_reads, 0);
+  EXPECT_EQ(sched_->metrics().degraded_reads, 1);
+}
+
+// Admission under kReconstruct: a down disk in the first stripe does
+// not hold the stream back when the stripe's parity disk is healthy —
+// it admits immediately and reconstructs until the disk returns.
+TEST_F(DegradedSchedulerTest, ReconstructAdmitsOverDownStripeDisk) {
+  Init(10, 1, DegradedPolicy::kReconstruct);
+  FaultPlan plan;
+  plan.FailAt(1, SimTime::Zero()).RecoverAt(1, kInterval * 2);
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 3, 20, &probe, /*parity=*/true);
+  sim_.RunUntil(SimTime::Minutes(2));
+
+  // Disk 1 carries fragment reads at intervals 0 (lane 1) and 1
+  // (lane 0); both reconstruct from parity disks 3 and 4.
+  EXPECT_TRUE(probe.started);
+  EXPECT_EQ(probe.latency, SimTime::Zero());
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(probe.completed_at, kInterval * 19);
+  EXPECT_EQ(sched_->metrics().reconstructed_reads, 2);
+  EXPECT_EQ(sched_->metrics().streams_paused, 0);
+}
+
+// The parity disk is one read, not a free pass: when a second stripe
+// disk is down in the same interval, one parity fragment cannot cover
+// two losses and the stream falls back down the ladder (pause here).
+TEST_F(DegradedSchedulerTest, DoubleFailureExceedsParityAndPauses) {
+  Init(4, 1, DegradedPolicy::kReconstruct);
+  FaultPlan plan;
+  plan.FailAt(1, kInterval * 1).RecoverAt(1, kInterval * 5);
+  plan.FailAt(2, kInterval * 1).RecoverAt(2, kInterval * 5);
+  Inject(plan);
+
+  Probe probe;
+  Request(0, 0, 3, 10, &probe, /*parity=*/true);
+  sim_.RunUntil(SimTime::Minutes(2));
+
+  // With D = 4 and two disks down there is no idle substitute either,
+  // so the stream pauses and resumes after recovery.
+  EXPECT_TRUE(probe.completed);
+  EXPECT_EQ(sched_->metrics().streams_paused, 1);
+  EXPECT_EQ(sched_->metrics().streams_resumed, 1);
 }
 
 // ---------------------------------------------------------------------

@@ -139,6 +139,69 @@ TEST(FaultPlanTest, RandomPlansAlwaysValidate) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Same-instant tie-breaks: deterministic apply order recover < fail <
+// stall, with exact duplicates rejected.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanTest, SameInstantRecoverThenFailIsLegal) {
+  // A back-to-back outage: the old failure ends and a new one begins at
+  // the same timestamp.  The recover applies first regardless of the
+  // order the builder saw them.
+  FaultPlan plan;
+  plan.FailAt(3, SimTime::Seconds(1))
+      .FailAt(3, SimTime::Seconds(5))
+      .RecoverAt(3, SimTime::Seconds(5))
+      .RecoverAt(3, SimTime::Seconds(9));
+  EXPECT_TRUE(plan.Validate(8).ok()) << plan.Validate(8);
+
+  const auto sorted = plan.Sorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[1].kind, FaultKind::kRecover);
+  EXPECT_EQ(sorted[2].kind, FaultKind::kFail);
+  EXPECT_EQ(sorted[1].at, sorted[2].at);
+}
+
+TEST(FaultPlanTest, SameInstantRecoverThenStallIsLegal) {
+  FaultPlan plan;
+  plan.FailAt(0, SimTime::Seconds(1))
+      .StallAt(0, SimTime::Seconds(4), SimTime::Seconds(2))
+      .RecoverAt(0, SimTime::Seconds(4));
+  EXPECT_TRUE(plan.Validate(2).ok()) << plan.Validate(2);
+}
+
+TEST(FaultPlanTest, RejectsExactDuplicateEvents) {
+  FaultPlan fails;
+  fails.FailAt(1, SimTime::Seconds(2)).FailAt(1, SimTime::Seconds(2));
+  EXPECT_TRUE(fails.Validate(4).IsInvalidArgument());
+
+  FaultPlan recovers;
+  recovers.FailAt(1, SimTime::Seconds(1))
+      .RecoverAt(1, SimTime::Seconds(2))
+      .RecoverAt(1, SimTime::Seconds(2));
+  EXPECT_TRUE(recovers.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, SameInstantFailThenStallIsStillInconsistent) {
+  // Apply order puts the fail first, so the stall lands on a failed
+  // disk — the state machine rejects it like any other overlap.
+  FaultPlan plan;
+  plan.StallAt(2, SimTime::Seconds(3), SimTime::Seconds(1))
+      .FailAt(2, SimTime::Seconds(3));
+  EXPECT_TRUE(plan.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, SameInstantTieBreakSurvivesSerialization) {
+  FaultPlan plan;
+  plan.FailAt(5, SimTime::Seconds(2))
+      .RecoverAt(5, SimTime::Seconds(4))
+      .FailAt(5, SimTime::Seconds(4));
+  auto reparsed = FaultPlan::Parse(plan.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(reparsed->Validate(8).ok());
+  EXPECT_EQ(reparsed->ToString(), plan.ToString());
+}
+
 TEST(FaultPlanTest, RandomIsDeterministicPerSeed) {
   Rng a(42);
   Rng b(42);

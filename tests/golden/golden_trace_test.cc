@@ -19,11 +19,14 @@
 
 #include "baseline/vdr_server.h"
 #include "core/interval_scheduler.h"
+#include "core/invariants.h"
 #include "core/schedule_trace.h"
 #include "disk/disk_array.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
+#include "server/striped_server.h"
 #include "sim/simulator.h"
+#include "tertiary/tertiary_manager.h"
 #include "util/rng.h"
 
 namespace stagger {
@@ -164,6 +167,156 @@ TEST(GoldenTraceTest, StripedSingleDiskFailure) {
       .StallAt(8, kInterval * 30, kInterval * 2);
   sc.run_intervals = 64;
   CompareOrUpdate("striped_single_disk_failure", TraceStriped(sc));
+}
+
+// --- reconstruct + rebuild acceptance trace ---------------------------
+
+// The explicit placement (parity column included) of every resident
+// object, one row per subobject.  Captured before the failure and after
+// the rebuild: spare promotion must leave the slot-space placement
+// bit-identical.
+std::string RenderPlacements(const StripedServer& srv, int32_t num_objects,
+                             int64_t num_subobjects) {
+  std::ostringstream os;
+  for (ObjectId id = 0; id < num_objects; ++id) {
+    const StaggeredLayout& layout = srv.object_manager().LayoutOf(id);
+    const PlacementTable table =
+        MaterializePlacement(layout, num_subobjects, layout.has_parity());
+    os << "obj " << id << ":";
+    for (const auto& row : table) {
+      os << " ";
+      for (size_t j = 0; j < row.size(); ++j) {
+        os << (j ? "." : "") << row[j];
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// The ISSUE acceptance scenario: kReconstruct under load with one
+// *unrecovered* disk failure on a parity-striped server with a hot
+// spare.  While every stripe has slack (low-degree objects on a wide
+// array), degraded reads reconstruct in place — zero pauses, zero
+// abandoned displays — and the online rebuild drains the lost slot onto
+// the spare on idle bandwidth until promotion restores the full array.
+TEST(GoldenTraceTest, StripedReconstructRebuild) {
+  constexpr int32_t kDisks = 8;
+  constexpr int32_t kSpares = 1;
+  constexpr int32_t kObjects = 3;
+  constexpr int64_t kSubobjects = 24;
+  constexpr int64_t kRunIntervals = 200;
+
+  Simulator sim;
+  // 30 mbps objects over ~20 mbps effective disks: M = 2, stripes span
+  // 3 slots, so reconstruction always finds survivors + parity.
+  Catalog catalog =
+      Catalog::Uniform(kObjects, kSubobjects, Bandwidth::Mbps(30));
+  auto disks =
+      DiskArray::Create(kDisks, DiskParameters::Evaluation(), kSpares);
+  STAGGER_CHECK(disks.ok());
+  TertiaryParameters tp;
+  tp.bandwidth = Bandwidth::Mbps(40);
+  tp.reposition = SimTime::Zero();
+  TertiaryManager tertiary(&sim, TertiaryDevice(tp));
+
+  ScheduleTracer tracer(kDisks, /*max_intervals=*/kRunIntervals + 1);
+  StripedConfig config;
+  config.stride = 1;
+  config.interval = kInterval;
+  config.fragment_size = DataSize::MB(1.512);
+  config.preload_objects = kObjects;
+  config.parity = true;
+  config.degraded_policy = DegradedPolicy::kReconstruct;
+  config.read_observer = [&tracer](int64_t interval, ObjectId object,
+                                   int64_t subobject, int32_t fragment,
+                                   int32_t disk) {
+    tracer.Record(interval, object, subobject, fragment, disk);
+  };
+  auto server =
+      StripedServer::Create(&sim, &catalog, &*disks, &tertiary, config);
+  ASSERT_TRUE(server.ok()) << server.status();
+  StripedServer* srv = server->get();
+
+  const std::string placement_before =
+      RenderPlacements(*srv, kObjects, kSubobjects);
+
+  // One permanent failure mid-run; the slot only comes back through the
+  // rebuilt spare.
+  FaultPlan plan;
+  plan.FailAt(3, kInterval * 20 + SimTime::Millis(1));
+  auto injector = FaultInjector::Create(&sim, &*disks, plan);
+  ASSERT_TRUE(injector.ok()) << injector.status();
+  (*injector)->OnDown([srv](DiskId d, SimTime now) { srv->OnDiskDown(d, now); });
+  (*injector)->OnUp([srv](DiskId d, SimTime now) { srv->OnDiskUp(d, now); });
+
+  // A fixed-seed display mix over the resident objects, overlapping the
+  // failure and the rebuild.
+  Rng rng(7);
+  int completed = 0;
+  int interrupted = 0;
+  // Request 0 is pinned to interval 10 so its 24-interval display is
+  // guaranteed to straddle the failure and exercise degraded reads.
+  for (int i = 0; i < 4; ++i) {
+    const auto object = static_cast<ObjectId>(i % kObjects);
+    const SimTime at =
+        i == 0 ? kInterval * 10
+               : kInterval * static_cast<int64_t>(rng.NextBounded(60));
+    sim.ScheduleAt(at, [srv, object, &completed, &interrupted] {
+      STAGGER_CHECK_OK(srv->RequestDisplay(
+          object, /*on_started=*/nullptr, [&completed] { ++completed; },
+          [&interrupted] { ++interrupted; }));
+    });
+  }
+
+  for (int64_t step = 1; step <= kRunIntervals; ++step) {
+    sim.RunUntil(kInterval * step);
+    ASSERT_TRUE(srv->AuditInvariants().ok())
+        << srv->AuditInvariants() << " after interval " << step;
+  }
+
+  // Slack existed throughout: reconstruction substituted every degraded
+  // read and nothing paused or was abandoned.
+  const SchedulerMetrics& m = srv->scheduler_metrics();
+  EXPECT_GT(m.degraded_reads, 0);
+  EXPECT_EQ(m.streams_paused, 0);
+  EXPECT_EQ(m.displays_interrupted, 0);
+  EXPECT_EQ(m.hiccups, 0);
+  EXPECT_EQ(m.displays_completed, 4);
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(interrupted, 0);
+
+  // The rebuild drained the slot onto the spare and promoted it; the
+  // post-rebuild placement is bit-identical to the pre-failure one.
+  ASSERT_NE(srv->rebuild(), nullptr);
+  const RebuildMetrics& rm = srv->rebuild()->metrics();
+  EXPECT_EQ(rm.rebuilds_started, 1);
+  EXPECT_EQ(rm.rebuilds_completed, 1);
+  EXPECT_EQ(rm.mismatches, 0);
+  EXPECT_EQ(srv->rebuild()->active_jobs(), 0u);
+  EXPECT_EQ(disks->AvailableCount(), kDisks);
+  EXPECT_EQ(placement_before, RenderPlacements(*srv, kObjects, kSubobjects));
+
+  std::ostringstream os;
+  os << "# D=" << kDisks << " spares=" << kSpares
+     << " policy=reconstruct parity=1 seed=7\n"
+     << "# fault plan:\n"
+     << plan.ToString();
+  tracer.RenderDisks().Print(os);
+  os << "reads=" << tracer.num_events()
+     << " collisions=" << tracer.num_collisions() << "\n"
+     << "displays: requested=" << m.displays_requested
+     << " completed=" << m.displays_completed
+     << " interrupted=" << m.displays_interrupted << "\n"
+     << "degraded: reads=" << m.degraded_reads << " paused=" << m.streams_paused
+     << " hiccups=" << m.hiccups << "\n"
+     << "rebuild: fragments=" << rm.fragments_rebuilt
+     << " source_reads=" << rm.source_reads
+     << " stalled=" << rm.stalled_intervals
+     << " completed=" << rm.rebuilds_completed << "\n"
+     << "placement (pre-failure == post-rebuild):\n"
+     << placement_before;
+  CompareOrUpdate("striped_reconstruct_rebuild", os.str());
 }
 
 // --- VDR event log ----------------------------------------------------

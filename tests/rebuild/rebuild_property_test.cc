@@ -1,0 +1,178 @@
+// Property tests for online rebuild under display load: randomized
+// request mixes against unrecovered disk failures on a parity-striped
+// server with hot spares.  Checked per seed:
+//  * the full invariant sweep (layout + parity placement + scheduler +
+//    rebuild state) passes after every interval;
+//  * every failed slot is rebuilt onto a spare and promoted — the array
+//    ends bit-identical to the pre-failure placement in slot space,
+//    with zero content-model mismatches;
+//  * the stream population drains: every pause resolves and every
+//    admitted display completes or is interrupted by the pause cap.
+//
+// The seed count defaults to 4 and is widened by the CI sweep through
+// STAGGER_FAULT_SEEDS (see .github/workflows).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/invariants.h"
+#include "disk/disk_array.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "server/striped_server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace stagger {
+namespace {
+
+constexpr SimTime kInterval = SimTime::Millis(605);
+
+struct RebuildCase {
+  uint64_t seed;
+  int32_t failures;  ///< unrecovered disk failures injected
+};
+
+std::string CaseName(const ::testing::TestParamInfo<RebuildCase>& info) {
+  std::ostringstream os;
+  os << "f" << info.param.failures << "_s" << info.param.seed;
+  return os.str();
+}
+
+std::vector<RebuildCase> MakeCases() {
+  int64_t seeds = 4;
+  if (const char* env = std::getenv("STAGGER_FAULT_SEEDS")) {
+    seeds = std::max<int64_t>(1, std::atoll(env));
+  }
+  std::vector<RebuildCase> cases;
+  for (int64_t s = 1; s <= seeds; ++s) {
+    cases.push_back({static_cast<uint64_t>(s), s % 2 == 0 ? 2 : 1});
+  }
+  return cases;
+}
+
+class RebuildPropertyTest : public ::testing::TestWithParam<RebuildCase> {};
+
+TEST_P(RebuildPropertyTest, FailuresRebuildUnderLoadEveryInvariantHolds) {
+  const RebuildCase& c = GetParam();
+  Rng rng(c.seed);
+
+  constexpr int32_t kDisks = 8;
+  constexpr int32_t kSpares = 2;
+  constexpr int32_t kObjects = 4;
+  constexpr int64_t kSubobjects = 32;
+
+  Simulator sim;
+  // 30 mbps objects over ~20 mbps effective disks: M = 2, so stripes
+  // (with parity) span 3 consecutive slots and up to four 2-lane
+  // streams display concurrently while rebuilds hunt for slack.
+  Catalog catalog =
+      Catalog::Uniform(kObjects, kSubobjects, Bandwidth::Mbps(30));
+  auto disks =
+      DiskArray::Create(kDisks, DiskParameters::Evaluation(), kSpares);
+  ASSERT_TRUE(disks.ok());
+  TertiaryParameters tp;
+  tp.bandwidth = Bandwidth::Mbps(40);
+  tp.reposition = SimTime::Zero();
+  TertiaryManager tertiary(&sim, TertiaryDevice(tp));
+
+  StripedConfig config;
+  config.stride = static_cast<int32_t>(1 + rng.NextBounded(3));
+  config.interval = kInterval;
+  config.fragment_size = DataSize::MB(1.512);
+  config.preload_objects = kObjects;
+  config.parity = true;
+  config.degraded_policy = DegradedPolicy::kReconstruct;
+  // Bound the pause runway so displays caught without a substitute
+  // resolve within the simulated horizon.
+  config.max_pause_intervals = 64;
+  auto server =
+      StripedServer::Create(&sim, &catalog, &*disks, &tertiary, config);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  // Unrecovered failures on distinct disks — each one must end in a
+  // completed rebuild, not a recovery.  One parity fragment per stripe
+  // tolerates one lost fragment, so the second failed disk is placed at
+  // circular distance >= 3 from the first: no stripe (window M+1 = 3)
+  // contains both, and the two rebuilds may overlap freely.
+  FaultPlan plan;
+  const auto first_disk = static_cast<int32_t>(rng.NextBounded(kDisks));
+  plan.FailAt(first_disk,
+              kInterval * static_cast<int64_t>(5 + rng.NextBounded(55)) +
+                  SimTime::Millis(1));
+  if (c.failures > 1) {
+    const int32_t second_disk =
+        (first_disk + 3 + static_cast<int32_t>(rng.NextBounded(3))) % kDisks;
+    plan.FailAt(second_disk,
+                kInterval * static_cast<int64_t>(80 + rng.NextBounded(20)) +
+                    SimTime::Millis(1));
+  }
+  ASSERT_TRUE(plan.Validate(kDisks).ok()) << plan.Validate(kDisks);
+  auto injector = FaultInjector::Create(&sim, &*disks, plan);
+  ASSERT_TRUE(injector.ok()) << injector.status();
+  StripedServer* srv = server->get();
+  (*injector)->OnDown([srv](DiskId d, SimTime now) { srv->OnDiskDown(d, now); });
+  (*injector)->OnUp([srv](DiskId d, SimTime now) { srv->OnDiskUp(d, now); });
+
+  // A randomized display mix over the resident objects, concurrent with
+  // the failures and the rebuilds they trigger.
+  constexpr int kRequests = 8;
+  int completed = 0;
+  int interrupted = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto object = static_cast<ObjectId>(i % kObjects);
+    const SimTime at = kInterval * static_cast<int64_t>(rng.NextBounded(100));
+    sim.ScheduleAt(at, [srv, object, &completed, &interrupted] {
+      STAGGER_CHECK_OK(srv->RequestDisplay(
+          object, /*on_started=*/nullptr, [&completed] { ++completed; },
+          [&interrupted] { ++interrupted; }));
+    });
+  }
+
+  // Failures land by interval ~100 and each lost slot carries
+  // ~kObjects * kSubobjects * (M+1) / D = 48 fragments; display load
+  // drains by ~200, so the rebuild tail plus pause backoff settles
+  // well before 400.
+  constexpr int64_t kHorizonIntervals = 400;
+  for (int64_t step = 1; step <= kHorizonIntervals; ++step) {
+    sim.RunUntil(kInterval * step);
+    ASSERT_TRUE(srv->AuditInvariants().ok())
+        << srv->AuditInvariants() << " after interval " << step;
+  }
+
+  // Every failure was injected and every slot came back through a
+  // promoted spare — never a natural recovery.
+  ASSERT_NE(srv->rebuild(), nullptr);
+  const RebuildMetrics& rm = srv->rebuild()->metrics();
+  EXPECT_EQ((*injector)->metrics().failures_injected, c.failures);
+  EXPECT_EQ((*injector)->metrics().recoveries_injected, 0);
+  EXPECT_EQ(rm.rebuilds_started, c.failures);
+  EXPECT_EQ(rm.rebuilds_completed, c.failures);
+  EXPECT_EQ(rm.rebuilds_cancelled, 0);
+  EXPECT_EQ(rm.mismatches, 0);
+  EXPECT_EQ(srv->rebuild()->active_jobs(), 0u);
+  EXPECT_EQ(disks->AvailableCount(), kDisks);
+
+  // The stream population drained and every pause resolved.
+  const SchedulerMetrics& m = srv->scheduler_metrics();
+  EXPECT_EQ(srv->scheduler()->active_streams(), 0u);
+  EXPECT_EQ(srv->scheduler()->pending_requests(), 0u);
+  EXPECT_EQ(srv->scheduler()->paused_streams(), 0u);
+  EXPECT_EQ(m.streams_paused, m.streams_resumed + m.displays_interrupted);
+  EXPECT_EQ(m.displays_requested, kRequests);
+  EXPECT_EQ(m.displays_admitted, kRequests);
+  EXPECT_EQ(m.displays_completed + m.displays_cancelled, kRequests);
+  EXPECT_EQ(m.displays_completed, completed);
+  EXPECT_EQ(m.displays_interrupted, interrupted);
+  EXPECT_EQ(m.hiccups, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RebuildPropertyTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+}  // namespace
+}  // namespace stagger

@@ -141,6 +141,68 @@ TEST(StaggeredLayoutTest, GcdSkewRule) {
   EXPECT_TRUE(even->IsSkewFree(100));
 }
 
+// ---------------------------------------------------------------------
+// Parity extension: one parity fragment per subobject stripe on the
+// disk after the last data fragment.
+// ---------------------------------------------------------------------
+
+TEST(StaggeredLayoutTest, ParityCreateValidates) {
+  // M + 1 must fit in D so the parity disk never co-resides with the
+  // stripe; a full-width layout can only carry parity on a wider array.
+  EXPECT_FALSE(StaggeredLayout::Create(10, 0, 1, 10, /*parity=*/true).ok());
+  EXPECT_TRUE(StaggeredLayout::Create(10, 0, 1, 9, /*parity=*/true).ok());
+  EXPECT_TRUE(StaggeredLayout::Create(10, 0, 1, 10, /*parity=*/false).ok());
+}
+
+TEST(StaggeredLayoutTest, ParityDiskFollowsStripe) {
+  auto layout = StaggeredLayout::Create(12, 4, 1, 3, /*parity=*/true);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_TRUE(layout->has_parity());
+  EXPECT_EQ(layout->FragmentsPerSubobject(), 4);
+  for (int64_t i = 0; i < 30; ++i) {
+    // (p + i*k + M) mod D: the disk right after the last data fragment.
+    EXPECT_EQ(layout->ParityDiskFor(i),
+              (layout->DiskFor(i, 2) + 1) % 12);
+    // Disjoint from every data fragment of the same stripe.
+    for (int32_t j = 0; j < 3; ++j) {
+      EXPECT_NE(layout->ParityDiskFor(i), layout->DiskFor(i, j))
+          << "stripe " << i << " fragment " << j;
+    }
+  }
+}
+
+TEST(StaggeredLayoutTest, ParityCountsInStorageAccounting) {
+  // Same object with and without parity: the parity layout stores one
+  // extra fragment per stripe, spread by the same gcd-governed walk.
+  auto plain = StaggeredLayout::Create(10, 0, 1, 3, /*parity=*/false);
+  auto parity = StaggeredLayout::Create(10, 0, 1, 3, /*parity=*/true);
+  ASSERT_TRUE(plain.ok() && parity.ok());
+  const int64_t n = 40;
+  const auto plain_counts = plain->FragmentsPerDisk(n);
+  const auto parity_counts = parity->FragmentsPerDisk(n);
+  int64_t plain_total = 0, parity_total = 0;
+  for (int64_t c : plain_counts) plain_total += c;
+  for (int64_t c : parity_counts) parity_total += c;
+  EXPECT_EQ(plain_total, n * 3);
+  EXPECT_EQ(parity_total, n * 4);
+  // The augmented placement is a staggered layout of window M + 1, so
+  // with gcd(D, k) = 1 and n a multiple of the period it stays
+  // perfectly balanced.
+  for (int64_t c : parity_counts) EXPECT_EQ(c, n * 4 / 10);
+  EXPECT_TRUE(parity->IsSkewFree(n));
+}
+
+TEST(StaggeredLayoutTest, ParityWidensUniqueDiskFootprint) {
+  // Section 3.2.2's gcd walk with window M + 1: a narrow object that
+  // touches a strict subset of disks gains the parity column.
+  auto plain = StaggeredLayout::Create(10, 0, 2, 2, /*parity=*/false);
+  auto parity = StaggeredLayout::Create(10, 0, 2, 2, /*parity=*/true);
+  ASSERT_TRUE(plain.ok() && parity.ok());
+  EXPECT_EQ(plain->UniqueDisksUsed(1), 2);
+  EXPECT_EQ(parity->UniqueDisksUsed(1), 3);
+  EXPECT_GE(parity->UniqueDisksUsed(5), plain->UniqueDisksUsed(5));
+}
+
 TEST(ClusterLayoutTest, CreateValidates) {
   EXPECT_FALSE(ClusterLayout::Create(0, 0, 1).ok());
   EXPECT_FALSE(ClusterLayout::Create(10, 0, 0).ok());
