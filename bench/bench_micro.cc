@@ -3,6 +3,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <functional>
+
+#include "bench_report.h"
 #include "core/interval_scheduler.h"
 #include "core/virtual_disk.h"
 #include "disk/disk_array.h"
@@ -79,7 +83,107 @@ void BM_SchedulerIntervalTick(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerIntervalTick)->Arg(50)->Arg(200);
 
+// Same tick loop under Algorithm-1 fragmented admission: non-adjacent
+// start disks force fragmented streams, exercising the buffered-lane
+// bookkeeping in the advance loop.
+void BM_SchedulerIntervalTickFragmented(benchmark::State& state) {
+  const int32_t num_streams = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    auto disks = DiskArray::Create(1000, DiskParameters::Evaluation());
+    SchedulerConfig config;
+    config.stride = 5;
+    config.interval = SimTime::Millis(605);
+    config.policy = AdmissionPolicy::kFragmented;
+    auto sched = IntervalScheduler::Create(&sim, &*disks, config);
+    for (int32_t i = 0; i < num_streams; ++i) {
+      DisplayRequest req;
+      req.object = i;
+      req.degree = 5;
+      // Overlapping starts: contiguous windows are mostly taken, so
+      // admission scatters lanes across non-adjacent virtual disks.
+      req.start_disk = (i * 3) % 1000;
+      req.num_subobjects = 1 << 20;
+      req.on_completed = [] {};
+      (void)(*sched)->Submit(std::move(req));
+    }
+    state.ResumeTiming();
+    sim.RunUntil(SimTime::Millis(605) * 256);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.SetLabel("intervals; streams=" + std::to_string(num_streams));
+}
+BENCHMARK(BM_SchedulerIntervalTickFragmented)->Arg(200);
+
+// Admission/eviction churn: short displays that resubmit on completion,
+// so every measured interval mixes stream retirement (slot free-list
+// recycling, window release) with fresh admissions (window probing).
+void BM_SchedulerAdmissionChurn(benchmark::State& state) {
+  const int32_t num_streams = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    auto disks = DiskArray::Create(1000, DiskParameters::Evaluation());
+    SchedulerConfig config;
+    config.stride = 5;
+    config.interval = SimTime::Millis(605);
+    auto sched = IntervalScheduler::Create(&sim, &*disks, config);
+    IntervalScheduler* s = sched->get();
+    int32_t next_start = 0;
+    // Self-perpetuating short displays: each completion immediately
+    // resubmits at a shifted start disk.
+    std::function<void()> resubmit = [&] {
+      DisplayRequest req;
+      req.object = next_start;
+      req.degree = 5;
+      req.start_disk = next_start;
+      next_start = (next_start + 7) % 1000;
+      req.num_subobjects = 16;  // ~16-interval displays: constant churn
+      req.on_completed = resubmit;
+      (void)s->Submit(std::move(req));
+    };
+    for (int32_t i = 0; i < num_streams; ++i) resubmit();
+    state.ResumeTiming();
+    sim.RunUntil(SimTime::Millis(605) * 256);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.SetLabel("intervals; streams=" + std::to_string(num_streams));
+}
+BENCHMARK(BM_SchedulerAdmissionChurn)->Arg(100);
+
 }  // namespace
 }  // namespace stagger
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): every run also writes
+// BENCH_scheduler.json (override with STAGGER_BENCH_REPORT) for CI's
+// regression gate.  The baselines below are the measured pre-change
+// costs on the reference box — kept so the report states the speedup of
+// the O(active-work) tick rework next to each fresh number.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+#ifdef STAGGER_AUDIT
+  // Audit hooks run inside the tick loop; such a build measures the
+  // wrong thing.  The JSON report marks it and the CI regression gate
+  // (tools/check_bench_regression.py) rejects it outright.
+  std::fprintf(stderr,
+               "bench_micro: WARNING: STAGGER_AUDIT compiled in; timings "
+               "include per-interval invariant audits\n");
+#endif
+
+  stagger::BenchReport report("scheduler");
+  report.SetBaseline("BM_SchedulerIntervalTick/50", 8250.0);
+  report.SetBaseline("BM_SchedulerIntervalTick/200", 22437.0);
+  report.SetBaseline("BM_LayoutDiskFor", 3.90);
+
+  stagger::CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!report.entries().empty() && !report.WriteJson(report.DefaultPath())) {
+    return 1;
+  }
+  return 0;
+}

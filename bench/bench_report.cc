@@ -1,0 +1,119 @@
+#include "bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+namespace stagger {
+namespace {
+
+// Benchmark names are ASCII identifiers plus '/' and ':'; escape the
+// few JSON-significant characters anyway so the writer is safe for any
+// name.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", x);
+  return buf;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string suite) : suite_(std::move(suite)) {}
+
+void BenchReport::SetBaseline(const std::string& benchmark,
+                              double ns_per_item) {
+  baselines_[benchmark] = ns_per_item;
+}
+
+void BenchReport::AddRun(const std::string& name, int64_t iterations,
+                         double real_ns_per_iter, double cpu_ns_per_iter,
+                         double items_per_second) {
+  BenchEntry candidate;
+  candidate.iterations = iterations;
+  candidate.repetitions = 1;
+  candidate.real_ns_per_iter = real_ns_per_iter;
+  candidate.cpu_ns_per_iter = cpu_ns_per_iter;
+  candidate.items_per_second = items_per_second;
+
+  auto [it, inserted] = entries_.emplace(name, candidate);
+  if (inserted) return;
+  const int32_t reps = it->second.repetitions + 1;
+  if (candidate.NsPerItem() < it->second.NsPerItem()) it->second = candidate;
+  it->second.repetitions = reps;
+}
+
+std::string BenchReport::DefaultPath() const {
+  if (const char* env = std::getenv("STAGGER_BENCH_REPORT");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "BENCH_" + suite_ + ".json";
+}
+
+bool BenchReport::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+
+  out << "{\n";
+  out << "  \"schema\": \"stagger-bench-report-v1\",\n";
+  out << "  \"suite\": \"" << JsonEscape(suite_) << "\",\n";
+#ifdef STAGGER_AUDIT
+  out << "  \"audit_enabled\": true,\n";
+#else
+  out << "  \"audit_enabled\": false,\n";
+#endif
+#ifdef NDEBUG
+  out << "  \"assertions_enabled\": false,\n";
+#else
+  out << "  \"assertions_enabled\": true,\n";
+#endif
+  out << "  \"benchmarks\": [";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\n";
+    out << "      \"name\": \"" << JsonEscape(name) << "\",\n";
+    out << "      \"iterations\": " << entry.iterations << ",\n";
+    out << "      \"repetitions\": " << entry.repetitions << ",\n";
+    out << "      \"real_ns_per_iter\": " << JsonNumber(entry.real_ns_per_iter)
+        << ",\n";
+    out << "      \"cpu_ns_per_iter\": " << JsonNumber(entry.cpu_ns_per_iter)
+        << ",\n";
+    out << "      \"items_per_second\": " << JsonNumber(entry.items_per_second)
+        << ",\n";
+    out << "      \"ns_per_item\": " << JsonNumber(entry.NsPerItem());
+    if (const auto base = baselines_.find(name); base != baselines_.end()) {
+      out << ",\n      \"baseline_ns_per_item\": "
+          << JsonNumber(base->second);
+      if (entry.NsPerItem() > 0) {
+        out << ",\n      \"speedup_vs_baseline\": "
+            << JsonNumber(base->second / entry.NsPerItem());
+      }
+    }
+    out << "\n    }";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace stagger

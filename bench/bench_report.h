@@ -1,0 +1,103 @@
+// Machine-readable benchmark reports.  BenchReport collects
+// per-benchmark timings (typically from a google-benchmark run via
+// CapturingReporter) and writes a small JSON file — BENCH_<suite>.json —
+// that CI archives and diffs against a checked-in baseline
+// (tools/check_bench_regression.py).
+//
+// Repetitions collapse to the minimum observed time per benchmark: on a
+// shared box the minimum is the least-contended sample and by far the
+// most reproducible statistic (bursty host load only ever inflates a
+// run, never deflates it).
+
+#ifndef STAGGER_BENCH_BENCH_REPORT_H_
+#define STAGGER_BENCH_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace stagger {
+
+/// \brief One captured benchmark line, reduced over repetitions.
+struct BenchEntry {
+  int64_t iterations = 0;       ///< of the kept (fastest) repetition
+  int32_t repetitions = 0;      ///< runs collapsed into this entry
+  double real_ns_per_iter = 0;  ///< wall time per iteration
+  double cpu_ns_per_iter = 0;   ///< CPU time per iteration
+  /// Throughput in benchmark "items" (e.g. scheduler intervals) per
+  /// second; 0 when the benchmark reports no item count.
+  double items_per_second = 0;
+
+  /// CPU nanoseconds per item: the per-item cost when the benchmark
+  /// counts items, otherwise the per-iteration cost.
+  double NsPerItem() const {
+    return items_per_second > 0 ? 1e9 / items_per_second : cpu_ns_per_iter;
+  }
+};
+
+/// \brief Accumulates benchmark results and serializes them to JSON.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string suite);
+
+  /// Registers the pre-change reference cost for `benchmark` so the
+  /// report can state a speedup next to the fresh measurement.
+  void SetBaseline(const std::string& benchmark, double ns_per_item);
+
+  /// Records one repetition; an existing entry for `name` is replaced
+  /// only if this repetition ran faster (per item).
+  void AddRun(const std::string& name, int64_t iterations,
+              double real_ns_per_iter, double cpu_ns_per_iter,
+              double items_per_second);
+
+  /// BENCH_<suite>.json, or $STAGGER_BENCH_REPORT when set.
+  std::string DefaultPath() const;
+
+  /// Writes the report; returns false (with a message on stderr) on I/O
+  /// failure.
+  bool WriteJson(const std::string& path) const;
+
+  const std::map<std::string, BenchEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::string suite_;
+  std::map<std::string, BenchEntry> entries_;
+  std::map<std::string, double> baselines_;
+};
+
+}  // namespace stagger
+
+#ifdef BENCHMARK_BENCHMARK_H_  // google-benchmark included first: offer the bridge.
+namespace stagger {
+
+/// \brief ConsoleReporter that also feeds every iteration run into a
+/// BenchReport.  Aggregate rows (mean/median/stddev) pass through to
+/// the console but are not captured; the report keeps the per-run
+/// minimum instead.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const auto items = run.counters.find("items_per_second");
+      report_->AddRun(run.benchmark_name(),
+                      static_cast<int64_t>(run.iterations),
+                      run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
+                      items == run.counters.end() ? 0.0
+                                                  : items->second.value);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
+}  // namespace stagger
+#endif  // BENCHMARK_H_
+
+#endif  // STAGGER_BENCH_BENCH_REPORT_H_

@@ -1,6 +1,7 @@
 #include "core/interval_scheduler.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -38,6 +39,9 @@ IntervalScheduler::IntervalScheduler(Simulator* sim, DiskArray* disks,
     : sim_(sim), disks_(disks), config_(config), frame_(frame),
       buffers_(config.buffer_capacity_fragments), epoch_(sim->Now()),
       vdisk_owner_(static_cast<size_t>(disks->num_disks()), kNoStream) {
+  vdisk_occupied_.Resize(disks->num_disks());
+  scratch_taken_.Resize(disks->num_disks());
+  claimed_epoch_.assign(static_cast<size_t>(disks->num_disks()), 0);
   ticker_ = std::make_unique<PeriodicTicker>(
       sim_, epoch_, config_.interval, [this](int64_t tick) { Tick(tick); });
 }
@@ -99,17 +103,17 @@ Result<RequestId> IntervalScheduler::Seek(RequestId id, int32_t new_start_disk,
   if (it == request_to_stream_.end() || it->second == kNoStream) {
     return Status::FailedPrecondition("Seek requires an active stream");
   }
-  auto sit = streams_.find(it->second);
-  STAGGER_CHECK(sit != streams_.end());
+  Stream* s = FindStream(it->second);
+  STAGGER_CHECK(s != nullptr);
   DisplayRequest req;
-  req.object = sit->second.object;
-  req.degree = sit->second.degree;
+  req.object = s->object;
+  req.degree = s->degree;
   req.start_disk = new_start_disk;
   req.num_subobjects = new_num_subobjects;
-  req.parity = sit->second.parity;
-  req.on_started = sit->second.on_started;
-  req.on_completed = sit->second.on_completed;
-  req.on_interrupted = sit->second.on_interrupted;
+  req.parity = s->parity;
+  req.on_started = s->on_started;
+  req.on_completed = s->on_completed;
+  req.on_interrupted = s->on_interrupted;
 
   FinishStream(it->second, /*completed=*/false);
   request_to_stream_.erase(it);
@@ -117,12 +121,68 @@ Result<RequestId> IntervalScheduler::Seek(RequestId id, int32_t new_start_disk,
 }
 
 int32_t IntervalScheduler::idle_virtual_disks() const {
-  return static_cast<int32_t>(
-      std::count(vdisk_owner_.begin(), vdisk_owner_.end(), kNoStream));
+  return frame_.num_disks() - vdisk_occupied_.CountSet();
+}
+
+int32_t IntervalScheduler::SlotOf(StreamId id) const {
+  auto it = std::lower_bound(
+      active_.begin(), active_.end(), id,
+      [](const std::pair<StreamId, int32_t>& e, StreamId v) {
+        return e.first < v;
+      });
+  if (it == active_.end() || it->first != id) return -1;
+  return it->second;
+}
+
+Stream* IntervalScheduler::FindStream(StreamId id) {
+  const int32_t slot = SlotOf(id);
+  return slot < 0 ? nullptr : &slots_[static_cast<size_t>(slot)];
+}
+
+const Stream* IntervalScheduler::FindStream(StreamId id) const {
+  const int32_t slot = SlotOf(id);
+  return slot < 0 ? nullptr : &slots_[static_cast<size_t>(slot)];
+}
+
+int32_t IntervalScheduler::AllocSlot() {
+  if (!free_slots_.empty()) {
+    const int32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<int32_t>(slots_.size()) - 1;
+}
+
+void IntervalScheduler::InsertActive(StreamId id, int32_t slot) {
+  if (active_.empty() || active_.back().first < id) {
+    active_.emplace_back(id, slot);
+    return;
+  }
+  auto it = std::lower_bound(
+      active_.begin(), active_.end(), id,
+      [](const std::pair<StreamId, int32_t>& e, StreamId v) {
+        return e.first < v;
+      });
+  STAGGER_DCHECK(it == active_.end() || it->first != id);
+  active_.insert(it, {id, slot});
+}
+
+void IntervalScheduler::EraseActive(StreamId id) {
+  auto it = std::lower_bound(
+      active_.begin(), active_.end(), id,
+      [](const std::pair<StreamId, int32_t>& e, StreamId v) {
+        return e.first < v;
+      });
+  STAGGER_CHECK(it != active_.end() && it->first == id)
+      << "unknown stream " << id;
+  active_.erase(it);
 }
 
 void IntervalScheduler::Tick(int64_t tick_index) {
   interval_index_ = tick_index;
+  // Entries stamped in earlier intervals go stale without any clearing.
+  claim_stamp_ = tick_index + 1;
   RetryPaused();
   TryAdmissions();
   AdvanceStreams();
@@ -168,15 +228,13 @@ bool IntervalScheduler::TryAdmit(const Pending& p) {
 
 bool IntervalScheduler::TryAdmitContiguous(const Pending& p) {
   // The request starts only when the virtual disks *currently over* its
-  // first fragments are all idle (alignment delay zero).
+  // first fragments are all idle (alignment delay zero): one modular
+  // window test over the occupancy bitmap.
   const int32_t v0 = frame_.VirtualOf(p.req.start_disk, interval_index_);
   const int32_t m = p.req.degree;
-  for (int32_t j = 0; j < m; ++j) {
-    const int32_t v = static_cast<int32_t>(
-        PositiveMod(static_cast<int64_t>(v0) + j, frame_.num_disks()));
-    if (vdisk_owner_[static_cast<size_t>(v)] != kNoStream) return false;
-  }
-  if (config_.degraded_policy != DegradedPolicy::kNone) {
+  if (!vdisk_occupied_.WindowClear(v0, m)) return false;
+  if (config_.degraded_policy != DegradedPolicy::kNone &&
+      disks_->UnavailableCount() > 0) {
     // The stream reads its first stripe immediately — refuse to start a
     // display whose first reads land on unavailable disks (it would
     // pause on its very first interval).  Under kReconstruct a single
@@ -197,55 +255,55 @@ bool IntervalScheduler::TryAdmitContiguous(const Pending& p) {
       if (!reconstructable) return false;
     }
   }
-  std::vector<FragmentLane> lanes(static_cast<size_t>(m));
+  LaneArray lanes;
+  lanes.Assign(m);
   for (int32_t j = 0; j < m; ++j) {
     lanes[static_cast<size_t>(j)].vdisk = static_cast<int32_t>(
         PositiveMod(static_cast<int64_t>(v0) + j, frame_.num_disks()));
     lanes[static_cast<size_t>(j)].next_read_tau = 0;
   }
   AdmitStream(p, std::move(lanes), /*delta_max=*/0, /*fragmented=*/false,
-              /*buffer_frags=*/0);
+              /*lockstep=*/true, /*buffer_frags=*/0);
   return true;
 }
 
 bool IntervalScheduler::TryAdmitFragmented(const Pending& p) {
   const int32_t m = p.req.degree;
   const int32_t d = frame_.num_disks();
-  std::vector<FragmentLane> lanes(static_cast<size_t>(m));
-  std::vector<char> taken(static_cast<size_t>(d), 0);
+  const bool check_health = config_.degraded_policy != DegradedPolicy::kNone &&
+                            disks_->UnavailableCount() > 0;
+  LaneArray lanes;
+  lanes.Assign(m);
   int64_t delta_max = 0;
 
+  // scratch_taken_ carries the virtual disks tentatively picked for
+  // earlier lanes of this attempt; set bits are recorded so teardown is
+  // O(m), not O(D).
+  STAGGER_DCHECK(scratch_taken_bits_.empty());
+  bool ok = true;
   for (int32_t j = 0; j < m; ++j) {
     const int32_t target = static_cast<int32_t>(
         PositiveMod(static_cast<int64_t>(p.req.start_disk) + j, d));
     // A lane with alignment delay zero reads `target` this interval;
     // skip such candidates while the disk is down (later-aligned lanes
     // are still fine — health at their read time is unknowable).
-    const bool target_down =
-        config_.degraded_policy != DegradedPolicy::kNone &&
-        !disks_->IsAvailable(target);
-    int32_t best_v = -1;
-    int64_t best_delta = config_.fragmented_lookahead + 1;
-    for (int32_t v = 0; v < d; ++v) {
-      if (vdisk_owner_[static_cast<size_t>(v)] != kNoStream ||
-          taken[static_cast<size_t>(v)]) {
-        continue;
-      }
-      auto delta = frame_.AlignmentDelay(v, target, interval_index_);
-      if (!delta.has_value()) continue;
-      if (target_down && *delta == 0) continue;
-      if (*delta < best_delta) {
-        best_delta = *delta;
-        best_v = v;
-        if (best_delta == 0) break;
-      }
+    const bool target_down = check_health && !disks_->IsAvailable(target);
+    const auto found = frame_.FindEarliestFreeVdisk(
+        vdisk_occupied_, scratch_taken_, interval_index_, target,
+        config_.fragmented_lookahead, target_down);
+    if (!found.has_value()) {
+      ok = false;
+      break;
     }
-    if (best_v < 0) return false;
-    taken[static_cast<size_t>(best_v)] = 1;
-    lanes[static_cast<size_t>(j)].vdisk = best_v;
-    lanes[static_cast<size_t>(j)].next_read_tau = best_delta;
-    delta_max = std::max(delta_max, best_delta);
+    scratch_taken_.Set(found->first);
+    scratch_taken_bits_.push_back(found->first);
+    lanes[static_cast<size_t>(j)].vdisk = found->first;
+    lanes[static_cast<size_t>(j)].next_read_tau = found->second;
+    delta_max = std::max(delta_max, found->second);
   }
+  for (int32_t v : scratch_taken_bits_) scratch_taken_.Clear(v);
+  scratch_taken_bits_.clear();
+  if (!ok) return false;
 
   int64_t buffer_frags = 0;
   for (int32_t j = 0; j < m; ++j) {
@@ -254,15 +312,16 @@ bool IntervalScheduler::TryAdmitFragmented(const Pending& p) {
   if (!buffers_.TryReserve(buffer_frags)) return false;
 
   AdmitStream(p, std::move(lanes), delta_max, /*fragmented=*/buffer_frags > 0,
+              /*lockstep=*/false,
               buffer_frags);
   return true;
 }
 
-void IntervalScheduler::AdmitStream(const Pending& p,
-                                    std::vector<FragmentLane> lanes,
+void IntervalScheduler::AdmitStream(const Pending& p, LaneArray lanes,
                                     int64_t delta_max, bool fragmented,
-                                    int64_t buffer_frags) {
-  Stream s;
+                                    bool lockstep, int64_t buffer_frags) {
+  const int32_t slot = AllocSlot();
+  Stream& s = slots_[static_cast<size_t>(slot)];
   s.id = p.id;
   s.object = p.req.object;
   s.degree = p.req.degree;
@@ -272,7 +331,9 @@ void IntervalScheduler::AdmitStream(const Pending& p,
   s.delta_max = delta_max;
   s.arrival_time = p.arrival;
   s.lanes = std::move(lanes);
+  s.delivered = 0;
   s.fragmented = fragmented;
+  s.lockstep = lockstep;
   s.parity = p.req.parity;
   s.buffer_reserved = buffer_frags;
   s.resumed_mid_display = p.started;
@@ -283,64 +344,137 @@ void IntervalScheduler::AdmitStream(const Pending& p,
   for (const FragmentLane& lane : s.lanes) {
     STAGGER_DCHECK(vdisk_owner_[static_cast<size_t>(lane.vdisk)] == kNoStream);
     vdisk_owner_[static_cast<size_t>(lane.vdisk)] = s.id;
+    vdisk_occupied_.Set(lane.vdisk);
   }
   // A resumed stream continues a display counted at first admission.
   if (!p.resumed) ++metrics_.displays_admitted;
   if (fragmented) ++metrics_.fragmented_admissions;
   request_to_stream_[p.id] = s.id;
-  streams_.emplace(s.id, std::move(s));
+  InsertActive(s.id, slot);
 }
 
 void IntervalScheduler::AdvanceStreams() {
-  // Deterministic order: process streams by ascending id.
-  std::vector<StreamId> ids;
-  ids.reserve(streams_.size());
-  for (const auto& [id, s] : streams_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  const int32_t d = frame_.num_disks();
+  // Physical disk under virtual disk v this interval is v + rot (mod D);
+  // hoisting the rotation turns the per-lane mapping into an add and a
+  // conditional subtract.
+  const int32_t rot = frame_.RotationAt(interval_index_);
 
   // Physical disks some active lane is due to read this interval.  A
   // degraded remap may only borrow a disk no stream is about to use, or
   // a later stream's read would find its disk already reserved.  (A
   // coalescing migration either keeps the same read target this
   // interval or postpones the read, so the precomputed set stays sound.)
+  // Disk health only changes between ticks (fault events), so when every
+  // disk is up the set is never consulted and its build is skipped.
   const bool degraded = config_.degraded_policy != DegradedPolicy::kNone;
-  std::vector<bool> claimed;
-  if (degraded) {
-    claimed.assign(static_cast<size_t>(frame_.num_disks()), false);
-    for (const auto& [id, s] : streams_) {
+  const bool any_down = degraded && disks_->UnavailableCount() > 0;
+  if (any_down) {
+    for (const auto& [id, slot] : active_) {
+      const Stream& s = slots_[static_cast<size_t>(slot)];
       const int64_t tau = s.Tau(interval_index_);
       for (const FragmentLane& lane : s.lanes) {
-        if (lane.released || lane.reads_done >= s.num_subobjects) continue;
+        if (lane.released() || lane.reads_done >= s.num_subobjects) continue;
         if (tau < lane.next_read_tau) continue;
-        claimed[static_cast<size_t>(
-            frame_.PhysicalOf(lane.vdisk, interval_index_))] = true;
+        int32_t physical = lane.vdisk + rot;
+        if (physical >= d) physical -= d;
+        MarkClaimed(physical);
       }
     }
   }
 
-  std::vector<StreamId> finished;
-  std::vector<StreamId> to_pause;
-  for (StreamId id : ids) {
-    Stream& s = streams_.at(id);
+  STAGGER_DCHECK(scratch_finished_.empty() && scratch_to_pause_.empty());
+  // Hoisted out of the lane loop: testing a std::function loads its
+  // target pointer every time, and the buffered-fragments counter is a
+  // member the compiler cannot keep in a register across calls.  The
+  // local delta is committed right after the loop, before the pause /
+  // finish fix-ups below read the member.
+  const bool observe = static_cast<bool>(config_.read_observer);
+  int64_t buffered_delta = 0;
+  // active_ is sorted by id, giving the deterministic ascending-id
+  // processing order directly.  No admissions run inside this loop, so
+  // slots_ is stable and index-based iteration is safe.
+  for (size_t idx = 0; idx < active_.size(); ++idx) {
+    const StreamId id = active_[idx].first;
+    Stream& s = slots_[static_cast<size_t>(active_[idx].second)];
+    // The slot walk jumps around slots_, whose active region is too
+    // large to stay L1-resident at scale; fetching the next stream's
+    // header + inline-lane lines while this one advances hides most of
+    // that latency.
+    if (idx + 1 < active_.size()) {
+      const char* next = reinterpret_cast<const char*>(
+          &slots_[static_cast<size_t>(active_[idx + 1].second)]);
+      __builtin_prefetch(next);
+      __builtin_prefetch(next + 64);
+      __builtin_prefetch(next + 128);
+    }
     const int64_t tau = s.Tau(interval_index_);
 
     if (config_.coalesce && s.fragmented) TryCoalesce(&s);
 
     // Reads: each lane reads the next fragment when its disk is aligned.
+    // min_reads tracks the least-advanced unreleased lane so the
+    // delivery step below can skip its per-lane hiccup scan on the
+    // (overwhelmingly common) on-schedule path.  Released lanes are
+    // excluded: they finished all their reads, so they never hiccup.
     bool pausing = false;
-    for (int32_t j = 0; j < s.degree; ++j) {
+    int64_t min_reads = std::numeric_limits<int64_t>::max();
+    bool advanced = false;
+#ifndef STAGGER_AUDIT
+    // Lockstep fast path.  A contiguous stream's lanes are admitted
+    // together and then read every interval, so they stay identical in
+    // reads_done / next_read_tau and occupy M adjacent virtual disks
+    // (a pause mid-stripe retires the stream before divergence can
+    // reach this loop).  One masked range-reserve plus a branchless
+    // lane update replaces the per-lane scatter.  Audit builds keep
+    // the per-lane path so the alignment audit covers every read; the
+    // release-preset golden traces pin both paths to the same history.
+    if (s.lockstep && !any_down && !observe && s.degree > 0) {
+      FragmentLane* lanes = s.lanes.data();
+      if (!lanes[0].released() && lanes[0].reads_done < s.num_subobjects &&
+          tau >= lanes[0].next_read_tau) {
+        int32_t first = lanes[0].vdisk + rot;
+        if (first >= d) first -= d;
+        disks_->ReserveRun(first, s.degree);
+        const int64_t done = lanes[0].reads_done + 1;
+        for (int32_t j = 0; j < s.degree; ++j) {
+          STAGGER_DCHECK(!lanes[j].released() &&
+                         lanes[j].reads_done + 1 == done &&
+                         lanes[j].next_read_tau <= tau &&
+                         lanes[j].vdisk ==
+                             (lanes[0].vdisk + j) % frame_.num_disks())
+              << "contiguous stream " << s.id << " lanes out of lockstep";
+          lanes[j].reads_done = done;
+          lanes[j].next_read_tau = tau + 1;
+        }
+        buffered_delta += s.degree;
+        min_reads = done;
+        if (done >= s.num_subobjects) {
+          for (int32_t j = 0; j < s.degree; ++j) ReleaseLane(&s, j);
+        }
+        advanced = true;
+      }
+    }
+#endif
+    if (!advanced) for (int32_t j = 0; j < s.degree; ++j) {
       FragmentLane& lane = s.lanes[static_cast<size_t>(j)];
-      if (lane.released || lane.reads_done >= s.num_subobjects) continue;
-      if (tau < lane.next_read_tau) continue;
-      const int32_t physical = frame_.PhysicalOf(lane.vdisk, interval_index_);
+      if (lane.released()) continue;
+      if (lane.reads_done >= s.num_subobjects || tau < lane.next_read_tau) {
+        min_reads = std::min(min_reads, lane.reads_done);
+        continue;
+      }
+      int32_t physical = lane.vdisk + rot;
+      if (physical >= d) physical -= d;
+#ifdef STAGGER_AUDIT
       const int32_t expected = static_cast<int32_t>(PositiveMod(
           static_cast<int64_t>(s.start_disk) +
               lane.reads_done * config_.stride + j,
-          frame_.num_disks()));
+          d));
       STAGGER_CHECK(physical == expected)
           << "lane misalignment: stream " << s.id << " fragment " << j;
+#endif
       int32_t read_disk = physical;
-      if (degraded && !disks_->IsAvailable(physical)) {
+      if (degraded && any_down && !disks_->IsAvailable(physical)) {
         read_disk = -1;
         if (config_.degraded_policy == DegradedPolicy::kReconstruct &&
             s.parity) {
@@ -351,10 +485,9 @@ void IntervalScheduler::AdvanceStreams() {
           const int32_t parity_disk = static_cast<int32_t>(PositiveMod(
               static_cast<int64_t>(s.start_disk) +
                   lane.reads_done * config_.stride + s.degree,
-              frame_.num_disks()));
+              d));
           if (disks_->IsAvailable(parity_disk) &&
-              !disks_->disk(parity_disk).busy() &&
-              !claimed[static_cast<size_t>(parity_disk)]) {
+              !disks_->SlotBusy(parity_disk) && !IsClaimed(parity_disk)) {
             read_disk = parity_disk;
             ++metrics_.reconstructed_reads;
           }
@@ -363,23 +496,24 @@ void IntervalScheduler::AdvanceStreams() {
             config_.degraded_policy != DegradedPolicy::kPause) {
           // kRemapOrPause, or kReconstruct falling down its ladder when
           // parity offers no slack (or the stream carries none).
-          read_disk =
-              FindDegradedSubstitute(s, static_cast<size_t>(j), claimed);
+          read_disk = FindDegradedSubstitute(s, static_cast<size_t>(j));
           if (read_disk >= 0) ++metrics_.degraded_reads;
         }
         if (read_disk < 0) {
           pausing = true;
           break;
         }
-        claimed[static_cast<size_t>(read_disk)] = true;
+        MarkClaimed(read_disk);
       }
-      disks_->disk(read_disk).Reserve();
-      if (config_.read_observer) {
+      disks_->ReserveSlot(read_disk);
+      if (observe) {
         config_.read_observer(interval_index_, s.object, lane.reads_done, j,
                               read_disk);
       }
       ++lane.reads_done;
+      ++buffered_delta;
       lane.next_read_tau = tau + 1;
+      min_reads = std::min(min_reads, lane.reads_done);
       if (lane.reads_done >= s.num_subobjects) ReleaseLane(&s, j);
     }
     if (pausing) {
@@ -387,7 +521,7 @@ void IntervalScheduler::AdvanceStreams() {
       // output clock would record a hiccup.  Reads already issued this
       // interval are wasted bandwidth, which is the honest cost of the
       // mid-stripe failure.
-      to_pause.push_back(id);
+      scratch_to_pause_.push_back(id);
       continue;
     }
 
@@ -395,38 +529,44 @@ void IntervalScheduler::AdvanceStreams() {
     // delivered, synchronized across lanes (Algorithm 1).
     if (tau >= s.delta_max && s.delivered < s.num_subobjects) {
       const int64_t due = s.delivered;
-      for (int32_t j = 0; j < s.degree; ++j) {
-        if (s.lanes[static_cast<size_t>(j)].reads_done <= due) {
-          ++metrics_.hiccups;
+      if (min_reads <= due) {
+        // Some lane fell behind the output clock: charge one hiccup per
+        // late lane, exactly as the full scan would.
+        for (int32_t j = 0; j < s.degree; ++j) {
+          if (s.lanes[static_cast<size_t>(j)].reads_done <= due) {
+            ++metrics_.hiccups;
+          }
         }
       }
       ++s.delivered;
+      buffered_delta -= s.degree;
       if (s.delivered == 1 && !s.resumed_mid_display) {
         const SimTime latency = IntervalStart(interval_index_) - s.arrival_time;
         metrics_.startup_latency_sec.Add(latency.seconds());
         if (s.on_started) s.on_started(latency);
       }
-      if (s.delivered == s.num_subobjects) finished.push_back(id);
+      if (s.delivered == s.num_subobjects) scratch_finished_.push_back(id);
     }
   }
+  buffered_fragments_ += buffered_delta;
 
-  for (StreamId id : to_pause) PauseStream(id);
-  for (StreamId id : finished) {
-    auto it = streams_.find(id);
-    if (it == streams_.end()) continue;
-    request_to_stream_.erase(it->second.id);
+  for (StreamId id : scratch_to_pause_) PauseStream(id);
+  scratch_to_pause_.clear();
+  for (StreamId id : scratch_finished_) {
+    if (SlotOf(id) < 0) continue;
+    request_to_stream_.erase(id);
     FinishStream(id, /*completed=*/true);
   }
+  scratch_finished_.clear();
 }
 
-int32_t IntervalScheduler::FindDegradedSubstitute(
-    const Stream& s, size_t lane_index,
-    const std::vector<bool>& claimed) const {
+int32_t IntervalScheduler::FindDegradedSubstitute(const Stream& s,
+                                                  size_t lane_index) const {
   const int32_t d = frame_.num_disks();
   const FragmentLane& lane = s.lanes[lane_index];
   const auto usable = [&](int32_t disk) {
-    return disks_->IsAvailable(disk) && !disks_->disk(disk).busy() &&
-           !claimed[static_cast<size_t>(disk)];
+    return disks_->IsAvailable(disk) && !disks_->SlotBusy(disk) &&
+           !IsClaimed(disk);
   };
   // Surviving disks of the subobject's own stripe first — they hold the
   // sibling fragments a stripe-level replica reconstructs from — then
@@ -444,9 +584,9 @@ int32_t IntervalScheduler::FindDegradedSubstitute(
 }
 
 void IntervalScheduler::PauseStream(StreamId id) {
-  auto it = streams_.find(id);
-  STAGGER_CHECK(it != streams_.end()) << "unknown stream " << id;
-  Stream& s = it->second;
+  Stream* sp = FindStream(id);
+  STAGGER_CHECK(sp != nullptr) << "unknown stream " << id;
+  Stream& s = *sp;
   STAGGER_DCHECK(s.delivered < s.num_subobjects);
 
   PausedStream p;
@@ -526,7 +666,7 @@ void IntervalScheduler::TryCoalesce(Stream* s) {
   int64_t pick_lead = 0;
   for (int32_t j = 0; j < s->degree; ++j) {
     const FragmentLane& lane = s->lanes[static_cast<size_t>(j)];
-    if (lane.released || lane.reads_done >= s->num_subobjects) continue;
+    if (lane.released() || lane.reads_done >= s->num_subobjects) continue;
     if (lane.next_read_tau > tau) continue;  // mid-gap from prior migration
     const int64_t effective_delta = lane.next_read_tau - lane.reads_done;
     const int64_t lead = s->delta_max - effective_delta;
@@ -547,32 +687,22 @@ void IntervalScheduler::TryCoalesce(Stream* s) {
   // the new disk takes over (backlog fully drained, no hiccup).
   const int64_t max_resume = lane.reads_done + s->delta_max;
 
-  int32_t best_v = -1;
-  int64_t best_resume = -1;
-  for (int32_t v = 0; v < d; ++v) {
-    if (vdisk_owner_[static_cast<size_t>(v)] != kNoStream) continue;
-    auto delta = frame_.AlignmentDelay(v, target, interval_index_);
-    if (!delta.has_value()) continue;
-    int64_t resume = tau + *delta;
-    if (resume > max_resume) continue;
-    // Later alignment solutions resume = tau + delta + m * period; take
-    // the largest one still safe.
-    const int64_t period = frame_.period();
-    if (period > 0 && resume < max_resume) {
-      resume += ((max_resume - resume) / period) * period;
-    }
-    if (resume > best_resume) {
-      best_resume = resume;
-      best_v = v;
-    }
-  }
-  if (best_v < 0) return;
+  // The free virtual disk with the largest safe resume, found by probing
+  // the occupancy bitmap in strictly decreasing resume order.
+  const auto found = frame_.FindLatestFreeVdisk(vdisk_occupied_,
+                                                interval_index_, target, tau,
+                                                max_resume);
+  if (!found.has_value()) return;
+  const int32_t best_v = found->first;
+  const int64_t best_resume = found->second;
   const int64_t new_effective = best_resume - lane.reads_done;
   if (new_effective <= cur_effective) return;  // no buffer improvement
 
   // Migrate: release the old disk now; reads resume on the new one.
   vdisk_owner_[static_cast<size_t>(lane.vdisk)] = kNoStream;
+  vdisk_occupied_.Clear(lane.vdisk);
   vdisk_owner_[static_cast<size_t>(best_v)] = s->id;
+  vdisk_occupied_.Set(best_v);
   lane.vdisk = best_v;
   lane.next_read_tau = best_resume;
   ++metrics_.coalesce_migrations;
@@ -603,16 +733,18 @@ void IntervalScheduler::TryCoalesce(Stream* s) {
 
 void IntervalScheduler::ReleaseLane(Stream* s, int32_t lane_index) {
   FragmentLane& lane = s->lanes[static_cast<size_t>(lane_index)];
-  if (lane.released) return;
+  if (lane.released()) return;
   STAGGER_DCHECK(vdisk_owner_[static_cast<size_t>(lane.vdisk)] == s->id);
   vdisk_owner_[static_cast<size_t>(lane.vdisk)] = kNoStream;
-  lane.released = true;
+  vdisk_occupied_.Clear(lane.vdisk);
+  lane.vdisk = FragmentLane::kReleased;
 }
 
 void IntervalScheduler::FinishStream(StreamId id, bool completed) {
-  auto it = streams_.find(id);
-  STAGGER_CHECK(it != streams_.end()) << "unknown stream " << id;
-  Stream& s = it->second;
+  const int32_t slot = SlotOf(id);
+  STAGGER_CHECK(slot >= 0) << "unknown stream " << id;
+  Stream& s = slots_[static_cast<size_t>(slot)];
+  buffered_fragments_ -= s.TotalBufferedFragments();
   for (int32_t j = 0; j < s.degree; ++j) {
     ReleaseLane(&s, j);
   }
@@ -621,7 +753,15 @@ void IntervalScheduler::FinishStream(StreamId id, bool completed) {
     s.buffer_reserved = 0;
   }
   auto on_completed = std::move(s.on_completed);
-  streams_.erase(it);
+  // Reset the slot for reuse; lanes keep their capacity, callbacks drop
+  // their captures.
+  s.id = kNoStream;
+  s.lanes.clear();
+  s.on_completed = nullptr;
+  s.on_started = nullptr;
+  s.on_interrupted = nullptr;
+  EraseActive(id);
+  free_slots_.push_back(slot);
   if (completed) {
     ++metrics_.displays_completed;
     if (on_completed) on_completed();
@@ -631,11 +771,10 @@ void IntervalScheduler::FinishStream(StreamId id, bool completed) {
 void IntervalScheduler::UpdateIntervalStats() {
   const SimTime now = sim_->Now();
   metrics_.queue_length.Set(now, static_cast<double>(queue_.size()));
-  int64_t buffered = 0;
-  for (const auto& [id, s] : streams_) buffered += s.TotalBufferedFragments();
-  metrics_.buffered_fragments.Set(now, static_cast<double>(buffered));
+  metrics_.buffered_fragments.Set(now,
+                                  static_cast<double>(buffered_fragments_));
   metrics_.peak_buffered_fragments =
-      std::max(metrics_.peak_buffered_fragments, buffered);
+      std::max(metrics_.peak_buffered_fragments, buffered_fragments_);
 }
 
 }  // namespace stagger

@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/buffer_pool.h"
@@ -32,6 +33,7 @@
 #include "core/virtual_disk.h"
 #include "disk/disk_array.h"
 #include "sim/simulator.h"
+#include "util/bitmap.h"
 #include "util/result.h"
 #include "util/stats.h"
 
@@ -187,7 +189,7 @@ class IntervalScheduler {
   const SchedulerConfig& config() const { return config_; }
   int64_t current_interval() const { return interval_index_; }
   size_t pending_requests() const { return queue_.size(); }
-  size_t active_streams() const { return streams_.size(); }
+  size_t active_streams() const { return active_.size(); }
   /// Streams parked by the degraded-mode policy, awaiting re-admission.
   size_t paused_streams() const { return paused_.size(); }
   int32_t idle_virtual_disks() const;
@@ -245,13 +247,29 @@ class IntervalScheduler {
   bool TryAdmit(const Pending& p);
   bool TryAdmitContiguous(const Pending& p);
   bool TryAdmitFragmented(const Pending& p);
-  void AdmitStream(const Pending& p, std::vector<FragmentLane> lanes,
-                   int64_t delta_max, bool fragmented, int64_t buffer_frags);
+  /// `lockstep` marks a contiguous admission: adjacent lanes advancing
+  /// in unison, eligible for the tick's range-reserve fast path.
+  void AdmitStream(const Pending& p, LaneArray lanes, int64_t delta_max,
+                   bool fragmented, bool lockstep, int64_t buffer_frags);
   void AdvanceStreams();
   void TryCoalesce(Stream* s);
   void ReleaseLane(Stream* s, int32_t lane_index);
   void FinishStream(StreamId id, bool completed);
   void UpdateIntervalStats();
+  // --- stream storage ---------------------------------------------------
+  /// Slot of `id` in slots_, or -1.  Binary search over active_.
+  int32_t SlotOf(StreamId id) const;
+  /// Pointer into slots_, or nullptr when `id` is not active.  Valid
+  /// until the next admission (slots_ may reallocate).
+  Stream* FindStream(StreamId id);
+  const Stream* FindStream(StreamId id) const;
+  /// Pops a free slot, growing slots_ when the free list is empty.
+  int32_t AllocSlot();
+  /// Inserts (id, slot) into active_ keeping it sorted by id.  Ids are
+  /// usually monotonic (fresh requests), so push_back is the fast path;
+  /// a resumed paused stream re-enters with its original smaller id.
+  void InsertActive(StreamId id, int32_t slot);
+  void EraseActive(StreamId id);
   // --- degraded mode ---------------------------------------------------
   /// Re-admits paused streams whose backoff expired; cancels those past
   /// `max_pause_intervals`.  Runs before fresh admissions so resumed
@@ -259,11 +277,18 @@ class IntervalScheduler {
   void RetryPaused();
   /// Tears down an active stream and parks its undelivered remainder.
   void PauseStream(StreamId id);
+  /// Marks `disk` as due to be read by some active lane this interval.
+  void MarkClaimed(int32_t disk) {
+    claimed_epoch_[static_cast<size_t>(disk)] = claim_stamp_;
+  }
+  bool IsClaimed(int32_t disk) const {
+    return claimed_epoch_[static_cast<size_t>(disk)] == claim_stamp_;
+  }
   /// Physical disk with slack to absorb lane `lane_index`'s read this
-  /// interval, or -1.  `claimed` marks disks some active lane is due to
-  /// read this interval (whether or not already reserved).
-  int32_t FindDegradedSubstitute(const Stream& s, size_t lane_index,
-                                 const std::vector<bool>& claimed) const;
+  /// interval, or -1.  Consults the claimed-disk stamps of the current
+  /// interval (disks some active lane is due to read, whether or not
+  /// already reserved).
+  int32_t FindDegradedSubstitute(const Stream& s, size_t lane_index) const;
 
   Simulator* sim_;
   DiskArray* disks_;
@@ -273,13 +298,45 @@ class IntervalScheduler {
   SimTime epoch_;
   int64_t interval_index_ = 0;
 
+  /// Owner of each virtual disk (kNoStream when free) plus the same set
+  /// as a bitmap.  The bitmap answers the hot-path queries (window test
+  /// at contiguous admission, per-delay probes at fragmented admission
+  /// and coalescing) in O(M/64) words; the owner array backs O(1)
+  /// release and the audit's cross-checks.
   std::vector<StreamId> vdisk_owner_;
-  std::unordered_map<StreamId, Stream> streams_;
+  Bitmap vdisk_occupied_;
+  /// Stream storage: stable slots plus a free list, so steady-state
+  /// admission/retirement never allocates.  active_ maps stream id ->
+  /// slot, sorted by id — the tick loop iterates it directly instead of
+  /// rebuilding and sorting an id vector every interval.
+  std::vector<Stream> slots_;
+  std::vector<int32_t> free_slots_;
+  std::vector<std::pair<StreamId, int32_t>> active_;
   std::deque<Pending> queue_;
   std::deque<PausedStream> paused_;
   RequestId next_request_id_ = 1;
   /// Maps live request handles to their stream (or kNoStream if queued).
   std::unordered_map<RequestId, StreamId> request_to_stream_;
+
+  /// Sum over active streams of TotalBufferedFragments(), maintained
+  /// incrementally (+1 per read, -degree per delivery, -contribution at
+  /// retirement) so per-interval stats cost O(1).
+  int64_t buffered_fragments_ = 0;
+
+  // Scratch reused across ticks (no per-tick allocation).
+  /// Virtual disks tentatively taken by earlier lanes of one fragmented
+  /// admission; bits listed in scratch_taken_bits_ are cleared after
+  /// each attempt.
+  Bitmap scratch_taken_;
+  std::vector<int32_t> scratch_taken_bits_;
+  /// Claimed-disk set as interval-stamped epochs: claimed_epoch_[d] ==
+  /// claim_stamp_ means claimed this interval.  Never cleared; stamping
+  /// makes last interval's entries stale for free.  Built only when some
+  /// disk is actually down.
+  std::vector<int64_t> claimed_epoch_;
+  int64_t claim_stamp_ = 0;
+  std::vector<StreamId> scratch_finished_;
+  std::vector<StreamId> scratch_to_pause_;
 
   SchedulerMetrics metrics_;
   std::function<void(int64_t)> idle_hook_;

@@ -303,13 +303,37 @@ Status InvariantAuditor::AuditScheduler(const IntervalScheduler& s) {
       << "; occupancy vector has " << s.vdisk_owner_.size()
       << " entries for D=" << d;
 
+  // Slot storage consistency: active_ maps each live stream id to its
+  // slot, strictly sorted by id (the tick loop's processing order), and
+  // every slot is either on the free list or holds a live stream.
+  STAGGER_AUDIT_VERIFY(s.active_.size() + s.free_slots_.size() ==
+                       s.slots_.size())
+      << "; " << s.slots_.size() << " slots but " << s.active_.size()
+      << " active + " << s.free_slots_.size() << " free";
+  for (size_t i = 1; i < s.active_.size(); ++i) {
+    STAGGER_AUDIT_VERIFY(s.active_[i - 1].first < s.active_[i].first)
+        << "; active stream index not strictly sorted at position " << i;
+  }
+  for (const int32_t slot : s.free_slots_) {
+    STAGGER_AUDIT_VERIFY(slot >= 0 &&
+                         slot < static_cast<int32_t>(s.slots_.size()) &&
+                         s.slots_[static_cast<size_t>(slot)].id == kNoStream)
+        << "; free slot " << slot << " holds a live stream";
+  }
+
   // Forward ownership: every active lane owns exactly the virtual disk
   // it claims, and buffer accounting balances against the pool.
   int64_t owned_lanes = 0;
   int64_t total_reserved = 0;
-  for (const auto& [id, stream] : s.streams_) {
+  int64_t total_buffered = 0;
+  for (const auto& [id, slot] : s.active_) {
+    STAGGER_AUDIT_VERIFY(slot >= 0 &&
+                         slot < static_cast<int32_t>(s.slots_.size()))
+        << "; active stream " << id << " maps to bad slot " << slot;
+    const Stream& stream = s.slots_[static_cast<size_t>(slot)];
     STAGGER_AUDIT_VERIFY(stream.id == id)
-        << "; stream table slot " << id << " holds stream " << stream.id;
+        << "; stream table slot " << slot << " holds stream " << stream.id
+        << ", active index says " << id;
     STAGGER_AUDIT_VERIFY(static_cast<int32_t>(stream.lanes.size()) ==
                          stream.degree)
         << "; stream " << id << " has " << stream.lanes.size()
@@ -345,7 +369,7 @@ Status InvariantAuditor::AuditScheduler(const IntervalScheduler& s) {
           << "; stream " << id << " lane " << j << " underflow: delivered "
           << stream.delivered << " subobjects but read only "
           << lane.reads_done;
-      if (lane.released) {
+      if (lane.released()) {
         STAGGER_AUDIT_VERIFY(lane.reads_done == stream.num_subobjects)
             << "; stream " << id << " lane " << j
             << " released before completing its reads";
@@ -379,16 +403,22 @@ Status InvariantAuditor::AuditScheduler(const IntervalScheduler& s) {
     STAGGER_AUDIT_VERIFY(stream.buffer_reserved >= 0)
         << "; stream " << id << " has negative buffer reservation";
     total_reserved += stream.buffer_reserved;
+    total_buffered += stream.TotalBufferedFragments();
   }
 
   // Backward ownership: every owned virtual disk belongs to a live
-  // stream (counted above), so counts must match exactly.
+  // stream (counted above), so counts must match exactly — and the
+  // occupancy bitmap mirrors the owner array bit for bit.
   int64_t owned_disks = 0;
   for (size_t v = 0; v < s.vdisk_owner_.size(); ++v) {
     const StreamId owner = s.vdisk_owner_[v];
+    STAGGER_AUDIT_VERIFY(s.vdisk_occupied_.Test(static_cast<int32_t>(v)) ==
+                         (owner != kNoStream))
+        << "; virtual disk " << v << " occupancy bit disagrees with owner "
+        << owner;
     if (owner == kNoStream) continue;
     ++owned_disks;
-    STAGGER_AUDIT_VERIFY(s.streams_.find(owner) != s.streams_.end())
+    STAGGER_AUDIT_VERIFY(s.SlotOf(owner) >= 0)
         << "; virtual disk " << v << " owned by dead stream " << owner;
   }
   STAGGER_AUDIT_VERIFY(owned_disks == owned_lanes)
@@ -398,12 +428,18 @@ Status InvariantAuditor::AuditScheduler(const IntervalScheduler& s) {
   STAGGER_AUDIT_VERIFY(total_reserved == s.buffers_.reserved())
       << "; streams reserve " << total_reserved
       << " buffer fragments but the pool records " << s.buffers_.reserved();
+  // The incremental buffered-fragments counter must equal a full
+  // recomputation over the active streams.
+  STAGGER_AUDIT_VERIFY(total_buffered == s.buffered_fragments_)
+      << "; active streams buffer " << total_buffered
+      << " fragments but the incremental counter records "
+      << s.buffered_fragments_;
 
   // Request bookkeeping: queued handles map to no stream; admitted
   // handles map to a live stream keyed by the same id.
   for (const auto& [request, stream_id] : s.request_to_stream_) {
     if (stream_id == kNoStream) continue;
-    STAGGER_AUDIT_VERIFY(s.streams_.find(stream_id) != s.streams_.end())
+    STAGGER_AUDIT_VERIFY(s.SlotOf(stream_id) >= 0)
         << "; request " << request << " maps to dead stream " << stream_id;
   }
 
@@ -417,10 +453,11 @@ Status InvariantAuditor::AuditScheduler(const IntervalScheduler& s) {
   // may have been placed on it.  (The audit runs before the interval
   // close-out clears the busy flags.)
   for (DiskId disk = 0; disk < s.disks_->num_disks(); ++disk) {
-    const Disk& drive = s.disks_->disk(disk);
-    STAGGER_AUDIT_VERIFY(drive.available() || !drive.busy())
+    STAGGER_AUDIT_VERIFY(s.disks_->IsAvailable(disk) ||
+                         !s.disks_->SlotBusy(disk))
         << "; disk " << disk << " is "
-        << (drive.health() == DiskHealth::kFailed ? "failed" : "stalled")
+        << (s.disks_->disk(disk).health() == DiskHealth::kFailed ? "failed"
+                                                                 : "stalled")
         << " yet carries load this interval";
   }
 
@@ -446,7 +483,7 @@ Status InvariantAuditor::AuditScheduler(const IntervalScheduler& s) {
                          paused.retry_at_interval > paused.paused_at_interval)
         << "; paused request " << paused.id << " has a degenerate backoff";
   }
-  for (const auto& [id, stream] : s.streams_) {
+  for (const auto& [id, slot] : s.active_) {
     STAGGER_AUDIT_VERIFY(scheduled.insert(id).second)
         << "; active stream " << id << " is also queued or paused";
   }

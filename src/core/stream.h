@@ -8,9 +8,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <vector>
+#include <memory>
 
 #include "storage/media_object.h"
+#include "util/check.h"
 #include "util/units.h"
 
 namespace stagger {
@@ -22,37 +23,117 @@ constexpr StreamId kNoStream = -1;
 /// \brief Dynamic state of one fragment lane (one virtual disk) of a
 /// stream.
 struct FragmentLane {
-  /// Virtual disk currently assigned to this fragment index; kNoStream
-  /// sentinel is never used here — a lane always owns a disk until its
-  /// reads complete.
-  int32_t vdisk = -1;
+  /// Sentinel for vdisk: the lane finished all reads and gave its disk
+  /// back.
+  static constexpr int32_t kReleased = -1;
+
   /// Subobjects read so far on this lane (= index of the next read).
   int64_t reads_done = 0;
   /// Stream-local interval at which the next read occurs.  Reads then
   /// proceed every interval; a coalescing migration re-introduces a gap
   /// (the Algorithm 2 "quiet period").
   int64_t next_read_tau = 0;
+  /// Virtual disk currently assigned to this fragment index, or
+  /// kReleased.  The released flag lives in the sign bit rather than a
+  /// separate bool so the lane packs into 24 bytes: the advance loop
+  /// streams every active lane every interval, making lane size a
+  /// direct factor in tick cost.
+  int32_t vdisk = kReleased;
+
   /// True once the lane finished all reads and released its disk.
-  bool released = false;
+  bool released() const { return vdisk < 0; }
+};
+
+/// \brief Lane storage with inline capacity for the common degrees.
+///
+/// The advance loop walks every active stream's lanes every interval;
+/// a heap-allocated vector puts them one dependent pointer chase (and
+/// usually one cache miss) away from the stream header.  Degrees in
+/// practice are tiny (Table 3: M = 5), so lanes live inline in the
+/// Stream — contiguous with the header the loop just loaded — and only
+/// unusually wide streams (degree > kInlineLanes) spill to the heap.
+class LaneArray {
+ public:
+  /// Inline capacity: covers every evaluation degree with slack.
+  static constexpr int32_t kInlineLanes = 8;
+
+  LaneArray() = default;
+  LaneArray(LaneArray&&) = default;
+  LaneArray& operator=(LaneArray&&) = default;
+  LaneArray(const LaneArray& other) { CopyFrom(other); }
+  LaneArray& operator=(const LaneArray& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Resizes to `n` default-initialized lanes (previous content lost).
+  void Assign(int32_t n) {
+    STAGGER_DCHECK(n >= 0);
+    size_ = n;
+    if (n > kInlineLanes) {
+      heap_ = std::make_unique<FragmentLane[]>(static_cast<size_t>(n));
+    } else {
+      heap_.reset();
+      for (int32_t i = 0; i < n; ++i) inline_[i] = FragmentLane{};
+    }
+  }
+
+  void clear() {
+    size_ = 0;
+    heap_.reset();
+  }
+
+  size_t size() const { return static_cast<size_t>(size_); }
+  bool empty() const { return size_ == 0; }
+
+  FragmentLane* data() { return heap_ ? heap_.get() : inline_; }
+  const FragmentLane* data() const { return heap_ ? heap_.get() : inline_; }
+
+  FragmentLane& operator[](size_t i) {
+    STAGGER_DCHECK(i < static_cast<size_t>(size_));
+    return data()[i];
+  }
+  const FragmentLane& operator[](size_t i) const {
+    STAGGER_DCHECK(i < static_cast<size_t>(size_));
+    return data()[i];
+  }
+
+  FragmentLane* begin() { return data(); }
+  FragmentLane* end() { return data() + size_; }
+  const FragmentLane* begin() const { return data(); }
+  const FragmentLane* end() const { return data() + size_; }
+
+ private:
+  void CopyFrom(const LaneArray& other) {
+    Assign(other.size_);
+    const FragmentLane* src = other.data();
+    FragmentLane* dst = data();
+    for (int32_t i = 0; i < size_; ++i) dst[i] = src[i];
+  }
+
+  FragmentLane inline_[kInlineLanes];
+  /// Engaged only when size_ > kInlineLanes.
+  std::unique_ptr<FragmentLane[]> heap_;
+  int32_t size_ = 0;
 };
 
 /// \brief One active display.
+///
+/// Field order is deliberate: everything the per-tick advance loop
+/// touches on the healthy path sits in the first cache line, ahead of
+/// the admission-time and completion-time fields and the (cold, fat)
+/// callbacks.
 struct Stream {
-  StreamId id = kNoStream;
-  ObjectId object = kInvalidObject;
   int32_t degree = 0;          ///< M_X
-  int64_t num_subobjects = 0;  ///< subobjects still to deliver (n)
-  int32_t start_disk = 0;      ///< physical disk of the first fragment read
-  int64_t admit_interval = 0;  ///< global interval index at admission
-  /// Stream-local interval at which output (display) begins: the largest
-  /// initial alignment delay among lanes (Algorithm 1's w_offset).
-  int64_t delta_max = 0;
-  SimTime arrival_time;        ///< request arrival, for latency accounting
-  std::vector<FragmentLane> lanes;
-  /// Subobjects fully delivered to the display station.
-  int64_t delivered = 0;
   /// True when admitted over non-adjacent disks (buffers in use).
   bool fragmented = false;
+  /// True only for streams admitted contiguously: lanes sit on M
+  /// adjacent virtual disks and advance in lockstep (identical
+  /// reads_done / next_read_tau), so the tick can reserve the whole
+  /// stripe as one bitmap range.  Never set on fragmented admissions —
+  /// even fully coalesced ones, whose lanes stay staggered in
+  /// reads_done for the life of the stream.
+  bool lockstep = false;
   /// True when the object's layout carries a per-subobject parity
   /// fragment on the disk after the stripe; enables kReconstruct
   /// degraded reads for this stream.
@@ -62,6 +143,22 @@ struct Stream {
   /// startup-latency sample fired at the original start and must not
   /// repeat.
   bool resumed_mid_display = false;
+  int64_t num_subobjects = 0;  ///< subobjects still to deliver (n)
+  int64_t admit_interval = 0;  ///< global interval index at admission
+  /// Stream-local interval at which output (display) begins: the largest
+  /// initial alignment delay among lanes (Algorithm 1's w_offset).
+  int64_t delta_max = 0;
+  /// Subobjects fully delivered to the display station.
+  int64_t delivered = 0;
+  /// Inline for the common degrees: the advance loop reads them in the
+  /// lines right behind the header it just fetched.
+  LaneArray lanes;
+
+  // --- warm: admission, degraded reads, retirement ---------------------
+  StreamId id = kNoStream;
+  ObjectId object = kInvalidObject;
+  int32_t start_disk = 0;      ///< physical disk of the first fragment read
+  SimTime arrival_time;        ///< request arrival, for latency accounting
   /// Fragments currently reserved in the buffer pool by this stream.
   int64_t buffer_reserved = 0;
 

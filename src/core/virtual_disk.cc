@@ -1,5 +1,6 @@
 #include "core/virtual_disk.h"
 
+#include <algorithm>
 #include <numeric>
 #include <string>
 
@@ -51,6 +52,50 @@ std::optional<int64_t> VirtualDiskFrame::AlignmentDelay(int32_t v, int32_t p,
   if (c % gcd_ != 0) return std::nullopt;
   const int64_t m = period();
   return PositiveMod((c / gcd_) * stride_inverse_, m);
+}
+
+std::optional<std::pair<int32_t, int64_t>> VirtualDiskFrame::FindEarliestFreeVdisk(
+    const Bitmap& occupied, const Bitmap& taken, int64_t t, int32_t target,
+    int64_t max_delay, bool skip_zero) const {
+  // Delays beyond the period revisit the same virtual disks.
+  const int64_t limit = std::min<int64_t>(max_delay, period() - 1);
+  int32_t v = VirtualOf(target, t);  // the delta = 0 candidate
+  for (int64_t delta = 0; delta <= limit; ++delta) {
+    if (!(skip_zero && delta == 0) && !occupied.Test(v) && !taken.Test(v)) {
+      return std::make_pair(v, delta);
+    }
+    // v_{delta+1} = v_delta - k (mod D).
+    v -= stride_;
+    if (v < 0) v += num_disks_;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<int32_t, int64_t>> VirtualDiskFrame::FindLatestFreeVdisk(
+    const Bitmap& occupied, int64_t t, int32_t target, int64_t tau,
+    int64_t max_resume) const {
+  if (max_resume < tau) return std::nullopt;
+  // A candidate at delay delta resumes at tau + delta, boosted by whole
+  // periods up to max_resume; the boosted value is max_resume - c with
+  // c = (max_resume - tau - delta) mod P.  Scanning c upward therefore
+  // visits resumes in strictly decreasing order, and within one scan each
+  // candidate virtual disk appears exactly once.
+  const int64_t p = period();
+  int64_t delta = PositiveMod(max_resume - tau, p);  // the c = 0 candidate
+  int32_t v = VirtualOf(target, t + delta);
+  for (int64_t c = 0; c < p; ++c) {
+    // Reject candidates whose smallest alignment already overshoots
+    // (only possible while max_resume - tau < P).
+    if (tau + delta <= max_resume && !occupied.Test(v)) {
+      return std::make_pair(v, max_resume - c);
+    }
+    // delta decreases by one per step (wrapping to P-1), so v advances
+    // by +k mod D: v depends on delta only through delta mod P.
+    delta = delta == 0 ? p - 1 : delta - 1;
+    v += stride_;
+    if (v >= num_disks_) v -= num_disks_;
+  }
+  return std::nullopt;
 }
 
 }  // namespace stagger

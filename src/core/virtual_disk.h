@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 
+#include "util/bitmap.h"
 #include "util/result.h"
 #include "util/units.h"
 
@@ -64,6 +66,40 @@ class VirtualDiskFrame {
   /// disk `p` at interval `t + delta`; nullopt when unreachable (p and v
   /// in different residue classes modulo gcd(D, k)).
   std::optional<int64_t> AlignmentDelay(int32_t v, int32_t p, int64_t t) const;
+
+  /// Frame rotation at interval `t`: PhysicalOf(v, t) == v + RotationAt(t)
+  /// reduced mod D.  The scheduler hoists this out of its per-lane loop so
+  /// the hot path is an add and a compare instead of 64-bit div/mod.
+  int32_t RotationAt(int64_t t) const {
+    return static_cast<int32_t>(
+        PositiveMod(static_cast<int64_t>(stride_) * t, num_disks_));
+  }
+
+  // --- occupancy-bitmap searches (O(active work) scheduler tick) --------
+  //
+  // Exactly one virtual disk aligns with a given physical disk at each
+  // delay: v_delta = (target - k*(t + delta)) mod D, and v_delta repeats
+  // with period P = D/gcd(D, k).  Searching delays therefore probes ONE
+  // bitmap bit per delay instead of solving AlignmentDelay for all D
+  // virtual disks — the admission/coalesce scans drop from O(D) to
+  // O(min(bound, P)) with an early exit on the first free disk.
+
+  /// Free (not occupied, not taken) virtual disk with the smallest
+  /// alignment delay onto physical disk `target` at/after interval `t`,
+  /// considering delays in [skip_zero ? 1 : 0, max_delay].  Returns
+  /// {vdisk, delay} or nullopt.  Equivalent to minimizing AlignmentDelay
+  /// over all free virtual disks (Algorithm-1 fragmented admission).
+  std::optional<std::pair<int32_t, int64_t>> FindEarliestFreeVdisk(
+      const Bitmap& occupied, const Bitmap& taken, int64_t t, int32_t target,
+      int64_t max_delay, bool skip_zero) const;
+
+  /// Free virtual disk whose latest alignment onto `target` no later
+  /// than stream-local interval `max_resume` is largest: resume = tau +
+  /// AlignmentDelay + c*period maximized subject to resume <= max_resume.
+  /// Returns {vdisk, resume} or nullopt (Algorithm-2 coalescing search).
+  std::optional<std::pair<int32_t, int64_t>> FindLatestFreeVdisk(
+      const Bitmap& occupied, int64_t t, int32_t target, int64_t tau,
+      int64_t max_resume) const;
 
  private:
   VirtualDiskFrame(int32_t num_disks, int32_t stride, int32_t gcd,

@@ -24,25 +24,42 @@ void Disk::FreeStorage(int64_t cylinders) {
       << "disk " << id_ << ": freed more storage than allocated";
 }
 
-void Disk::Fail() { health_ = DiskHealth::kFailed; }
-
-void Disk::Stall() {
-  if (health_ == DiskHealth::kHealthy) health_ = DiskHealth::kStalled;
+void Disk::Fail() {
+  if (available()) down_since_ = now_intervals();
+  health_ = DiskHealth::kFailed;
 }
 
-void Disk::Recover() { health_ = DiskHealth::kHealthy; }
+void Disk::Stall() {
+  if (health_ == DiskHealth::kHealthy) {
+    down_since_ = now_intervals();
+    health_ = DiskHealth::kStalled;
+  }
+}
+
+void Disk::Recover() {
+  if (!available()) down_accumulated_ += now_intervals() - down_since_;
+  health_ = DiskHealth::kHealthy;
+}
 
 void Disk::Reserve() {
+  STAGGER_DCHECK(clock_ == nullptr)
+      << "disk " << id_
+      << ": array-attached drives are reserved through DiskArray";
   STAGGER_CHECK(!busy_) << "disk " << id_ << " reserved twice in one interval";
   STAGGER_CHECK(available())
       << "disk " << id_ << " reserved while failed or stalled";
   busy_ = true;
+  // Reserve() and interval close are balanced within every interval, so
+  // counting busy intervals here (instead of at close) is equivalent and
+  // keeps the close itself allocation- and walk-free.
+  ++busy_intervals_;
 }
 
 void Disk::EndInterval() {
-  ++total_intervals_;
-  if (busy_) ++busy_intervals_;
-  if (!available()) ++down_intervals_;
+  STAGGER_DCHECK(clock_ == nullptr)
+      << "disk " << id_
+      << ": array-attached drives are closed by DiskArray::EndInterval";
+  ++own_intervals_;
   busy_ = false;
 }
 

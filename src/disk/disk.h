@@ -28,12 +28,27 @@ enum class DiskHealth {
   kStalled,
 };
 
+/// \brief Interval clock shared by every drive of one DiskArray.
+///
+/// The array advances this single counter at interval close; drives
+/// read it lazily for down-time accounting, so health transitions and
+/// interval close never walk the drive list.  The struct lives on the
+/// heap (owned by the array through a unique_ptr) so drive-held
+/// pointers survive moves of the DiskArray itself.
+struct IntervalClock {
+  /// Intervals closed so far.
+  int64_t intervals = 0;
+};
+
 /// \brief One simulated drive.
 ///
 /// Storage is allocated in whole cylinders (the fragment granularity of
-/// the paper).  Bandwidth occupancy is tracked per time interval by the
-/// scheduler through Reserve/Release; the disk accumulates busy-interval
-/// counts for utilization reporting.
+/// the paper).  A *standalone* drive additionally tracks per-interval
+/// busy/idle bookkeeping through Reserve()/EndInterval().  Drives
+/// attached to a DiskArray do not: their busy state lives in the
+/// array's dense bitmap and counters (DiskArray::ReserveSlot et al.) so
+/// the scheduler's reservation hot path touches two cache-resident
+/// arrays instead of D scattered objects.
 class Disk {
  public:
   Disk(DiskId id, const DiskParameters& params)
@@ -41,6 +56,11 @@ class Disk {
         total_cylinders_(params.num_cylinders) {}
 
   DiskId id() const { return id_; }
+
+  /// Binds the drive to its array's shared interval clock, which then
+  /// supplies the interval count for down-time accounting.  Unattached
+  /// drives keep a private interval counter advanced by EndInterval().
+  void AttachClock(IntervalClock* clock) { clock_ = clock; }
 
   // --- storage ---------------------------------------------------------
   int64_t total_cylinders() const { return total_cylinders_; }
@@ -67,37 +87,55 @@ class Disk {
   /// Restores the drive to healthy from either degraded state.
   void Recover();
   /// Intervals elapsed while the disk was failed or stalled.
-  int64_t down_intervals() const { return down_intervals_; }
+  int64_t down_intervals() const {
+    return down_accumulated_ +
+           (available() ? 0 : now_intervals() - down_since_);
+  }
 
-  // --- per-interval bandwidth ------------------------------------------
+  // --- per-interval bandwidth (standalone drives only) -----------------
+  //
+  // Array-attached drives keep their busy state in the array's dense
+  // structures; use DiskArray::ReserveSlot / SlotBusy / ReserveDrive
+  // there.  The methods below serve drives that are not attached to an
+  // array (unit tests, single-disk simulations).
   bool busy() const { return busy_; }
   /// Marks the disk busy for the current interval.
-  /// Preconditions: currently idle, and available() — the scheduler
-  /// must never place load on a failed or stalled disk.
+  /// Preconditions: currently idle, available() — the scheduler must
+  /// never place load on a failed or stalled disk — and unattached.
   void Reserve();
-  /// Clears the busy flag at an interval boundary and accounts the
-  /// elapsed interval for utilization.
+  /// Closes an interval on an UNATTACHED drive: clears the busy flag and
+  /// advances the private interval counter.  Array-attached drives are
+  /// closed by DiskArray::EndInterval instead.
   void EndInterval();
 
   int64_t busy_intervals() const { return busy_intervals_; }
-  int64_t total_intervals() const { return total_intervals_; }
+  int64_t total_intervals() const { return now_intervals(); }
   /// Fraction of elapsed intervals this disk spent transferring.
   double Utilization() const {
-    return total_intervals_ == 0
-               ? 0.0
-               : static_cast<double>(busy_intervals_) /
-                     static_cast<double>(total_intervals_);
+    const int64_t total = now_intervals();
+    return total == 0 ? 0.0
+                      : static_cast<double>(busy_intervals_) /
+                            static_cast<double>(total);
   }
 
  private:
+  int64_t now_intervals() const {
+    return clock_ ? clock_->intervals : own_intervals_;
+  }
+
   DiskId id_;
   int64_t free_cylinders_;
   int64_t total_cylinders_;
   DiskHealth health_ = DiskHealth::kHealthy;
   bool busy_ = false;
   int64_t busy_intervals_ = 0;
-  int64_t total_intervals_ = 0;
-  int64_t down_intervals_ = 0;
+  IntervalClock* clock_ = nullptr;
+  /// Interval counter for drives not attached to an array clock.
+  int64_t own_intervals_ = 0;
+  /// Down-time bookkeeping is lazy: transitions record the clock, the
+  /// getter adds the open span — interval close stays O(reserved).
+  int64_t down_accumulated_ = 0;
+  int64_t down_since_ = 0;
 };
 
 }  // namespace stagger

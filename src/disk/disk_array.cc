@@ -26,40 +26,69 @@ Result<DiskArray> DiskArray::Create(int32_t num_disks, const DiskParameters& par
 DiskArray::DiskArray(std::vector<Disk> drives, DiskParameters params,
                      int32_t num_slots, int32_t num_spares)
     : drives_(std::move(drives)), params_(params), num_slots_(num_slots),
-      num_spares_(num_spares) {
+      num_spares_(num_spares), clock_(std::make_unique<IntervalClock>()) {
   slot_to_drive_.resize(static_cast<size_t>(num_slots));
   for (int32_t i = 0; i < num_slots; ++i) slot_to_drive_[static_cast<size_t>(i)] = i;
   for (int32_t s = 0; s < num_spares; ++s) free_spares_.push_back(num_slots + s);
+  for (Disk& d : drives_) d.AttachClock(clock_.get());
+  busy_drives_.Resize(static_cast<int32_t>(drives_.size()));
+  drive_busy_intervals_.assign(drives_.size(), 0);
+  unavailable_slots_.Resize(num_slots);
 }
 
 bool DiskArray::RunIsIdle(DiskId start, int32_t len) const {
   STAGGER_CHECK(len >= 0 && len <= num_disks());
   for (int32_t i = 0; i < len; ++i) {
-    if (disk(Wrap(static_cast<int64_t>(start) + i)).busy()) return false;
+    if (SlotBusy(Wrap(static_cast<int64_t>(start) + i))) return false;
   }
   return true;
 }
 
-void DiskArray::ReserveRun(DiskId start, int32_t len) {
+void DiskArray::ReserveRunRemapped(DiskId start, int32_t len) {
   for (int32_t i = 0; i < len; ++i) {
-    disk(Wrap(static_cast<int64_t>(start) + i)).Reserve();
+    ReserveSlot(Wrap(static_cast<int64_t>(start) + i));
   }
 }
 
 int32_t DiskArray::IdleCount() const {
   int32_t idle = 0;
   for (int32_t d = 0; d < num_slots_; ++d) {
-    if (!disk(d).busy()) ++idle;
+    if (!SlotBusy(d)) ++idle;
   }
   return idle;
 }
 
-int32_t DiskArray::AvailableCount() const {
-  int32_t available = 0;
-  for (int32_t d = 0; d < num_slots_; ++d) {
-    if (disk(d).available()) ++available;
+void DiskArray::NoteAvailabilityChange(DiskId slot, bool was) {
+  const bool now = disk(slot).available();
+  if (was == now) return;
+  if (now) {
+    unavailable_slots_.Clear(slot);
+    --unavailable_count_;
+  } else {
+    unavailable_slots_.Set(slot);
+    ++unavailable_count_;
   }
-  return available;
+}
+
+void DiskArray::FailDisk(DiskId id) {
+  const DiskId slot = Wrap(id);
+  const bool was = disk(slot).available();
+  disk(slot).Fail();
+  NoteAvailabilityChange(slot, was);
+}
+
+void DiskArray::StallDisk(DiskId id) {
+  const DiskId slot = Wrap(id);
+  const bool was = disk(slot).available();
+  disk(slot).Stall();
+  NoteAvailabilityChange(slot, was);
+}
+
+void DiskArray::RecoverDisk(DiskId id) {
+  const DiskId slot = Wrap(id);
+  const bool was = disk(slot).available();
+  disk(slot).Recover();
+  NoteAvailabilityChange(slot, was);
 }
 
 Result<int32_t> DiskArray::AcquireSpare() {
@@ -102,12 +131,25 @@ void DiskArray::PromoteSpare(DiskId slot, int32_t drive) {
   old.FreeStorage(used);
   claimed_spares_.erase(it);
   slot_to_drive_[static_cast<size_t>(slot)] = drive;
+  // Adjacent slots may now straddle non-adjacent drives, so ReserveRun
+  // must fall back to per-slot reservation from here on.
+  dense_slots_ = false;
+  // The slot flips from failed to healthy: its new drive is fresh.
+  NoteAvailabilityChange(slot, /*was=*/false);
   // The dead drive stays retired: it is reachable by no slot and never
   // returns to the spare pool.
 }
 
 void DiskArray::EndInterval() {
-  for (Disk& d : drives_) d.EndInterval();
+  // Fold this interval's reservations into the per-drive busy counts
+  // here rather than in ReserveDrive: the bitmap walk visits drives in
+  // ascending order, so the counter array fills sequentially
+  // (prefetch-friendly) instead of being hit in placement order from
+  // the scheduler's read loop.
+  busy_drives_.ForEachSet(
+      [this](int32_t drive) { ++drive_busy_intervals_[static_cast<size_t>(drive)]; });
+  busy_drives_.ClearAll();
+  ++clock_->intervals;
 }
 
 int64_t DiskArray::TotalCylinders() const {
@@ -124,14 +166,14 @@ int64_t DiskArray::FreeCylinders() const {
 
 double DiskArray::MeanUtilization() const {
   double sum = 0.0;
-  for (int32_t d = 0; d < num_slots_; ++d) sum += disk(d).Utilization();
+  for (int32_t d = 0; d < num_slots_; ++d) sum += SlotUtilization(d);
   return sum / static_cast<double>(num_slots_);
 }
 
 double DiskArray::MaxUtilization() const {
   double best = 0.0;
   for (int32_t d = 0; d < num_slots_; ++d) {
-    best = std::max(best, disk(d).Utilization());
+    best = std::max(best, SlotUtilization(d));
   }
   return best;
 }
@@ -139,7 +181,7 @@ double DiskArray::MaxUtilization() const {
 double DiskArray::MinUtilization() const {
   double best = 1.0;
   for (int32_t d = 0; d < num_slots_; ++d) {
-    best = std::min(best, disk(d).Utilization());
+    best = std::min(best, SlotUtilization(d));
   }
   return best;
 }

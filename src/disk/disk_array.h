@@ -9,15 +9,26 @@
 // slot onto a healthy drive without renaming any fragment, so a
 // rebuilt array is bit-identical to the pre-failure placement in slot
 // space — the invariant the rebuild subsystem audits.
+//
+// Per-interval cost: busy state is a drive-indexed bitmap plus a dense
+// vector of busy-interval counters, both owned by the array.  Reserving
+// a slot is one L1-resident bitmap store with no division
+// (ReserveSlot); closing an interval folds the bitmap into the
+// counters in ascending drive order and clears it word-by-word.  Slot
+// availability is mirrored in a bitmap so AvailableCount()/
+// UnavailableCount() are O(1) — the scheduler's healthy-path test per
+// tick.
 
 #ifndef STAGGER_DISK_DISK_ARRAY_H_
 #define STAGGER_DISK_DISK_ARRAY_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "disk/disk.h"
 #include "disk/disk_parameters.h"
+#include "util/bitmap.h"
 #include "util/result.h"
 
 namespace stagger {
@@ -43,26 +54,99 @@ class DiskArray {
     return static_cast<DiskId>(PositiveMod(id, num_disks()));
   }
 
+  // --- per-interval bandwidth (scheduler hot path) ----------------------
+  //
+  // Slot-addressed: `slot` must already be in [0, D) — the scheduler
+  // computes physical disks with a conditional subtract, so no modulo
+  // runs here.  Drive-addressed variants serve the spare pool (rebuild
+  // writes), whose drive indices come from AcquireSpare.
+
+  /// True when `slot`'s drive is transferring this interval.
+  bool SlotBusy(DiskId slot) const {
+    STAGGER_DCHECK(slot >= 0 && slot < num_slots_);
+    return busy_drives_.Test(slot_to_drive_[static_cast<size_t>(slot)]);
+  }
+
+  /// Marks `slot`'s drive busy for the current interval.
+  /// Preconditions: currently idle, and IsAvailable(slot) — the
+  /// scheduler must never place load on a failed or stalled disk.
+  void ReserveSlot(DiskId slot) {
+    STAGGER_DCHECK(slot >= 0 && slot < num_slots_);
+    ReserveDrive(slot_to_drive_[static_cast<size_t>(slot)]);
+  }
+
+  /// True when physical drive `drive` is transferring this interval.
+  bool DriveBusy(int32_t drive) const { return busy_drives_.Test(drive); }
+
+  /// Marks physical drive `drive` busy for the current interval; same
+  /// preconditions as ReserveSlot.  Busy-interval counters are folded
+  /// in at EndInterval, so the hot path is a single bitmap store.
+  void ReserveDrive(int32_t drive) {
+    STAGGER_DCHECK(!busy_drives_.Test(drive))
+        << "drive " << drive << " reserved twice in one interval";
+    STAGGER_DCHECK(drives_[static_cast<size_t>(drive)].available())
+        << "drive " << drive << " reserved while failed or stalled";
+    busy_drives_.Set(drive);
+  }
+
+  /// Intervals closed so far.
+  int64_t intervals() const { return clock_->intervals; }
+
   /// True when all of disks start, start+1, ..., start+len-1 (mod D) are
   /// idle this interval.
   bool RunIsIdle(DiskId start, int32_t len) const;
 
   /// Reserves the adjacent run [start, start+len) (mod D).
-  /// Precondition: RunIsIdle(start, len).
-  void ReserveRun(DiskId start, int32_t len);
+  /// Precondition: RunIsIdle(start, len), every slot available.
+  ///
+  /// Until a spare promotion rewires a slot, slot i maps to drive i, so
+  /// the run is a contiguous bit range in the busy bitmap and the whole
+  /// reservation is a couple of masked word-ORs — the scheduler's
+  /// lockstep fast path reserves a stream's M adjacent disks this way.
+  void ReserveRun(DiskId start, int32_t len) {
+    STAGGER_DCHECK(start >= 0 && start < num_slots_);
+    STAGGER_DCHECK(len >= 0 && len <= num_slots_);
+    if (!dense_slots_) {
+      ReserveRunRemapped(start, len);
+      return;
+    }
+#ifndef NDEBUG
+    for (int32_t i = 0; i < len; ++i) {
+      const DiskId slot = Wrap(static_cast<int64_t>(start) + i);
+      STAGGER_DCHECK(!busy_drives_.Test(slot))
+          << "slot " << slot << " reserved twice in one interval";
+      STAGGER_DCHECK(drives_[static_cast<size_t>(slot)].available())
+          << "slot " << slot << " reserved while failed or stalled";
+    }
+#endif
+    // The busy bitmap covers drives [0, D + S); slot runs wrap at D,
+    // so split the wrap here instead of using Bitmap::SetWindow.
+    const int32_t tail = num_slots_ - start;
+    if (len <= tail) {
+      busy_drives_.SetRange(start, start + len);
+    } else {
+      busy_drives_.SetRange(start, num_slots_);
+      busy_drives_.SetRange(0, len - tail);
+    }
+  }
 
   /// Number of idle disks this interval.
   int32_t IdleCount() const;
 
   // --- health (fault injection, src/fault/) -----------------------------
+  //
+  // Health transitions must go through these slot-level methods (not
+  // Disk::Fail etc. directly) so the availability bitmap stays in sync.
   bool IsAvailable(DiskId id) const { return disk(id).available(); }
-  void FailDisk(DiskId id) { disk(id).Fail(); }
-  void StallDisk(DiskId id) { disk(id).Stall(); }
-  void RecoverDisk(DiskId id) { disk(id).Recover(); }
-  /// Disks currently able to serve reads.
-  int32_t AvailableCount() const;
-  /// Disks currently failed or stalled.
-  int32_t UnavailableCount() const { return num_disks() - AvailableCount(); }
+  void FailDisk(DiskId id);
+  void StallDisk(DiskId id);
+  void RecoverDisk(DiskId id);
+  /// Disks currently able to serve reads.  O(1).
+  int32_t AvailableCount() const { return num_slots_ - unavailable_count_; }
+  /// Disks currently failed or stalled.  O(1).
+  int32_t UnavailableCount() const { return unavailable_count_; }
+  /// Slot-space availability bitmap: bit set == slot failed or stalled.
+  const Bitmap& unavailable_slots() const { return unavailable_slots_; }
 
   // --- hot spares (online rebuild, src/rebuild/) ------------------------
   /// Spare drives configured at creation.
@@ -87,8 +171,9 @@ class DiskArray {
   /// returned by AcquireSpare and not yet promoted or returned.
   void PromoteSpare(DiskId slot, int32_t drive);
 
-  /// Ends the current interval on every drive — slots and spares — so
-  /// rebuild writes clear their busy flags like any other transfer.
+  /// Ends the current interval: clears the busy bitmap (slots and
+  /// spares alike — rebuild writes reserve through the same bitmap) and
+  /// advances the shared interval counter.  O((D + S)/64) word stores.
   void EndInterval();
 
   // --- aggregate storage ------------------------------------------------
@@ -96,6 +181,18 @@ class DiskArray {
   int64_t FreeCylinders() const;
   DataSize TotalCapacity() const {
     return params_.cylinder_capacity * TotalCylinders();
+  }
+
+  /// Fraction of elapsed intervals `slot`'s current drive spent
+  /// transferring (after a promotion the slot reports its new drive).
+  /// Reservations are folded into the counters at interval close, so
+  /// the current open interval is not yet counted.
+  double SlotUtilization(DiskId slot) const {
+    const int64_t total = clock_->intervals;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(drive_busy_intervals_[DriveOf(slot)]) /
+                     static_cast<double>(total);
   }
 
   /// Mean per-disk utilization over all elapsed intervals.
@@ -116,6 +213,14 @@ class DiskArray {
     return static_cast<size_t>(slot_to_drive_[static_cast<size_t>(slot)]);
   }
 
+  /// Records an availability flip of `slot` in the bitmap; `was` is the
+  /// slot's availability before the health transition.
+  void NoteAvailabilityChange(DiskId slot, bool was);
+
+  /// ReserveRun fallback once slot_to_drive_ is no longer the identity:
+  /// adjacent slots may sit on arbitrary drives, so reserve one by one.
+  void ReserveRunRemapped(DiskId start, int32_t len);
+
   /// All physical drives: indices [0, D) start as the slots' drives,
   /// [D, D + S) as spares.  Promotion rewires slot_to_drive_.
   std::vector<Disk> drives_;
@@ -127,6 +232,23 @@ class DiskArray {
   std::vector<int32_t> free_spares_;
   /// Spare drive indices claimed by AcquireSpare, pending promotion.
   std::vector<int32_t> claimed_spares_;
+  /// Shared interval clock; heap-allocated so the drives' back-pointers
+  /// (used for lazy down-time accounting) survive moves of the array.
+  std::unique_ptr<IntervalClock> clock_;
+  /// Bit set == physical drive is transferring this interval.  Indexed
+  /// by drive (construction index), so the bits stay valid across slot
+  /// rewiring by PromoteSpare.
+  Bitmap busy_drives_;
+  /// Per-drive count of intervals spent transferring; drive-indexed
+  /// like busy_drives_.  Dense so the reservation hot path and the
+  /// utilization reports never touch the Disk objects.
+  std::vector<int64_t> drive_busy_intervals_;
+  /// Bit set == slot's drive is failed or stalled.
+  Bitmap unavailable_slots_;
+  int32_t unavailable_count_ = 0;
+  /// True while slot_to_drive_ is the identity (no spare promoted yet):
+  /// ReserveRun may then treat a slot run as a drive-bitmap bit range.
+  bool dense_slots_ = true;
 };
 
 }  // namespace stagger

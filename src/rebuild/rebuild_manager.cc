@@ -100,8 +100,7 @@ void RebuildManager::OnIdleInterval(int64_t interval) {
 bool RebuildManager::TryRebuildOne(Job* job, int64_t interval) {
   STAGGER_CHECK(job->next < job->lost.size());
   const int32_t d = disks_->num_disks();
-  Disk& spare = disks_->spare_drive(job->spare);
-  if (spare.busy()) return false;
+  if (disks_->DriveBusy(job->spare)) return false;
 
   // Scan the remaining list for the first fragment whose whole source
   // set has slack this interval.  Display traffic pins a moving window
@@ -118,9 +117,9 @@ bool RebuildManager::TryRebuildOne(Job* job, int64_t interval) {
     bool sources_free = true;
     for (int32_t j = 0; j <= f.degree && sources_free; ++j) {
       if (j == f.fragment) continue;
-      const Disk& drive = disks_->disk(static_cast<int32_t>(
-          PositiveMod(static_cast<int64_t>(f.stripe_first_disk) + j, d)));
-      sources_free = drive.available() && !drive.busy();
+      const DiskId src = static_cast<DiskId>(
+          PositiveMod(static_cast<int64_t>(f.stripe_first_disk) + j, d));
+      sources_free = disks_->IsAvailable(src) && !disks_->SlotBusy(src);
     }
     if (!sources_free) continue;
 
@@ -130,12 +129,12 @@ bool RebuildManager::TryRebuildOne(Job* job, int64_t interval) {
       if (j == f.fragment) continue;
       const int32_t src = static_cast<int32_t>(
           PositiveMod(static_cast<int64_t>(f.stripe_first_disk) + j, d));
-      disks_->disk(src).Reserve();
+      disks_->ReserveSlot(src);
       ++metrics_.source_reads;
       word ^= j == f.degree ? ParityWord(f.object, f.subobject, f.degree)
                             : FragmentWord(f.object, f.subobject, j);
     }
-    spare.Reserve();  // the rebuilt fragment's write transfer
+    disks_->ReserveDrive(job->spare);  // the rebuilt fragment's write transfer
 
     const uint64_t expected =
         f.fragment == f.degree

@@ -1,8 +1,12 @@
 #include "server/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "baseline/vdr_server.h"
 #include "disk/disk_array.h"
@@ -213,17 +217,67 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   return result;
 }
 
+Result<std::vector<ExperimentResult>> RunMany(
+    const std::vector<ExperimentConfig>& configs, int32_t threads) {
+  const size_t n = configs.size();
+  std::vector<Result<ExperimentResult>> runs;
+  runs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    runs.emplace_back(Status::Internal("experiment not run"));
+  }
+
+  const int32_t workers =
+      std::min<int32_t>(threads, static_cast<int32_t>(n));
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) runs[i] = RunExperiment(configs[i]);
+  } else {
+    // Work-stealing over a shared index: each worker claims the next
+    // unstarted configuration.  Runs share no mutable state (every
+    // simulation owns its world), so slots in `runs` are written by
+    // exactly one thread and read only after join.
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        runs[i] = RunExperiment(configs[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int32_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Report the lowest-indexed failure — what a serial sweep would have
+  // hit first — and otherwise unwrap in input order.
+  std::vector<ExperimentResult> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!runs[i].ok()) return runs[i].status();
+    results.push_back(*std::move(runs[i]));
+  }
+  return results;
+}
+
 Result<ReplicatedResult> RunReplicated(const ExperimentConfig& config,
-                                       int32_t replications) {
+                                       int32_t replications,
+                                       int32_t threads) {
   if (replications < 1) {
     return Status::InvalidArgument("need at least one replication");
   }
+  std::vector<ExperimentConfig> configs(static_cast<size_t>(replications),
+                                        config);
+  for (int32_t r = 0; r < replications; ++r) {
+    configs[static_cast<size_t>(r)].seed =
+        config.seed + static_cast<uint64_t>(r);
+  }
+  STAGGER_ASSIGN_OR_RETURN(std::vector<ExperimentResult> results,
+                           RunMany(configs, threads));
+  // Accumulate in seed order so the aggregate is bit-identical to a
+  // serial sweep no matter how many threads ran the replications.
   ReplicatedResult aggregate;
   aggregate.replications = replications;
-  for (int32_t r = 0; r < replications; ++r) {
-    ExperimentConfig run = config;
-    run.seed = config.seed + static_cast<uint64_t>(r);
-    STAGGER_ASSIGN_OR_RETURN(ExperimentResult result, RunExperiment(run));
+  for (const ExperimentResult& result : results) {
     aggregate.displays_per_hour.Add(result.displays_per_hour);
     aggregate.mean_startup_latency_sec.Add(result.mean_startup_latency_sec);
     aggregate.disk_utilization.Add(result.disk_utilization);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/interval_scheduler.h"
 #include "disk/disk_parameters.h"
@@ -125,6 +126,18 @@ struct ExperimentResult {
 /// Runs one experiment to completion (warmup + measurement).
 Result<ExperimentResult> RunExperiment(const ExperimentConfig& config);
 
+/// Runs every configuration to completion, up to `threads` at a time,
+/// and returns the results in input order.  Each run is a fully
+/// isolated simulation (its own Simulator, disk array, catalog, and
+/// workload generator share nothing), so the result of a configuration
+/// is bit-identical whatever the thread count — parallelism only
+/// reorders wall-clock execution, never simulated events.  threads <= 1
+/// (or a single configuration) runs serially on the caller's thread.
+/// When runs fail, the error of the lowest-indexed failing run is
+/// returned, matching what a serial sweep would have reported first.
+Result<std::vector<ExperimentResult>> RunMany(
+    const std::vector<ExperimentConfig>& configs, int32_t threads = 1);
+
 /// \brief Aggregate over independent replications (seeds seed+0..n-1).
 struct ReplicatedResult {
   int32_t replications = 0;
@@ -135,9 +148,13 @@ struct ReplicatedResult {
 
 /// Runs `replications` independent copies of the experiment, varying
 /// only the workload seed, and reports across-run statistics — for
-/// confidence intervals on Figure 8 points.
+/// confidence intervals on Figure 8 points.  `threads` runs
+/// replications concurrently via RunMany; the aggregate is accumulated
+/// in seed order regardless, so the statistics are bit-identical to a
+/// serial sweep.
 Result<ReplicatedResult> RunReplicated(const ExperimentConfig& config,
-                                       int32_t replications);
+                                       int32_t replications,
+                                       int32_t threads = 1);
 
 }  // namespace stagger
 

@@ -31,6 +31,29 @@ Result<StaggeredLayout> StaggeredLayout::Create(int32_t num_disks,
   return StaggeredLayout(num_disks, start_disk, stride, degree, parity);
 }
 
+StaggeredLayout::StaggeredLayout(int32_t num_disks, int32_t start_disk,
+                                 int32_t stride, int32_t degree, bool parity)
+    : num_disks_(num_disks), start_disk_(start_disk), stride_(stride),
+      degree_(degree), parity_(parity) {
+  const int64_t g = std::gcd(static_cast<int64_t>(num_disks),
+                             static_cast<int64_t>(stride));
+  period_ = static_cast<int32_t>(num_disks / g);
+  if (period_ > 1) {
+    // ceil(2^64 / P) == floor((2^64 - 1) / P) + 1 for every P >= 2.
+    period_magic_ =
+        ~uint64_t{0} / static_cast<uint64_t>(period_) + uint64_t{1};
+    auto table = std::make_shared<std::vector<int32_t>>(
+        static_cast<size_t>(period_));
+    int32_t disk = start_disk;
+    for (int32_t r = 0; r < period_; ++r) {
+      (*table)[static_cast<size_t>(r)] = disk;
+      disk += stride;
+      if (disk >= num_disks) disk -= num_disks;
+    }
+    row_first_ = std::move(table);
+  }
+}
+
 int32_t StaggeredLayout::UniqueDisksUsed(int64_t num_subobjects) const {
   std::vector<char> used(static_cast<size_t>(num_disks_), 0);
   for (int64_t i = 0; i < num_subobjects; ++i) {

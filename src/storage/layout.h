@@ -23,6 +23,7 @@
 #define STAGGER_STORAGE_LAYOUT_H_
 
 #include <cstdint>
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -56,23 +57,27 @@ class StaggeredLayout {
     return degree_ + (parity_ ? 1 : 0);
   }
 
-  /// Physical disk holding fragment X_{i.j}.
+  /// Physical disk holding fragment X_{i.j}.  The stride walk repeats
+  /// with period P = D/gcd(D, k), so the start disk of every subobject
+  /// comes from a precomputed P-entry table; the residue i mod P is
+  /// taken with a Lemire multiply-shift instead of hardware division —
+  /// this sits in the scheduler's and the audits' hottest loops.
   int32_t DiskFor(int64_t subobject, int32_t fragment) const {
     STAGGER_DCHECK(fragment >= 0 && fragment < degree_);
-    return static_cast<int32_t>(PositiveMod(
-        start_disk_ + subobject * stride_ + fragment, num_disks_));
+    const int32_t disk = RowStart(subobject) + fragment;
+    return disk >= num_disks_ ? disk - num_disks_ : disk;
   }
 
   /// First disk of subobject i (X_{i.0}).
-  int32_t FirstDiskFor(int64_t subobject) const { return DiskFor(subobject, 0); }
+  int32_t FirstDiskFor(int64_t subobject) const { return RowStart(subobject); }
 
   /// Physical disk holding subobject i's parity fragment: the disk
   /// after the stripe's last data fragment, (p + i*k + M) mod D.
   /// Precondition: has_parity().
   int32_t ParityDiskFor(int64_t subobject) const {
     STAGGER_DCHECK(parity_);
-    return static_cast<int32_t>(PositiveMod(
-        start_disk_ + subobject * stride_ + degree_, num_disks_));
+    const int32_t disk = RowStart(subobject) + degree_;
+    return disk >= num_disks_ ? disk - num_disks_ : disk;
   }
 
   /// Number of distinct disks touched by an object of `num_subobjects`
@@ -94,14 +99,45 @@ class StaggeredLayout {
 
  private:
   StaggeredLayout(int32_t num_disks, int32_t start_disk, int32_t stride,
-                  int32_t degree, bool parity)
-      : num_disks_(num_disks), start_disk_(start_disk), stride_(stride),
-        degree_(degree), parity_(parity) {}
+                  int32_t degree, bool parity);
+
+  /// subobject mod period_, by Lemire's multiply-shift when the value
+  /// fits 32 bits (always, in practice).  Requires subobject >= 0.
+  uint32_t ResidueOf(uint64_t subobject) const {
+#if defined(__SIZEOF_INT128__)
+    __extension__ typedef unsigned __int128 Uint128;
+    const uint64_t low = period_magic_ * subobject;
+    return static_cast<uint32_t>(
+        (static_cast<Uint128>(low) * static_cast<uint64_t>(period_)) >> 64);
+#else
+    return static_cast<uint32_t>(subobject % static_cast<uint64_t>(period_));
+#endif
+  }
+
+  /// Disk of X_{i.0}: table load on the hot path, closed form for
+  /// out-of-range subobject indices (negative or >= 2^32).
+  int32_t RowStart(int64_t subobject) const {
+    if (period_ == 1) return start_disk_;
+    if ((static_cast<uint64_t>(subobject) >> 32) == 0) {
+      return (*row_first_)[ResidueOf(static_cast<uint64_t>(subobject))];
+    }
+    return static_cast<int32_t>(
+        PositiveMod(start_disk_ + subobject * stride_, num_disks_));
+  }
+
   int32_t num_disks_;
   int32_t start_disk_;
   int32_t stride_;
   int32_t degree_;
   bool parity_;
+  /// D / gcd(D, k): distinct start disks of the stride walk.
+  int32_t period_ = 1;
+  /// ceil(2^64 / period_), the Lemire fastmod constant (unused when
+  /// period_ == 1).
+  uint64_t period_magic_ = 0;
+  /// row_first_[r] == (p + r*k) mod D for r in [0, period_).  Shared so
+  /// layout copies (catalog entries, audit tables) stay cheap.
+  std::shared_ptr<const std::vector<int32_t>> row_first_;
 };
 
 /// \brief Placement of one object under virtual data replication: the

@@ -1,0 +1,147 @@
+// Fixed-size bitmap over 64-bit words, built for the scheduler's
+// occupancy sets: testing whether an M-wide window of virtual disks
+// (modulo D) is entirely free must cost O(M/64), not O(M), and single
+// bit flips must cost O(1).  Wrap-around windows split into at most two
+// linear ranges; each linear range is checked with word-level masks.
+
+#ifndef STAGGER_UTIL_BITMAP_H_
+#define STAGGER_UTIL_BITMAP_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace stagger {
+
+/// \brief Dense bitset of `size` bits with modular window queries.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(int32_t size) { Resize(size); }
+
+  /// Resizes to `size` bits, clearing every bit.
+  void Resize(int32_t size) {
+    STAGGER_CHECK(size >= 0);
+    size_ = size;
+    // The uint32_t hop bounds the word count for the optimizer (GCC 12
+    // otherwise reports a bogus stringop-overflow through std::fill).
+    words_.assign((static_cast<uint32_t>(size) + 63u) / 64u, 0);
+  }
+
+  int32_t size() const { return size_; }
+
+  bool Test(int32_t i) const {
+    STAGGER_DCHECK(i >= 0 && i < size_);
+    return (words_[static_cast<size_t>(i >> 6)] >>
+            (static_cast<uint32_t>(i) & 63)) & 1;
+  }
+
+  void Set(int32_t i) {
+    STAGGER_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i >> 6)] |=
+        uint64_t{1} << (static_cast<uint32_t>(i) & 63);
+  }
+
+  void Clear(int32_t i) {
+    STAGGER_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i >> 6)] &=
+        ~(uint64_t{1} << (static_cast<uint32_t>(i) & 63));
+  }
+
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Sets every bit in the linear range [begin, end).  O(range/64).
+  void SetRange(int32_t begin, int32_t end) {
+    STAGGER_DCHECK(begin >= 0 && begin <= end && end <= size_);
+    if (begin >= end) return;
+    const int32_t first_word = begin >> 6;
+    const int32_t last_word = (end - 1) >> 6;  // inclusive
+    const uint64_t head_mask = ~uint64_t{0}
+                               << (static_cast<uint32_t>(begin) & 63);
+    const uint64_t tail_mask =
+        ~uint64_t{0} >> (63 - ((static_cast<uint32_t>(end - 1)) & 63));
+    if (first_word == last_word) {
+      words_[static_cast<size_t>(first_word)] |= head_mask & tail_mask;
+      return;
+    }
+    words_[static_cast<size_t>(first_word)] |= head_mask;
+    for (int32_t w = first_word + 1; w < last_word; ++w) {
+      words_[static_cast<size_t>(w)] = ~uint64_t{0};
+    }
+    words_[static_cast<size_t>(last_word)] |= tail_mask;
+  }
+
+  /// Sets every bit in the modular window [start, start + len)
+  /// (mod size).  len in [0, size].
+  void SetWindow(int32_t start, int32_t len) {
+    STAGGER_DCHECK(start >= 0 && start < size_);
+    STAGGER_DCHECK(len >= 0 && len <= size_);
+    const int32_t tail = size_ - start;
+    if (len <= tail) {
+      SetRange(start, start + len);
+      return;
+    }
+    SetRange(start, size_);
+    SetRange(0, len - tail);
+  }
+
+  /// Number of set bits.
+  int32_t CountSet() const {
+    int32_t count = 0;
+    for (uint64_t w : words_) count += std::popcount(w);
+    return count;
+  }
+
+  /// Calls `fn(i)` for every set bit, in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        fn(static_cast<int32_t>((w << 6) +
+                                static_cast<size_t>(std::countr_zero(bits))));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// True when none of the bits in the modular window
+  /// [start, start + len) (mod size) is set.  len in [0, size].
+  bool WindowClear(int32_t start, int32_t len) const {
+    STAGGER_DCHECK(start >= 0 && start < size_);
+    STAGGER_DCHECK(len >= 0 && len <= size_);
+    const int32_t tail = size_ - start;
+    if (len <= tail) return RangeClear(start, start + len);
+    return RangeClear(start, size_) && RangeClear(0, len - tail);
+  }
+
+ private:
+  /// True when no bit in the linear range [begin, end) is set.
+  bool RangeClear(int32_t begin, int32_t end) const {
+    if (begin >= end) return true;
+    const int32_t first_word = begin >> 6;
+    const int32_t last_word = (end - 1) >> 6;  // inclusive
+    const uint64_t head_mask = ~uint64_t{0} << (static_cast<uint32_t>(begin) & 63);
+    const uint64_t tail_mask =
+        ~uint64_t{0} >> (63 - ((static_cast<uint32_t>(end - 1)) & 63));
+    if (first_word == last_word) {
+      return (words_[static_cast<size_t>(first_word)] & head_mask &
+              tail_mask) == 0;
+    }
+    if (words_[static_cast<size_t>(first_word)] & head_mask) return false;
+    for (int32_t w = first_word + 1; w < last_word; ++w) {
+      if (words_[static_cast<size_t>(w)]) return false;
+    }
+    return (words_[static_cast<size_t>(last_word)] & tail_mask) == 0;
+  }
+
+  std::vector<uint64_t> words_;
+  int32_t size_ = 0;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_UTIL_BITMAP_H_

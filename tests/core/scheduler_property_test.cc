@@ -154,5 +154,60 @@ TEST(SchedulerDeterminismTest, SameSeedSameOutcome) {
   EXPECT_NE(run(424242), run(424243));
 }
 
+// The lockstep fast path (contiguous streams advanced with one
+// range-reserve) is disabled whenever a read observer is installed, so
+// running the same load with and without a no-op observer pits the fast
+// path against the per-lane reference path.  Every externally visible
+// outcome must match exactly.
+TEST(SchedulerFastPathTest, MatchesPerLanePathExactly) {
+  auto run = [](bool force_per_lane_path, uint64_t seed) {
+    Simulator sim;
+    auto disks = DiskArray::Create(16, DiskParameters::Evaluation());
+    SchedulerConfig config;
+    config.stride = 3;
+    config.interval = SimTime::Millis(605);
+    config.policy = AdmissionPolicy::kFragmented;
+    config.coalesce = true;
+    int64_t observed_reads = 0;
+    if (force_per_lane_path) {
+      config.read_observer = [&observed_reads](int64_t, ObjectId, int64_t,
+                                               int32_t, int32_t) {
+        ++observed_reads;
+      };
+    }
+    auto sched = IntervalScheduler::Create(&sim, &*disks, config);
+    Rng rng(seed);
+    SimTime at = SimTime::Zero();
+    for (int i = 0; i < 30; ++i) {
+      DisplayRequest req;
+      req.object = i;
+      req.degree = static_cast<int32_t>(1 + rng.NextBounded(5));
+      req.start_disk = static_cast<int32_t>(rng.NextBounded(16));
+      req.num_subobjects = static_cast<int64_t>(1 + rng.NextBounded(30));
+      at += SimTime::Micros(static_cast<int64_t>(rng.NextBounded(2000000)));
+      sim.ScheduleAt(at, [&sched, req = std::move(req)]() mutable {
+        (void)(*sched)->Submit(std::move(req));
+      });
+    }
+    sim.RunUntil(SimTime::Hours(1));
+    const SchedulerMetrics& m = (*sched)->metrics();
+    std::vector<double> fingerprint = {
+        static_cast<double>(m.displays_completed),
+        static_cast<double>(m.fragmented_admissions),
+        static_cast<double>(m.coalesce_migrations),
+        static_cast<double>(m.hiccups),
+        m.buffered_fragments.current(),
+        m.startup_latency_sec.mean(),
+        disks->MeanUtilization(),
+        disks->MaxUtilization(),
+        disks->MinUtilization(),
+    };
+    return fingerprint;
+  };
+  for (uint64_t seed : {1ull, 7ull, 99ull, 31415ull}) {
+    EXPECT_EQ(run(false, seed), run(true, seed)) << "seed=" << seed;
+  }
+}
+
 }  // namespace
 }  // namespace stagger

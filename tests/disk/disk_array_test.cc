@@ -95,8 +95,8 @@ TEST(DiskArrayTest, AggregateCapacity) {
 TEST(DiskArrayTest, UtilizationSkewReporting) {
   DiskArray array = MakeArray(4);
   for (int t = 0; t < 10; ++t) {
-    array.disk(0).Reserve();
-    if (t < 5) array.disk(1).Reserve();
+    array.ReserveSlot(0);
+    if (t < 5) array.ReserveSlot(1);
     array.EndInterval();
   }
   EXPECT_DOUBLE_EQ(array.MaxUtilization(), 1.0);

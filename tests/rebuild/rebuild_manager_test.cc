@@ -172,7 +172,7 @@ TEST_F(RebuildManagerTest, BusySourcesStallOrSkipWithoutStealing) {
   // Display traffic owns every surviving disk: no stripe has slack, so
   // the rebuild yields the whole interval (idle bandwidth only).
   for (DiskId d = 0; d < 6; ++d) {
-    if (d != slot) disks_->disk(d).Reserve();
+    if (d != slot) disks_->ReserveSlot(d);
   }
   rebuild_->OnIdleInterval(0);
   EXPECT_EQ(rebuild_->metrics().fragments_rebuilt, 0);
@@ -184,7 +184,7 @@ TEST_F(RebuildManagerTest, BusySourcesStallOrSkipWithoutStealing) {
   const auto& f = lost.front();
   const DiskId busy = disks_->Wrap(f.stripe_first_disk +
                                    (f.fragment == 0 ? 1 : 0));
-  disks_->disk(busy).Reserve();
+  disks_->ReserveSlot(busy);
   rebuild_->OnIdleInterval(1);
   EXPECT_EQ(rebuild_->metrics().fragments_rebuilt, 1);
   EXPECT_EQ(rebuild_->metrics().stalled_intervals, 1);

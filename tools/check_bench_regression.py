@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Gate benchmark reports against a checked-in baseline.
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json [--max-regression 0.25]
+                            [--update]
+
+Both files are stagger-bench-report-v1 JSON (bench/bench_report.h).  The
+check fails when
+
+  * any benchmark present in the baseline regresses by more than
+    --max-regression (default 25%) in ns_per_item, or
+  * the current report was produced with invariant audits compiled in
+    (audit_enabled true) or assertions enabled — those runs measure the
+    wrong binary and must never refresh or pass the perf gate.
+
+Benchmarks only present in the current report are listed but do not
+fail the check (new benchmarks need a baseline refresh, not a red CI).
+With --update, the baseline file is rewritten from the current report
+after the sanity checks, preserving nothing but the measured entries.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if report.get("schema") != "stagger-bench-report-v1":
+        sys.exit(f"{path}: not a stagger-bench-report-v1 file")
+    return report
+
+
+def entries(report):
+    return {b["name"]: b for b in report.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional ns_per_item increase")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current report")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    if current.get("audit_enabled"):
+        sys.exit("FAIL: current report measured with STAGGER_AUDIT compiled "
+                 "in; rebuild with the release preset")
+    if current.get("assertions_enabled"):
+        sys.exit("FAIL: current report measured with assertions enabled; "
+                 "rebuild with the release preset")
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(current, f, indent=2)
+            f.write("\n")
+        print(f"baseline {args.baseline} updated from {args.current}")
+        return
+
+    baseline = load(args.baseline)
+    base, cur = entries(baseline), entries(current)
+
+    failures = []
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        allowed = b["ns_per_item"] * (1.0 + args.max_regression)
+        ratio = c["ns_per_item"] / b["ns_per_item"] if b["ns_per_item"] else 0
+        verdict = "FAIL" if c["ns_per_item"] > allowed else "ok"
+        print(f"{verdict:4} {name}: {c['ns_per_item']:.1f} ns/item vs "
+              f"baseline {b['ns_per_item']:.1f} ({ratio:+.1%} of baseline)")
+        if verdict == "FAIL":
+            failures.append(
+                f"{name}: {c['ns_per_item']:.1f} ns/item exceeds "
+                f"{allowed:.1f} (baseline {b['ns_per_item']:.1f} "
+                f"+{args.max_regression:.0%})")
+
+    for name in sorted(set(cur) - set(base)):
+        print(f"new  {name}: {cur[name]['ns_per_item']:.1f} ns/item "
+              "(no baseline; refresh with --update)")
+
+    if failures:
+        print("\nPerformance regression gate failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("\nperf gate passed")
+
+
+if __name__ == "__main__":
+    main()

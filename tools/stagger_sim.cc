@@ -40,8 +40,14 @@ Usage: stagger_sim [flags]
   --warmup-hours=X    excluded from throughput          [2]
   --measure-hours=X   measurement window                [10]
   --seed=N            workload seed                     [20240101]
+  --replications=N    independent runs, seeds seed..seed+N-1  [1]
+  --threads=N         concurrent replications           [1]
   --csv               machine-readable one-line output
   --help              this text
+
+With --replications=N > 1 the tool reports mean and sample stddev
+across the runs; --threads=N runs replications concurrently.  Results
+are bit-identical whatever the thread count.
 )");
 }
 
@@ -60,6 +66,8 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 int Run(int argc, char** argv) {
   ExperimentConfig cfg;
   bool csv = false;
+  int32_t replications = 1;
+  int32_t threads = 1;
   for (int i = 1; i < argc; ++i) {
     std::string v;
     if (ParseFlag(argv[i], "--help", &v)) {
@@ -107,12 +115,63 @@ int Run(int argc, char** argv) {
       cfg.measure = SimTime::Hours(std::atof(v.c_str()));
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       cfg.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(argv[i], "--replications", &v)) {
+      replications = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--threads", &v)) {
+      threads = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--csv", &v)) {
       csv = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
       return 2;
     }
+  }
+
+  if (replications > 1) {
+    auto replicated = RunReplicated(cfg, replications, threads);
+    if (!replicated.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   replicated.status().ToString().c_str());
+      return 1;
+    }
+    if (csv) {
+      Table table({"scheme", "stations", "mean", "replications", "threads",
+                   "displays_per_hour_mean", "displays_per_hour_stddev",
+                   "latency_s_mean", "latency_s_stddev", "disk_util_mean",
+                   "disk_util_stddev"});
+      table.AddRowValues(SchemeName(cfg.scheme),
+                         static_cast<int64_t>(cfg.stations),
+                         cfg.geometric_mean,
+                         static_cast<int64_t>(replicated->replications),
+                         static_cast<int64_t>(threads),
+                         replicated->displays_per_hour.mean(),
+                         replicated->displays_per_hour.stddev(),
+                         replicated->mean_startup_latency_sec.mean(),
+                         replicated->mean_startup_latency_sec.stddev(),
+                         replicated->disk_utilization.mean(),
+                         replicated->disk_utilization.stddev());
+      table.PrintCsv(std::cout);
+      return 0;
+    }
+    std::printf("scheme                %s\n", SchemeName(cfg.scheme).c_str());
+    std::printf("stations              %d\n", cfg.stations);
+    std::printf("popularity mean       %.1f\n", cfg.geometric_mean);
+    std::printf("replications          %d (seeds %llu..%llu, %d thread%s)\n",
+                replicated->replications,
+                static_cast<unsigned long long>(cfg.seed),
+                static_cast<unsigned long long>(
+                    cfg.seed + static_cast<uint64_t>(replications) - 1),
+                threads, threads == 1 ? "" : "s");
+    std::printf("throughput            %.1f +/- %.1f displays/hour\n",
+                replicated->displays_per_hour.mean(),
+                replicated->displays_per_hour.stddev());
+    std::printf("mean startup latency  %.1f +/- %.1f s\n",
+                replicated->mean_startup_latency_sec.mean(),
+                replicated->mean_startup_latency_sec.stddev());
+    std::printf("disk utilization      %.1f +/- %.1f %%\n",
+                100.0 * replicated->disk_utilization.mean(),
+                100.0 * replicated->disk_utilization.stddev());
+    return 0;
   }
 
   auto result = RunExperiment(cfg);
