@@ -218,6 +218,7 @@ Status VdrServer::AuditInvariants() const {
                        display_clusters)
       << "; " << active_displays_.size() << " active-display records but "
       << display_clusters << " clusters are displaying";
+  // stagger-lint: allow(determinism-unordered-iter) -- audit-only verification; every record is checked independently, so visit order cannot affect the outcome
   for (const auto& [c, ad] : active_displays_) {
     STAGGER_AUDIT_VERIFY(
         clusters_[static_cast<size_t>(c)].activity == ClusterActivity::kDisplay)
@@ -563,6 +564,7 @@ void VdrServer::OnClusterDown(int32_t cluster, bool media_lost) {
     }
     case ClusterActivity::kCopyDest: {
       // Abort the inbound copy; the source display is unaffected.
+      // stagger-lint: allow(determinism-unordered-iter) -- find-one-and-break scan: at most one record matches copy_dst, so visit order cannot affect the outcome
       for (auto& [src, ad] : active_displays_) {
         if (ad.copy_dst == cluster) {
           ad.copy_dst = -1;

@@ -7,6 +7,7 @@
 
 #include "core/invariants.h"
 #include "util/check.h"
+#include "util/hot_path.h"
 
 namespace stagger {
 
@@ -179,7 +180,7 @@ void IntervalScheduler::EraseActive(StreamId id) {
   active_.erase(it);
 }
 
-void IntervalScheduler::Tick(int64_t tick_index) {
+STAGGER_HOT_PATH void IntervalScheduler::Tick(int64_t tick_index) {
   interval_index_ = tick_index;
   // Entries stamped in earlier intervals go stale without any clearing.
   claim_stamp_ = tick_index + 1;
@@ -203,7 +204,7 @@ void IntervalScheduler::Tick(int64_t tick_index) {
   disks_->EndInterval();
 }
 
-void IntervalScheduler::TryAdmissions() {
+STAGGER_HOT_PATH void IntervalScheduler::TryAdmissions() {
   // Scan FIFO; with backfill, requests behind a blocked head may be
   // admitted (the paper's Figure 3 idle slots serving a new request).
   for (auto it = queue_.begin(); it != queue_.end();) {
@@ -217,7 +218,7 @@ void IntervalScheduler::TryAdmissions() {
   }
 }
 
-bool IntervalScheduler::TryAdmit(const Pending& p) {
+STAGGER_HOT_PATH bool IntervalScheduler::TryAdmit(const Pending& p) {
   if (TryAdmitContiguous(p)) return true;
   if (config_.policy == AdmissionPolicy::kFragmented &&
       TryAdmitFragmented(p)) {
@@ -226,7 +227,7 @@ bool IntervalScheduler::TryAdmit(const Pending& p) {
   return false;
 }
 
-bool IntervalScheduler::TryAdmitContiguous(const Pending& p) {
+STAGGER_HOT_PATH bool IntervalScheduler::TryAdmitContiguous(const Pending& p) {
   // The request starts only when the virtual disks *currently over* its
   // first fragments are all idle (alignment delay zero): one modular
   // window test over the occupancy bitmap.
@@ -267,7 +268,7 @@ bool IntervalScheduler::TryAdmitContiguous(const Pending& p) {
   return true;
 }
 
-bool IntervalScheduler::TryAdmitFragmented(const Pending& p) {
+STAGGER_HOT_PATH bool IntervalScheduler::TryAdmitFragmented(const Pending& p) {
   const int32_t m = p.req.degree;
   const int32_t d = frame_.num_disks();
   const bool check_health = config_.degraded_policy != DegradedPolicy::kNone &&
@@ -296,6 +297,7 @@ bool IntervalScheduler::TryAdmitFragmented(const Pending& p) {
       break;
     }
     scratch_taken_.Set(found->first);
+    // stagger-lint: allow(hot-path-alloc) -- scratch_taken_bits_ keeps its capacity across admissions (clear(), never shrink), so this amortizes to zero allocations in steady state
     scratch_taken_bits_.push_back(found->first);
     lanes[static_cast<size_t>(j)].vdisk = found->first;
     lanes[static_cast<size_t>(j)].next_read_tau = found->second;
@@ -353,7 +355,7 @@ void IntervalScheduler::AdmitStream(const Pending& p, LaneArray lanes,
   InsertActive(s.id, slot);
 }
 
-void IntervalScheduler::AdvanceStreams() {
+STAGGER_HOT_PATH void IntervalScheduler::AdvanceStreams() {
   const int32_t d = frame_.num_disks();
   // Physical disk under virtual disk v this interval is v + rot (mod D);
   // hoisting the rotation turns the per-lane mapping into an add and a
@@ -521,6 +523,7 @@ void IntervalScheduler::AdvanceStreams() {
       // output clock would record a hiccup.  Reads already issued this
       // interval are wasted bandwidth, which is the honest cost of the
       // mid-stripe failure.
+      // stagger-lint: allow(hot-path-alloc) -- scratch_to_pause_ keeps its capacity across ticks (clear(), never shrink), so this amortizes to zero allocations in steady state
       scratch_to_pause_.push_back(id);
       continue;
     }
@@ -545,6 +548,7 @@ void IntervalScheduler::AdvanceStreams() {
         metrics_.startup_latency_sec.Add(latency.seconds());
         if (s.on_started) s.on_started(latency);
       }
+      // stagger-lint: allow(hot-path-alloc) -- scratch_finished_ keeps its capacity across ticks (clear(), never shrink), so this amortizes to zero allocations in steady state
       if (s.delivered == s.num_subobjects) scratch_finished_.push_back(id);
     }
   }

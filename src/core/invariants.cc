@@ -437,6 +437,7 @@ Status InvariantAuditor::AuditScheduler(const IntervalScheduler& s) {
 
   // Request bookkeeping: queued handles map to no stream; admitted
   // handles map to a live stream keyed by the same id.
+  // stagger-lint: allow(determinism-unordered-iter) -- audit-only verification; every mapping is checked independently, so visit order cannot affect the outcome
   for (const auto& [request, stream_id] : s.request_to_stream_) {
     if (stream_id == kNoStream) continue;
     STAGGER_AUDIT_VERIFY(s.SlotOf(stream_id) >= 0)
@@ -501,6 +502,7 @@ Status InvariantAuditor::AuditLogicalScheduler(
   // Recompute per-virtual-disk occupancy from the active streams and
   // compare against the scheduler's incremental bookkeeping.
   std::vector<int64_t> expected(static_cast<size_t>(d), 0);
+  // stagger-lint: allow(determinism-unordered-iter) -- audit-only verification; the loop accumulates order-independent per-disk sums
   for (const auto& [id, stream] : s.streams_) {
     STAGGER_AUDIT_VERIFY(stream.delivered >= 0 &&
                          stream.delivered <= stream.req.num_subobjects)

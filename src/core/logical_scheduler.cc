@@ -158,6 +158,7 @@ void LogicalDiskScheduler::Tick(int64_t tick_index) {
   // Advance streams: one subobject per interval each.
   std::vector<RequestId> ids;
   ids.reserve(streams_.size());
+  // stagger-lint: allow(determinism-unordered-iter) -- collects ids and sorts them before any stateful work; hash order never reaches the schedule
   for (const auto& [id, s] : streams_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
 

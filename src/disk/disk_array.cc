@@ -140,7 +140,7 @@ void DiskArray::PromoteSpare(DiskId slot, int32_t drive) {
   // returns to the spare pool.
 }
 
-void DiskArray::EndInterval() {
+STAGGER_HOT_PATH void DiskArray::EndInterval() {
   // Fold this interval's reservations into the per-drive busy counts
   // here rather than in ReserveDrive: the bitmap walk visits drives in
   // ascending order, so the counter array fills sequentially

@@ -29,6 +29,7 @@
 #include "disk/disk.h"
 #include "disk/disk_parameters.h"
 #include "util/bitmap.h"
+#include "util/hot_path.h"
 #include "util/result.h"
 
 namespace stagger {
@@ -62,7 +63,7 @@ class DiskArray {
   // writes), whose drive indices come from AcquireSpare.
 
   /// True when `slot`'s drive is transferring this interval.
-  bool SlotBusy(DiskId slot) const {
+  STAGGER_HOT_PATH bool SlotBusy(DiskId slot) const {
     STAGGER_DCHECK(slot >= 0 && slot < num_slots_);
     return busy_drives_.Test(slot_to_drive_[static_cast<size_t>(slot)]);
   }
@@ -70,18 +71,18 @@ class DiskArray {
   /// Marks `slot`'s drive busy for the current interval.
   /// Preconditions: currently idle, and IsAvailable(slot) — the
   /// scheduler must never place load on a failed or stalled disk.
-  void ReserveSlot(DiskId slot) {
+  STAGGER_HOT_PATH void ReserveSlot(DiskId slot) {
     STAGGER_DCHECK(slot >= 0 && slot < num_slots_);
     ReserveDrive(slot_to_drive_[static_cast<size_t>(slot)]);
   }
 
   /// True when physical drive `drive` is transferring this interval.
-  bool DriveBusy(int32_t drive) const { return busy_drives_.Test(drive); }
+  STAGGER_HOT_PATH bool DriveBusy(int32_t drive) const { return busy_drives_.Test(drive); }
 
   /// Marks physical drive `drive` busy for the current interval; same
   /// preconditions as ReserveSlot.  Busy-interval counters are folded
   /// in at EndInterval, so the hot path is a single bitmap store.
-  void ReserveDrive(int32_t drive) {
+  STAGGER_HOT_PATH void ReserveDrive(int32_t drive) {
     STAGGER_DCHECK(!busy_drives_.Test(drive))
         << "drive " << drive << " reserved twice in one interval";
     STAGGER_DCHECK(drives_[static_cast<size_t>(drive)].available())
@@ -103,7 +104,7 @@ class DiskArray {
   /// the run is a contiguous bit range in the busy bitmap and the whole
   /// reservation is a couple of masked word-ORs — the scheduler's
   /// lockstep fast path reserves a stream's M adjacent disks this way.
-  void ReserveRun(DiskId start, int32_t len) {
+  STAGGER_HOT_PATH void ReserveRun(DiskId start, int32_t len) {
     STAGGER_DCHECK(start >= 0 && start < num_slots_);
     STAGGER_DCHECK(len >= 0 && len <= num_slots_);
     if (!dense_slots_) {
@@ -174,7 +175,7 @@ class DiskArray {
   /// Ends the current interval: clears the busy bitmap (slots and
   /// spares alike — rebuild writes reserve through the same bitmap) and
   /// advances the shared interval counter.  O((D + S)/64) word stores.
-  void EndInterval();
+  STAGGER_HOT_PATH void EndInterval();
 
   // --- aggregate storage ------------------------------------------------
   int64_t TotalCylinders() const;

@@ -44,6 +44,7 @@ RebuildManager::RebuildManager(DiskArray* disks, RebuildConfig config)
     : disks_(disks), config_(config) {}
 
 Status RebuildManager::StartRebuild(DiskId slot, std::vector<LostFragment> lost) {
+  MutexLock lock(&mu_);
   if (jobs_.count(slot) > 0) {
     return Status::FailedPrecondition("slot " + std::to_string(slot) +
                                       " is already rebuilding");
@@ -69,6 +70,7 @@ Status RebuildManager::StartRebuild(DiskId slot, std::vector<LostFragment> lost)
 }
 
 Status RebuildManager::CancelRebuild(DiskId slot) {
+  MutexLock lock(&mu_);
   auto it = jobs_.find(slot);
   if (it == jobs_.end()) {
     return Status::NotFound("slot " + std::to_string(slot) +
@@ -81,6 +83,7 @@ Status RebuildManager::CancelRebuild(DiskId slot) {
 }
 
 void RebuildManager::OnIdleInterval(int64_t interval) {
+  MutexLock lock(&mu_);
   std::vector<DiskId> done;
   for (auto& [slot, job] : jobs_) {
     if (job.last_rebuild_interval >= 0 &&
@@ -160,6 +163,7 @@ void RebuildManager::Promote(DiskId slot) {
 }
 
 double RebuildManager::Progress(DiskId slot) const {
+  MutexLock lock(&mu_);
   auto it = jobs_.find(slot);
   STAGGER_CHECK(it != jobs_.end()) << "slot " << slot << " is not rebuilding";
   if (it->second.lost.empty()) return 1.0;
@@ -168,6 +172,7 @@ double RebuildManager::Progress(DiskId slot) const {
 }
 
 int64_t RebuildManager::EtaIntervals(DiskId slot) const {
+  MutexLock lock(&mu_);
   auto it = jobs_.find(slot);
   STAGGER_CHECK(it != jobs_.end()) << "slot " << slot << " is not rebuilding";
   const int64_t remaining =
@@ -176,6 +181,7 @@ int64_t RebuildManager::EtaIntervals(DiskId slot) const {
 }
 
 Status RebuildManager::AuditState() const {
+  MutexLock lock(&mu_);
   for (const auto& [slot, job] : jobs_) {
     STAGGER_AUDIT_VERIFY(slot >= 0 && slot < disks_->num_disks())
         << "; rebuild job on nonexistent slot " << slot;

@@ -30,6 +30,7 @@
 #include "disk/disk_array.h"
 #include "storage/media_object.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace stagger {
 
@@ -90,11 +91,12 @@ class RebuildManager {
   /// lived on `slot`) onto it.  An empty list promotes immediately.
   /// Fails with ResourceExhausted when no spare is free, or
   /// FailedPrecondition when the slot is already rebuilding.
-  Status StartRebuild(DiskId slot, std::vector<LostFragment> lost);
+  Status StartRebuild(DiskId slot, std::vector<LostFragment> lost)
+      STAGGER_EXCLUDES(mu_);
 
   /// Abandons the rebuild of `slot` (its original drive recovered) and
   /// returns the spare to the pool.
-  Status CancelRebuild(DiskId slot);
+  Status CancelRebuild(DiskId slot) STAGGER_EXCLUDES(mu_);
 
   /// Consumes leftover slack of one interval: for each active job whose
   /// throttle allows it, picks the first pending fragment whose whole
@@ -106,22 +108,28 @@ class RebuildManager {
   /// fragments is unrecoverable from single parity: its job holds the
   /// spare and keeps stalling until the other slot comes back.  Install
   /// via IntervalScheduler::SetIdleBandwidthHook.
-  void OnIdleInterval(int64_t interval);
+  void OnIdleInterval(int64_t interval) STAGGER_EXCLUDES(mu_);
 
-  bool rebuilding(DiskId slot) const { return jobs_.count(slot) > 0; }
-  size_t active_jobs() const { return jobs_.size(); }
+  bool rebuilding(DiskId slot) const STAGGER_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return jobs_.count(slot) > 0;
+  }
+  size_t active_jobs() const STAGGER_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return jobs_.size();
+  }
   /// Fraction of `slot`'s lost fragments already rebuilt, in [0, 1].
-  double Progress(DiskId slot) const;
+  double Progress(DiskId slot) const STAGGER_EXCLUDES(mu_);
   /// Intervals still needed for `slot` at the configured rate cap,
   /// assuming every interval offers slack.
-  int64_t EtaIntervals(DiskId slot) const;
+  int64_t EtaIntervals(DiskId slot) const STAGGER_EXCLUDES(mu_);
 
   const RebuildMetrics& metrics() const { return metrics_; }
   const RebuildConfig& config() const { return config_; }
 
   /// Internal-consistency audit: job cursors within bounds, one job per
   /// slot, and zero reconstruction mismatches.
-  Status AuditState() const;
+  Status AuditState() const STAGGER_EXCLUDES(mu_);
 
  private:
   struct Job {
@@ -134,14 +142,23 @@ class RebuildManager {
   RebuildManager(DiskArray* disks, RebuildConfig config);
 
   /// Attempts one fragment of `job` this interval; true on progress.
-  bool TryRebuildOne(Job* job, int64_t interval);
-  void Promote(DiskId slot);
+  bool TryRebuildOne(Job* job, int64_t interval) STAGGER_REQUIRES(mu_);
+  void Promote(DiskId slot) STAGGER_REQUIRES(mu_);
 
   DiskArray* disks_;
   RebuildConfig config_;
+  /// Serializes job mutation: PR-5's sharded deployment drives
+  /// StartRebuild/CancelRebuild from the coordinator thread while the
+  /// storage-node tick calls OnIdleInterval.  mutable so const readers
+  /// can lock.
+  mutable Mutex mu_;
   /// Active jobs keyed by failed slot; std::map for deterministic
   /// per-interval iteration order.
-  std::map<DiskId, Job> jobs_;
+  std::map<DiskId, Job> jobs_ STAGGER_GUARDED_BY(mu_);
+  /// Written only by mu_-holding methods but deliberately unannotated:
+  /// metrics() hands out a const reference, which the thread-safety
+  /// analysis cannot prove safe for a guarded member.  Cross-thread
+  /// readers must synchronize externally (quiesce the manager).
   RebuildMetrics metrics_;
 };
 

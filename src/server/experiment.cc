@@ -1,7 +1,6 @@
 #include "server/experiment.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <memory>
 #include <thread>
@@ -16,6 +15,7 @@
 #include "storage/catalog.h"
 #include "tertiary/tertiary_pool.h"
 #include "util/distributions.h"
+#include "util/thread_annotations.h"
 #include "workload/display_station.h"
 
 namespace stagger {
@@ -217,29 +217,64 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   return result;
 }
 
+namespace {
+
+// Shared state of the RunMany worker pool: the claim cursor and the
+// result slots, behind one mutex so clang's -Wthread-safety analysis
+// can prove every cross-thread access synchronized.  The lock is taken
+// once per claimed configuration and once per finished simulation —
+// noise next to the simulation that runs in between — and slots stay
+// keyed by configuration index, so the unwrap order (and every
+// aggregate built from it) is bit-identical to a serial sweep no
+// matter how many threads ran.
+class ResultSink {
+ public:
+  explicit ResultSink(size_t n) {
+    runs_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      runs_.emplace_back(Status::Internal("experiment not run"));
+    }
+  }
+
+  /// Claims the next unstarted configuration index; indices past the
+  /// sweep size mean "done".
+  size_t Claim() STAGGER_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_++;
+  }
+
+  void Store(size_t i, Result<ExperimentResult> run) STAGGER_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    runs_[i] = std::move(run);
+  }
+
+  /// Moves the slots out; call only after every worker has joined.
+  std::vector<Result<ExperimentResult>> Take() STAGGER_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return std::move(runs_);
+  }
+
+ private:
+  Mutex mu_;
+  size_t next_ STAGGER_GUARDED_BY(mu_) = 0;
+  std::vector<Result<ExperimentResult>> runs_ STAGGER_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
 Result<std::vector<ExperimentResult>> RunMany(
     const std::vector<ExperimentConfig>& configs, int32_t threads) {
   const size_t n = configs.size();
-  std::vector<Result<ExperimentResult>> runs;
-  runs.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    runs.emplace_back(Status::Internal("experiment not run"));
-  }
+  ResultSink sink(n);
 
   const int32_t workers =
       std::min<int32_t>(threads, static_cast<int32_t>(n));
   if (workers <= 1) {
-    for (size_t i = 0; i < n; ++i) runs[i] = RunExperiment(configs[i]);
+    for (size_t i = 0; i < n; ++i) sink.Store(i, RunExperiment(configs[i]));
   } else {
-    // Work-stealing over a shared index: each worker claims the next
-    // unstarted configuration.  Runs share no mutable state (every
-    // simulation owns its world), so slots in `runs` are written by
-    // exactly one thread and read only after join.
-    std::atomic<size_t> next{0};
     auto worker = [&] {
-      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
-           i = next.fetch_add(1, std::memory_order_relaxed)) {
-        runs[i] = RunExperiment(configs[i]);
+      for (size_t i = sink.Claim(); i < n; i = sink.Claim()) {
+        sink.Store(i, RunExperiment(configs[i]));
       }
     };
     std::vector<std::thread> pool;
@@ -248,6 +283,7 @@ Result<std::vector<ExperimentResult>> RunMany(
     for (std::thread& t : pool) t.join();
   }
 
+  std::vector<Result<ExperimentResult>> runs = sink.Take();
   // Report the lowest-indexed failure — what a serial sweep would have
   // hit first — and otherwise unwrap in input order.
   std::vector<ExperimentResult> results;

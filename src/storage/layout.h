@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "storage/media_object.h"
+#include "util/hot_path.h"
 #include "util/result.h"
 #include "util/units.h"
 
@@ -62,19 +63,21 @@ class StaggeredLayout {
   /// comes from a precomputed P-entry table; the residue i mod P is
   /// taken with a Lemire multiply-shift instead of hardware division —
   /// this sits in the scheduler's and the audits' hottest loops.
-  int32_t DiskFor(int64_t subobject, int32_t fragment) const {
+  STAGGER_HOT_PATH int32_t DiskFor(int64_t subobject, int32_t fragment) const {
     STAGGER_DCHECK(fragment >= 0 && fragment < degree_);
     const int32_t disk = RowStart(subobject) + fragment;
     return disk >= num_disks_ ? disk - num_disks_ : disk;
   }
 
   /// First disk of subobject i (X_{i.0}).
-  int32_t FirstDiskFor(int64_t subobject) const { return RowStart(subobject); }
+  STAGGER_HOT_PATH int32_t FirstDiskFor(int64_t subobject) const {
+    return RowStart(subobject);
+  }
 
   /// Physical disk holding subobject i's parity fragment: the disk
   /// after the stripe's last data fragment, (p + i*k + M) mod D.
   /// Precondition: has_parity().
-  int32_t ParityDiskFor(int64_t subobject) const {
+  STAGGER_HOT_PATH int32_t ParityDiskFor(int64_t subobject) const {
     STAGGER_DCHECK(parity_);
     const int32_t disk = RowStart(subobject) + degree_;
     return disk >= num_disks_ ? disk - num_disks_ : disk;
@@ -103,7 +106,7 @@ class StaggeredLayout {
 
   /// subobject mod period_, by Lemire's multiply-shift when the value
   /// fits 32 bits (always, in practice).  Requires subobject >= 0.
-  uint32_t ResidueOf(uint64_t subobject) const {
+  STAGGER_HOT_PATH uint32_t ResidueOf(uint64_t subobject) const {
 #if defined(__SIZEOF_INT128__)
     __extension__ typedef unsigned __int128 Uint128;
     const uint64_t low = period_magic_ * subobject;
@@ -116,7 +119,7 @@ class StaggeredLayout {
 
   /// Disk of X_{i.0}: table load on the hot path, closed form for
   /// out-of-range subobject indices (negative or >= 2^32).
-  int32_t RowStart(int64_t subobject) const {
+  STAGGER_HOT_PATH int32_t RowStart(int64_t subobject) const {
     if (period_ == 1) return start_disk_;
     if ((static_cast<uint64_t>(subobject) >> 32) == 0) {
       return (*row_first_)[ResidueOf(static_cast<uint64_t>(subobject))];

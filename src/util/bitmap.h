@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/hot_path.h"
 
 namespace stagger {
 
@@ -33,19 +34,19 @@ class Bitmap {
 
   int32_t size() const { return size_; }
 
-  bool Test(int32_t i) const {
+  STAGGER_HOT_PATH bool Test(int32_t i) const {
     STAGGER_DCHECK(i >= 0 && i < size_);
     return (words_[static_cast<size_t>(i >> 6)] >>
             (static_cast<uint32_t>(i) & 63)) & 1;
   }
 
-  void Set(int32_t i) {
+  STAGGER_HOT_PATH void Set(int32_t i) {
     STAGGER_DCHECK(i >= 0 && i < size_);
     words_[static_cast<size_t>(i >> 6)] |=
         uint64_t{1} << (static_cast<uint32_t>(i) & 63);
   }
 
-  void Clear(int32_t i) {
+  STAGGER_HOT_PATH void Clear(int32_t i) {
     STAGGER_DCHECK(i >= 0 && i < size_);
     words_[static_cast<size_t>(i >> 6)] &=
         ~(uint64_t{1} << (static_cast<uint32_t>(i) & 63));
@@ -54,7 +55,7 @@ class Bitmap {
   void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
 
   /// Sets every bit in the linear range [begin, end).  O(range/64).
-  void SetRange(int32_t begin, int32_t end) {
+  STAGGER_HOT_PATH void SetRange(int32_t begin, int32_t end) {
     STAGGER_DCHECK(begin >= 0 && begin <= end && end <= size_);
     if (begin >= end) return;
     const int32_t first_word = begin >> 6;
@@ -76,7 +77,7 @@ class Bitmap {
 
   /// Sets every bit in the modular window [start, start + len)
   /// (mod size).  len in [0, size].
-  void SetWindow(int32_t start, int32_t len) {
+  STAGGER_HOT_PATH void SetWindow(int32_t start, int32_t len) {
     STAGGER_DCHECK(start >= 0 && start < size_);
     STAGGER_DCHECK(len >= 0 && len <= size_);
     const int32_t tail = size_ - start;
@@ -110,7 +111,7 @@ class Bitmap {
 
   /// True when none of the bits in the modular window
   /// [start, start + len) (mod size) is set.  len in [0, size].
-  bool WindowClear(int32_t start, int32_t len) const {
+  STAGGER_HOT_PATH bool WindowClear(int32_t start, int32_t len) const {
     STAGGER_DCHECK(start >= 0 && start < size_);
     STAGGER_DCHECK(len >= 0 && len <= size_);
     const int32_t tail = size_ - start;
@@ -120,7 +121,7 @@ class Bitmap {
 
  private:
   /// True when no bit in the linear range [begin, end) is set.
-  bool RangeClear(int32_t begin, int32_t end) const {
+  STAGGER_HOT_PATH bool RangeClear(int32_t begin, int32_t end) const {
     if (begin >= end) return true;
     const int32_t first_word = begin >> 6;
     const int32_t last_word = (end - 1) >> 6;  // inclusive

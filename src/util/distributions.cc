@@ -8,11 +8,11 @@ namespace stagger {
 
 int64_t DiscreteDistribution::WorkingSetSize(double mass) const {
   double acc = 0.0;
-  for (int64_t i = 0; i < size(); ++i) {
+  for (int64_t i = 0; i < num_outcomes(); ++i) {
     acc += Probability(i);
     if (acc >= mass) return i + 1;
   }
-  return size();
+  return num_outcomes();
 }
 
 Result<AliasSampler> AliasSampler::Create(const std::vector<double>& weights) {

@@ -1,0 +1,30 @@
+// STAGGER_HOT_PATH: marker for functions on the scheduler's per-interval
+// tick path (the PR-4 O(active-work) contract).  The marker does two
+// things:
+//
+//   1. stagger_lint (tools/stagger_lint/) scans the body of every tagged
+//      function and fails the build on heap allocation, locks, I/O, and
+//      indirect dispatch through non-whitelisted interfaces — the purity
+//      rules in docs/static_analysis.md.  Sanctioned exceptions carry an
+//      inline allow(<rule>) suppression comment; see the suppression
+//      policy in that document for the exact spelling.
+//
+//   2. On GCC/Clang it expands to the `hot` attribute, grouping the
+//      tagged functions' text for locality.
+//
+// Tag the *definition* (the linter checks bodies where it sees the
+// marker); tagging a declaration as well is harmless.  Place it before
+// the return type:
+//
+//   STAGGER_HOT_PATH void Tick(int64_t tick_index);
+
+#ifndef STAGGER_UTIL_HOT_PATH_H_
+#define STAGGER_UTIL_HOT_PATH_H_
+
+#if defined(__GNUC__) || defined(__clang__)
+#define STAGGER_HOT_PATH __attribute__((hot))
+#else
+#define STAGGER_HOT_PATH
+#endif
+
+#endif  // STAGGER_UTIL_HOT_PATH_H_

@@ -2,10 +2,18 @@
 
 #include <atomic>
 
+#include "util/thread_annotations.h"
+
 namespace stagger {
 
 namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+// LogMessage destructors run concurrently on the RunMany worker
+// threads; emission goes through this guarded sink so each log line
+// lands on stderr whole instead of interleaved mid-character.
+Mutex g_sink_mu;
+std::ostream* g_sink STAGGER_GUARDED_BY(g_sink_mu) = &std::cerr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -33,7 +41,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    MutexLock lock(&g_sink_mu);
+    (*g_sink) << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -11,7 +11,7 @@ StationPool::StationPool(Simulator* sim, MediaService* service,
                          int32_t num_stations, uint64_t seed)
     : sim_(sim), service_(service), distribution_(distribution),
       num_stations_(num_stations), rng_(seed),
-      referenced_(static_cast<size_t>(distribution->size()), 0) {
+      referenced_(static_cast<size_t>(distribution->num_outcomes()), 0) {
   STAGGER_CHECK(num_stations_ >= 1) << "need at least one station";
 }
 

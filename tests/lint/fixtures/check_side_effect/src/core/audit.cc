@@ -1,0 +1,13 @@
+// Fixture: STAGGER_CHECK arguments must not mutate state — audit-only
+// builds compile the checks out, so side effects here change behavior
+// between build modes.
+#define STAGGER_CHECK(cond) \
+  do {                      \
+    if (!(cond)) throw 1;   \
+  } while (0)
+
+int Audit(int pending) {
+  STAGGER_CHECK(--pending >= 0);
+  STAGGER_CHECK(pending >= 0);  // control: pure read is fine
+  return pending;
+}

@@ -1,0 +1,23 @@
+// Fixture: everything the determinism rules ban, in one replay TU.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+struct Stream;
+
+struct Replay {
+  std::unordered_map<int, int> lanes_;
+  std::map<Stream*, int> by_stream_;
+};
+
+int Draw(Replay* r) {
+  int total = rand();
+  std::random_device entropy;
+  total += static_cast<int>(entropy());
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  for (const auto& [lane, count] : r->lanes_) total += lane + count;
+  return total;
+}

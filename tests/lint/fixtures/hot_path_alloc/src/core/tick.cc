@@ -1,0 +1,19 @@
+// Fixture: a STAGGER_HOT_PATH function that heap-allocates three ways.
+#include <memory>
+#include <vector>
+
+#define STAGGER_HOT_PATH
+
+struct Tracker {
+  std::vector<int> samples;
+};
+
+STAGGER_HOT_PATH void RecordSample(Tracker* t, int v) {
+  t->samples.push_back(v);
+  int* leak = new int(v);
+  auto owned = std::make_unique<int>(*leak);
+  (void)owned;
+}
+
+// Control: the same operations outside a tagged function are fine.
+void RecordSampleCold(Tracker* t, int v) { t->samples.push_back(v); }

@@ -1,0 +1,16 @@
+// Fixture: a STAGGER_HOT_PATH function that takes a lock and does I/O.
+#include <iostream>
+#include <mutex>
+
+#define STAGGER_HOT_PATH
+
+struct State {
+  std::mutex mu;
+  int ticks = 0;
+};
+
+STAGGER_HOT_PATH void GuardedTick(State* s) {
+  std::lock_guard<std::mutex> hold(s->mu);
+  ++s->ticks;
+  std::cout << s->ticks;
+}

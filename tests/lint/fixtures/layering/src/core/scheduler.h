@@ -1,0 +1,10 @@
+// Fixture: core may include util (declared dependency) — this file is
+// clean and exists so the back-edge above has a real target.
+#ifndef FIXTURE_CORE_SCHEDULER_H_
+#define FIXTURE_CORE_SCHEDULER_H_
+
+#include "util/helpers.h"
+
+inline int NextTick() { return 1; }
+
+#endif

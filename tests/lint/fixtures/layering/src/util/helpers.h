@@ -1,0 +1,4 @@
+#ifndef FIXTURE_UTIL_HELPERS_H_
+#define FIXTURE_UTIL_HELPERS_H_
+inline int Helper() { return 0; }
+#endif

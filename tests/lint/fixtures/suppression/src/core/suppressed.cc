@@ -1,0 +1,14 @@
+// Fixture: the suppression grammar itself — one valid and used, one
+// missing its reason, one naming an unknown rule, one matching nothing.
+#include <cstdlib>
+
+int Roll() {
+  // stagger-lint: allow(determinism-random) -- fixture exercises a used suppression
+  int a = rand();
+  // stagger-lint: allow(determinism-random)
+  int b = rand();
+  // stagger-lint: allow(not-a-rule) -- misspelled rule name
+  int c = 0;
+  // stagger-lint: allow(determinism-wallclock) -- nothing on the next line uses the clock
+  return a + b + c;
+}

@@ -49,7 +49,7 @@ TEST(TruncatedGeometricTest, ProbabilitiesSumToOne) {
   auto d = TruncatedGeometric::FromMean(2000, 10);
   ASSERT_TRUE(d.ok());
   double sum = 0;
-  for (int64_t i = 0; i < d->size(); ++i) sum += d->Probability(i);
+  for (int64_t i = 0; i < d->num_outcomes(); ++i) sum += d->Probability(i);
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Runs clang-tidy and cppcheck over src/ using the repo's .clang-tidy
-# configuration and a CMake-exported compile_commands.json.
+# Runs the repo's static analyzers:
+#   1. stagger_lint  — repo-specific rules (module layering, hot-path
+#                      purity, determinism, CHECK hygiene); stdlib-only,
+#                      so it always runs — built from source on the spot
+#                      if the build tree hasn't produced it yet.
+#   2. clang-tidy    — generic bug-pattern checks (.clang-tidy config).
+#   3. cppcheck      — portability/performance checks.
 #
 # Usage:
 #   tools/run_static_analysis.sh [build-dir]
 #
 # Environment:
-#   STRICT=1        fail (exit 2) when an analyzer is not installed;
-#                   default is to skip missing tools with a notice so the
-#                   script stays usable on minimal containers.
+#   STRICT=1        fail (exit 2) when clang-tidy/cppcheck is not
+#                   installed; default is to skip missing tools with a
+#                   notice so the script stays usable on minimal
+#                   containers.  stagger_lint is never skippable.
 #   CLANG_TIDY=...  override the clang-tidy binary.
 #   CPPCHECK=...    override the cppcheck binary.
 #   JOBS=N          parallelism (default: nproc).
@@ -50,6 +56,21 @@ fi
 
 mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)
 echo "Analyzing ${#sources[@]} translation units under src/"
+
+# --- stagger_lint (repo-specific rules) ---------------------------------
+# Prefer the binary the build tree already produced; otherwise compile
+# it directly — it is standard-library-only by design, so a bare C++
+# compiler suffices and this section never needs to be skipped.
+lint_bin="${build_dir}/tools/stagger_lint/stagger_lint"
+if [ ! -x "${lint_bin}" ]; then
+  lint_bin="$(mktemp -d)/stagger_lint"
+  echo "Building stagger_lint from source..."
+  c++ -std=c++20 -O2 -o "${lint_bin}" "${repo_root}"/tools/stagger_lint/*.cc \
+    || exit 2
+fi
+echo "== stagger_lint =="
+"${lint_bin}" --config "${repo_root}/tools/stagger_lint/layering.txt" \
+    --root "${repo_root}" src tests bench || status=1
 
 # --- clang-tidy ---------------------------------------------------------
 tidy="$(find_tool "${CLANG_TIDY:-clang-tidy}" clang-tidy-19 clang-tidy-18 \

@@ -1,0 +1,97 @@
+#include "config.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace stagger_lint {
+namespace {
+
+/// Splits on runs of spaces/tabs.
+std::vector<std::string> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string field;
+  while (in >> field) out.push_back(field);
+  return out;
+}
+
+}  // namespace
+
+bool LoadConfig(const std::string& path, Config* config, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config file: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::vector<std::string> fields = Fields(line);
+    if (fields.empty()) continue;
+    const std::string& directive = fields[0];
+
+    if (directive == "module") {
+      // module <name>: [dep...]   (the ':' may stick to the name)
+      if (fields.size() < 2) {
+        *error = path + ":" + std::to_string(lineno) + ": module needs a name";
+        return false;
+      }
+      std::string name = fields[1];
+      if (!name.empty() && name.back() == ':') name.pop_back();
+      if (name.empty()) {
+        *error = path + ":" + std::to_string(lineno) + ": empty module name";
+        return false;
+      }
+      if (config->allowed_deps.count(name)) {
+        *error = path + ":" + std::to_string(lineno) + ": module `" + name +
+                 "` declared twice";
+        return false;
+      }
+      std::set<std::string> deps(fields.begin() + 2, fields.end());
+      deps.erase(":");
+      config->allowed_deps.emplace(name, std::move(deps));
+      config->module_order.push_back(name);
+    } else if (directive == "hotpath-allow-dispatch") {
+      for (size_t i = 1; i < fields.size(); ++i) {
+        config->dispatch_whitelist.insert(fields[i]);
+      }
+    } else if (directive == "deterministic-root") {
+      for (size_t i = 1; i < fields.size(); ++i) {
+        config->deterministic_roots.push_back(fields[i]);
+      }
+    } else if (directive == "layering-exempt") {
+      for (size_t i = 1; i < fields.size(); ++i) {
+        config->layering_exempt.push_back(fields[i]);
+      }
+    } else {
+      *error = path + ":" + std::to_string(lineno) + ": unknown directive `" +
+               directive + "`";
+      return false;
+    }
+  }
+  // Every declared dependency must itself be a declared module, and may
+  // not form a cycle: deps must appear strictly earlier in declaration
+  // order (the file *is* the topological order of the DAG).
+  std::set<std::string> seen;
+  for (const std::string& name : config->module_order) {
+    for (const std::string& dep : config->allowed_deps[name]) {
+      if (!config->allowed_deps.count(dep)) {
+        *error = path + ": module `" + name + "` depends on undeclared `" +
+                 dep + "`";
+        return false;
+      }
+      if (!seen.count(dep)) {
+        *error = path + ": module `" + name + "` depends on `" + dep +
+                 "`, which is declared later — not a layering order";
+        return false;
+      }
+    }
+    seen.insert(name);
+  }
+  return true;
+}
+
+}  // namespace stagger_lint

@@ -1,0 +1,42 @@
+// Configuration for stagger_lint: the checked-in module layering DAG
+// plus rule scoping knobs, parsed from tools/stagger_lint/layering.txt
+// (or a fixture's own copy).
+
+#ifndef STAGGER_LINT_CONFIG_H_
+#define STAGGER_LINT_CONFIG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace stagger_lint {
+
+struct Config {
+  /// module name -> modules it may include from (its own name is always
+  /// implicitly allowed).  Declaration order is the layer order used in
+  /// diagnostics.
+  std::map<std::string, std::set<std::string>> allowed_deps;
+  std::vector<std::string> module_order;
+
+  /// Callback interfaces a STAGGER_HOT_PATH body may invoke even though
+  /// they dispatch indirectly (std::function members, virtual methods).
+  std::set<std::string> dispatch_whitelist;
+
+  /// Path prefixes (relative to the lint root, '/'-separated) whose
+  /// translation units must be deterministic: no wall clocks, no
+  /// ambient randomness, no unordered-container iteration.
+  std::vector<std::string> deterministic_roots;
+
+  /// Path prefixes exempt from the layering rule (tests, benches, and
+  /// examples may include any module).
+  std::vector<std::string> layering_exempt;
+};
+
+/// Parses `path`.  On success fills `config` and returns true; on
+/// failure writes a message to `error` and returns false.
+bool LoadConfig(const std::string& path, Config* config, std::string* error);
+
+}  // namespace stagger_lint
+
+#endif  // STAGGER_LINT_CONFIG_H_

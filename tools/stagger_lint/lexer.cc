@@ -1,0 +1,254 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace stagger_lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first so maximal munch works.
+/// Only the ones the rules care to see as single tokens are listed;
+/// everything else falls through to one-character puncts.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "::",
+};
+
+struct Cursor {
+  const std::string& s;
+  size_t i = 0;
+  int line = 1;
+
+  bool done() const { return i >= s.size(); }
+  char peek(size_t off = 0) const {
+    return i + off < s.size() ? s[i + off] : '\0';
+  }
+  char next() {
+    char c = s[i++];
+    if (c == '\n') ++line;
+    return c;
+  }
+};
+
+/// Parses the tail of a `stagger-lint:` comment.  Grammar:
+///   stagger-lint: allow(<rule>) -- <non-empty reason>
+void ParseSuppression(const std::string& body, int line, LexedFile* out) {
+  const auto fail = [&](const std::string& detail) {
+    out->bad_suppressions.push_back({detail, line});
+  };
+  size_t p = body.find("stagger-lint:");
+  p += std::string("stagger-lint:").size();
+  while (p < body.size() && body[p] == ' ') ++p;
+  if (body.compare(p, 6, "allow(") != 0) {
+    fail("expected `allow(<rule>)` after `stagger-lint:`");
+    return;
+  }
+  p += 6;
+  const size_t close = body.find(')', p);
+  if (close == std::string::npos) {
+    fail("unterminated `allow(`");
+    return;
+  }
+  const std::string rule = body.substr(p, close - p);
+  if (rule.empty() ||
+      rule.find_first_not_of(
+          "abcdefghijklmnopqrstuvwxyz-") != std::string::npos) {
+    fail("bad rule name `" + rule + "` (lowercase-with-dashes expected)");
+    return;
+  }
+  size_t q = close + 1;
+  while (q < body.size() && body[q] == ' ') ++q;
+  if (body.compare(q, 2, "--") != 0) {
+    fail("missing ` -- <reason>` after allow(" + rule + ")");
+    return;
+  }
+  q += 2;
+  while (q < body.size() && body[q] == ' ') ++q;
+  if (q >= body.size()) {
+    fail("empty reason after ` -- ` for allow(" + rule + ")");
+    return;
+  }
+  out->suppressions.push_back({rule, line, false});
+}
+
+void HandleComment(const std::string& body, int line, LexedFile* out) {
+  if (body.find("stagger-lint:") != std::string::npos) {
+    ParseSuppression(body, line, out);
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  Cursor c{source};
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    // Whitespace.
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\v' ||
+        ch == '\f') {
+      c.next();
+      continue;
+    }
+
+    // Line comment.
+    if (ch == '/' && c.peek(1) == '/') {
+      const int line = c.line;
+      std::string body;
+      while (!c.done() && c.peek() != '\n') body.push_back(c.next());
+      HandleComment(body, line, &out);
+      continue;
+    }
+
+    // Block comment.
+    if (ch == '/' && c.peek(1) == '*') {
+      const int line = c.line;
+      std::string body;
+      c.next();
+      c.next();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) {
+        body.push_back(c.next());
+      }
+      if (!c.done()) {
+        c.next();
+        c.next();
+      }
+      HandleComment(body, line, &out);
+      continue;
+    }
+
+    // Preprocessor directive: record #include, otherwise skip the whole
+    // logical line (so macro *definitions* never trip the rules), minding
+    // backslash continuations.
+    if (ch == '#') {
+      const int line = c.line;
+      std::string text;
+      while (!c.done()) {
+        if (c.peek() == '\\' && (c.peek(1) == '\n' ||
+                                 (c.peek(1) == '\r' && c.peek(2) == '\n'))) {
+          c.next();  // backslash
+          while (!c.done() && c.peek() != '\n') c.next();
+          if (!c.done()) c.next();  // newline: continue the logical line
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        // Comments end a directive's interesting part but may hide a
+        // suppression; let the main loop see them by stopping early
+        // only for line comments (block comments inside directives are
+        // vanishingly rare in this tree).
+        if (c.peek() == '/' && c.peek(1) == '/') break;
+        text.push_back(c.next());
+      }
+      // Extract `#include "..."` / `#include <...>`.
+      size_t p = text.find_first_not_of(" \t", 1);
+      if (p != std::string::npos && text.compare(p, 7, "include") == 0) {
+        p = text.find_first_not_of(" \t", p + 7);
+        if (p != std::string::npos && (text[p] == '"' || text[p] == '<')) {
+          const char open = text[p];
+          const char close_ch = open == '"' ? '"' : '>';
+          const size_t end = text.find(close_ch, p + 1);
+          if (end != std::string::npos) {
+            out.includes.push_back(
+                {text.substr(p + 1, end - p - 1), open == '<', line});
+          }
+        }
+      }
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (ch == 'R' && c.peek(1) == '"') {
+      const int line = c.line;
+      c.next();
+      c.next();
+      std::string delim;
+      while (!c.done() && c.peek() != '(') delim.push_back(c.next());
+      if (!c.done()) c.next();  // '('
+      const std::string terminator = ")" + delim + "\"";
+      std::string body;
+      while (!c.done()) {
+        if (source.compare(c.i, terminator.size(), terminator) == 0) {
+          for (size_t k = 0; k < terminator.size(); ++k) c.next();
+          break;
+        }
+        body.push_back(c.next());
+      }
+      out.tokens.push_back({TokenKind::kString, body, line});
+      continue;
+    }
+
+    // String / char literal.
+    if (ch == '"' || ch == '\'') {
+      const int line = c.line;
+      const char quote = c.next();
+      std::string body;
+      while (!c.done() && c.peek() != quote) {
+        if (c.peek() == '\\') body.push_back(c.next());
+        if (!c.done()) body.push_back(c.next());
+      }
+      if (!c.done()) c.next();  // closing quote
+      out.tokens.push_back({TokenKind::kString, body, line});
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(ch)) {
+      const int line = c.line;
+      std::string text;
+      while (!c.done() && IsIdentChar(c.peek())) text.push_back(c.next());
+      out.tokens.push_back({TokenKind::kIdentifier, text, line});
+      continue;
+    }
+
+    // Number (the rules never look inside; consume greedily including
+    // exponent signs and digit separators).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      const int line = c.line;
+      std::string text;
+      while (!c.done()) {
+        const char d = c.peek();
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          text.push_back(c.next());
+        } else if ((d == '+' || d == '-') && !text.empty() &&
+                   (text.back() == 'e' || text.back() == 'E' ||
+                    text.back() == 'p' || text.back() == 'P')) {
+          text.push_back(c.next());
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokenKind::kNumber, text, line});
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    {
+      const int line = c.line;
+      std::string matched;
+      for (const char* p : kPuncts) {
+        const size_t len = std::char_traits<char>::length(p);
+        if (source.compare(c.i, len, p) == 0) {
+          matched = p;
+          break;
+        }
+      }
+      if (matched.empty()) matched = std::string(1, ch);
+      for (size_t k = 0; k < matched.size(); ++k) c.next();
+      out.tokens.push_back({TokenKind::kPunct, matched, line});
+    }
+  }
+  return out;
+}
+
+}  // namespace stagger_lint

@@ -1,0 +1,64 @@
+// Lightweight C++ lexer for stagger_lint.  Deliberately not a full
+// front end: it tokenizes one file at a time, skips preprocessor
+// directives (recording #include targets), strips comments (recording
+// `// stagger-lint: allow(<rule>) -- reason` suppressions), and handles
+// string/char/raw-string literals so rule scans never fire inside
+// literal text.  No libclang, no external dependencies — the tool must
+// build anywhere the repo builds.
+
+#ifndef STAGGER_LINT_LEXER_H_
+#define STAGGER_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace stagger_lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (new, for, virtual, ...)
+  kNumber,
+  kString,      // string or char literal (text excludes quotes)
+  kPunct,       // operators and punctuation, longest-match (e.g. "->*")
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+/// One `#include` directive.
+struct Include {
+  std::string path;  // between the quotes / angle brackets
+  bool angled;       // <...> rather than "..."
+  int line;
+};
+
+/// One `// stagger-lint: allow(<rule>) -- reason` comment.
+struct Suppression {
+  std::string rule;
+  int line;        // line the comment sits on
+  bool used = false;
+};
+
+/// A stagger-lint comment that does not parse (missing rule, missing
+/// `-- reason`, ...).
+struct BadSuppression {
+  std::string detail;
+  int line;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<Suppression> suppressions;
+  std::vector<BadSuppression> bad_suppressions;
+};
+
+/// Tokenizes `source`.  Never fails: unrecognized bytes become
+/// single-character punct tokens.
+LexedFile Lex(const std::string& source);
+
+}  // namespace stagger_lint
+
+#endif  // STAGGER_LINT_LEXER_H_

@@ -1,0 +1,67 @@
+// Rule implementations for stagger_lint.  Every rule is a token-stream
+// scan over the lexer's output; the cross-file state (which names are
+// unordered containers, std::function members, or virtual methods) is
+// gathered in a first pass over the whole tree so per-file checks can
+// flag, e.g., iteration over an unordered member declared in a header.
+
+#ifndef STAGGER_LINT_RULES_H_
+#define STAGGER_LINT_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "lexer.h"
+
+namespace stagger_lint {
+
+struct Diagnostic {
+  std::string file;  // display path, relative to the lint root
+  int line;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+};
+
+/// Names of every rule a suppression may reference.
+const std::set<std::string>& KnownRules();
+
+/// Cross-file symbol knowledge, built before any rule runs.
+struct SymbolTable {
+  /// Variables/members declared as std::unordered_{map,set,multi*}.
+  std::set<std::string> unordered_names;
+  /// Variables/members declared as std::function<...>.
+  std::set<std::string> function_names;
+  /// Methods declared `virtual`.
+  std::set<std::string> virtual_names;
+};
+
+void CollectSymbols(const LexedFile& file, SymbolTable* table);
+
+/// Per-file rule scoping, derived from the file's path by the driver.
+struct FileContext {
+  std::string display_path;
+  /// Module name when the file lives under src/<module>/, else empty.
+  std::string module;
+  /// False for tests/bench/examples: they may include any module.
+  bool layering_checked = false;
+  /// True when the file lies under a `deterministic-root`.
+  bool deterministic = false;
+};
+
+/// Runs every applicable rule over one lexed file, appending raw
+/// (pre-suppression) diagnostics.
+void CheckFile(const FileContext& ctx, const LexedFile& lexed,
+               const Config& config, const SymbolTable& symbols,
+               std::vector<Diagnostic>* diags);
+
+}  // namespace stagger_lint
+
+#endif  // STAGGER_LINT_RULES_H_

@@ -1,0 +1,279 @@
+// stagger_lint: repo-specific static analysis for the staggered-striping
+// codebase.  Enforces, as compile-gating diagnostics:
+//
+//   * layering                 — the module include DAG in layering.txt
+//   * hot-path-{alloc,lock,io,dispatch}
+//                              — purity of STAGGER_HOT_PATH functions
+//   * determinism-{random,wallclock,unordered-iter,pointer-key}
+//                              — bit-identical replay guarantees
+//   * check-side-effect        — side effects inside STAGGER_CHECK args
+//
+// Per-line suppressions (same line or the line above the finding):
+//   // stagger-lint: allow(<rule>) -- reason
+// A suppression without a reason, naming an unknown rule, or matching
+// nothing is itself an error, so the suppression inventory stays honest.
+//
+// Usage:
+//   stagger_lint --config tools/stagger_lint/layering.txt
+//                [--root <dir>] [--expect <golden>] <paths...>
+//
+// Paths are files or directories (searched for *.h / *.cc / *.cpp),
+// relative to --root.  Anything under a `lint/fixtures` directory is
+// skipped: fixtures violate the rules on purpose and are linted by the
+// fixture tests through --expect, which compares the emitted
+// diagnostics against a golden file instead of gating on them.
+//
+// No dependencies beyond the C++ standard library — this must build and
+// run on minimal containers and in CI alike.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config.h"
+#include "lexer.h"
+#include "rules.h"
+
+namespace stagger_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct SourceFile {
+  fs::path full_path;
+  std::string display_path;  // relative to root, '/'-separated
+  LexedFile lexed;
+};
+
+bool IsSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool IsFixturePath(const std::string& display_path) {
+  return display_path.find("lint/fixtures/") != std::string::npos;
+}
+
+std::string ToDisplay(const fs::path& full, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(full, root, ec);
+  std::string s = (ec || rel.empty()) ? full.string() : rel.string();
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+FileContext ContextFor(const std::string& display_path,
+                       const Config& config) {
+  FileContext ctx;
+  ctx.display_path = display_path;
+  if (StartsWith(display_path, "src/")) {
+    const size_t second = display_path.find('/', 4);
+    if (second != std::string::npos) {
+      ctx.module = display_path.substr(4, second - 4);
+      ctx.layering_checked = true;
+    }
+  }
+  for (const std::string& prefix : config.layering_exempt) {
+    if (StartsWith(display_path, prefix)) ctx.layering_checked = false;
+  }
+  for (const std::string& prefix : config.deterministic_roots) {
+    if (StartsWith(display_path, prefix)) ctx.deterministic = true;
+  }
+  return ctx;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: stagger_lint --config <layering.txt> [--root <dir>]\n"
+         "                    [--expect <golden>] <paths...>\n";
+  return 2;
+}
+
+}  // namespace
+
+int Run(int argc, char** argv) {
+  std::string config_path;
+  std::string root_str = ".";
+  std::string expect_path;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      root_str = argv[++i];
+    } else if (arg == "--expect" && i + 1 < argc) {
+      expect_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (config_path.empty() || inputs.empty()) return Usage();
+
+  const fs::path root = fs::absolute(root_str).lexically_normal();
+
+  Config config;
+  std::string error;
+  if (!LoadConfig(config_path, &config, &error)) {
+    std::cerr << "stagger_lint: " << error << "\n";
+    return 2;
+  }
+
+  // --- gather files -----------------------------------------------------
+  std::vector<fs::path> paths;
+  for (const std::string& input : inputs) {
+    fs::path p = fs::path(input).is_absolute() ? fs::path(input)
+                                               : root / input;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (!ec && it->is_regular_file() && IsSourceExtension(it->path())) {
+          paths.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      paths.push_back(p);
+    } else {
+      std::cerr << "stagger_lint: no such file or directory: " << p.string()
+                << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<SourceFile> files;
+  for (const fs::path& p : paths) {
+    std::string display = ToDisplay(p, root);
+    if (IsFixturePath(display)) continue;
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "stagger_lint: cannot read " << p.string() << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back({p, std::move(display), Lex(buf.str())});
+  }
+
+  // --- pass 1: cross-file symbols ---------------------------------------
+  SymbolTable symbols;
+  for (const SourceFile& f : files) CollectSymbols(f.lexed, &symbols);
+
+  // --- pass 2: rules ----------------------------------------------------
+  std::vector<Diagnostic> raw;
+  for (const SourceFile& f : files) {
+    CheckFile(ContextFor(f.display_path, config), f.lexed, config, symbols,
+              &raw);
+  }
+
+  // --- suppressions -----------------------------------------------------
+  // A suppression covers findings of its rule on its own line and the
+  // line directly below (so it can sit above the flagged statement).
+  std::vector<Diagnostic> final_diags;
+  std::map<std::string, std::vector<Suppression>> suppressions;
+  for (SourceFile& f : files) {
+    suppressions[f.display_path] = f.lexed.suppressions;
+    for (const BadSuppression& bad : f.lexed.bad_suppressions) {
+      final_diags.push_back({f.display_path, bad.line, "suppression-syntax",
+                             bad.detail});
+    }
+  }
+  for (auto& [file, list] : suppressions) {
+    for (Suppression& s : list) {
+      if (!KnownRules().count(s.rule)) {
+        final_diags.push_back(
+            {file, s.line, "suppression-syntax",
+             "allow(" + s.rule + ") names no known rule"});
+        s.used = true;  // don't double-report as unused
+      }
+    }
+  }
+  for (const Diagnostic& d : raw) {
+    bool suppressed = false;
+    auto it = suppressions.find(d.file);
+    if (it != suppressions.end()) {
+      for (Suppression& s : it->second) {
+        if (s.rule == d.rule && (s.line == d.line || s.line == d.line - 1)) {
+          s.used = true;
+          suppressed = true;
+        }
+      }
+    }
+    if (!suppressed) final_diags.push_back(d);
+  }
+  for (const auto& [file, list] : suppressions) {
+    for (const Suppression& s : list) {
+      if (!s.used) {
+        final_diags.push_back(
+            {file, s.line, "unused-suppression",
+             "allow(" + s.rule + ") matches no finding; remove it"});
+      }
+    }
+  }
+
+  std::sort(final_diags.begin(), final_diags.end());
+  final_diags.erase(std::unique(final_diags.begin(), final_diags.end(),
+                                [](const Diagnostic& a, const Diagnostic& b) {
+                                  return !(a < b) && !(b < a);
+                                }),
+                    final_diags.end());
+
+  // --- report -----------------------------------------------------------
+  std::ostringstream report;
+  for (const Diagnostic& d : final_diags) {
+    report << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
+           << "\n";
+  }
+
+  if (!expect_path.empty()) {
+    std::ifstream golden(expect_path);
+    if (!golden) {
+      std::cerr << "stagger_lint: cannot read golden file " << expect_path
+                << "\n";
+      return 2;
+    }
+    std::ostringstream want;
+    want << golden.rdbuf();
+    if (want.str() == report.str()) {
+      std::cout << "stagger_lint: diagnostics match " << expect_path << " ("
+                << final_diags.size() << " expected findings)\n";
+      return 0;
+    }
+    std::cerr << "stagger_lint: diagnostics differ from " << expect_path
+              << "\n--- expected ---\n"
+              << want.str() << "--- actual ---\n"
+              << report.str();
+    return 1;
+  }
+
+  std::cout << report.str();
+  if (final_diags.empty()) {
+    std::cout << "stagger_lint: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  std::cerr << "stagger_lint: " << final_diags.size() << " finding(s) in "
+            << files.size() << " files\n";
+  return 1;
+}
+
+}  // namespace stagger_lint
+
+int main(int argc, char** argv) { return stagger_lint::Run(argc, argv); }
