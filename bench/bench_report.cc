@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <utility>
 
 namespace stagger {
@@ -56,6 +58,73 @@ void BenchReport::AddRun(const std::string& name, int64_t iterations,
   const int32_t reps = it->second.repetitions + 1;
   if (candidate.NsPerItem() < it->second.NsPerItem()) it->second = candidate;
   it->second.repetitions = reps;
+}
+
+void BenchReport::AddWallClock(const std::string& name, int64_t items,
+                               double wall_seconds) {
+  const double wall_ns = wall_seconds * 1e9;
+  AddRun(name, /*iterations=*/1, wall_ns, wall_ns,
+         wall_seconds > 0 ? static_cast<double>(items) / wall_seconds : 0.0);
+}
+
+bool BenchReport::MergeFromJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (text.find("\"stagger-bench-report-v1\"") == std::string::npos) {
+    std::fprintf(stderr, "bench_report: %s is not a v1 report, not merging\n",
+                 path.c_str());
+    return false;
+  }
+
+  // The writer emits one flat object per benchmark with a fixed field
+  // set; a targeted scan is enough (and keeps this dependency-free).
+  auto number_after = [&text](size_t from, size_t until, const char* key,
+                              double fallback) {
+    const size_t k = text.find(key, from);
+    if (k == std::string::npos || k >= until) return fallback;
+    return std::strtod(text.c_str() + k + std::strlen(key), nullptr);
+  };
+
+  size_t pos = text.find("\"benchmarks\"");
+  if (pos == std::string::npos) return false;
+  bool merged_any = false;
+  while ((pos = text.find("\"name\": \"", pos)) != std::string::npos) {
+    const size_t name_begin = pos + std::strlen("\"name\": \"");
+    const size_t name_end = text.find('"', name_begin);
+    if (name_end == std::string::npos) break;
+    const std::string name = text.substr(name_begin, name_end - name_begin);
+    const size_t block_end = text.find('}', name_end);
+    if (block_end == std::string::npos) break;
+
+    BenchEntry e;
+    e.iterations = static_cast<int64_t>(
+        number_after(name_end, block_end, "\"iterations\": ", 0));
+    e.repetitions = static_cast<int32_t>(
+        number_after(name_end, block_end, "\"repetitions\": ", 1));
+    e.real_ns_per_iter =
+        number_after(name_end, block_end, "\"real_ns_per_iter\": ", 0);
+    e.cpu_ns_per_iter =
+        number_after(name_end, block_end, "\"cpu_ns_per_iter\": ", 0);
+    e.items_per_second =
+        number_after(name_end, block_end, "\"items_per_second\": ", 0);
+
+    auto [it, inserted] = entries_.emplace(name, e);
+    if (!inserted) {
+      const int32_t reps = it->second.repetitions + e.repetitions;
+      if (e.NsPerItem() < it->second.NsPerItem()) it->second = e;
+      it->second.repetitions = reps;
+    }
+    const double baseline =
+        number_after(name_end, block_end, "\"baseline_ns_per_item\": ", 0);
+    if (baseline > 0 && baselines_.find(name) == baselines_.end()) {
+      baselines_[name] = baseline;
+    }
+    merged_any = true;
+    pos = block_end;
+  }
+  return merged_any;
 }
 
 std::string BenchReport::DefaultPath() const {

@@ -50,6 +50,19 @@ class BenchReport {
               double real_ns_per_iter, double cpu_ns_per_iter,
               double items_per_second);
 
+  /// Records a single end-to-end wall-clock measurement: `wall_seconds`
+  /// spent processing `items` items (one "iteration" overall).  Keeps
+  /// the faster of repeated records, like AddRun.
+  void AddWallClock(const std::string& name, int64_t items,
+                    double wall_seconds);
+
+  /// Merges the entries of an existing stagger-bench-report-v1 file
+  /// (as written by WriteJson) into this report, so a wall-clock driver
+  /// can extend the microbenchmark report instead of clobbering it.
+  /// Per benchmark the faster sample wins.  Returns false when the file
+  /// is absent or not a report; the report is left usable either way.
+  bool MergeFromJsonFile(const std::string& path);
+
   /// BENCH_<suite>.json, or $STAGGER_BENCH_REPORT when set.
   std::string DefaultPath() const;
 

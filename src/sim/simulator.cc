@@ -27,9 +27,25 @@ bool Simulator::Step() {
   return true;
 }
 
+void Simulator::DispatchBatch() {
+  const EventQueue::Batch batch = events_.PopInterval();
+  STAGGER_DCHECK(batch.time >= now_);
+  now_ = batch.time;
+  ++batches_dispatched_;
+  // Staged events stay cancellable until popped, and a schedule that
+  // outranks the batch closes it early, so this loop fires exactly the
+  // events (in exactly the order) a Step() loop would.
+  EventQueue::Fired fired;
+  while (!stop_requested_ && events_.PopStaged(&fired)) {
+    ++events_executed_;
+    fired.fn();
+  }
+}
+
 SimTime Simulator::Run() {
   stop_requested_ = false;
-  while (!stop_requested_ && Step()) {
+  while (!stop_requested_ && !events_.empty()) {
+    DispatchBatch();
   }
   return now_;
 }
@@ -37,7 +53,7 @@ SimTime Simulator::Run() {
 SimTime Simulator::RunUntil(SimTime deadline) {
   stop_requested_ = false;
   while (!stop_requested_ && !events_.empty() && events_.NextTime() <= deadline) {
-    Step();
+    DispatchBatch();
   }
   // Clock semantics: RunUntil advances to the deadline even if the model
   // went quiet earlier, so utilization denominators are exact.  A

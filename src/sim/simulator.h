@@ -58,13 +58,25 @@ class Simulator {
   /// Number of events executed so far (for tests and microbenchmarks).
   uint64_t events_executed() const { return events_executed_; }
 
+  /// Number of same-(time, priority) batches dispatched by Run/RunUntil.
+  /// The interval-synchronous model fires many events per instant, so
+  /// this is typically far below events_executed().
+  uint64_t batches_dispatched() const { return batches_dispatched_; }
+
   size_t pending_events() const { return events_.size(); }
 
  private:
+  /// Executes one batch of same-(time, priority) events: a single
+  /// ordered front lookup (EventQueue::PopInterval) followed by O(1)
+  /// staged pops, instead of one ordered pop per event.  Firing order
+  /// is identical to a Step() loop; see EventQueue::PopInterval.
+  void DispatchBatch();
+
   EventQueue events_;
   SimTime now_ = SimTime::Zero();
   bool stop_requested_ = false;
   uint64_t events_executed_ = 0;
+  uint64_t batches_dispatched_ = 0;
 };
 
 /// \brief Repeats a callback every `period`, starting at `start`.

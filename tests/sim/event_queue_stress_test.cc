@@ -72,6 +72,132 @@ TEST(EventQueueStressTest, RandomScheduleCancelPop) {
   }
 }
 
+// Every event on one instant: the whole queue is a single calendar
+// bucket / a single batch.  Insertion order must be preserved exactly,
+// interleaved cancels included.
+TEST(EventQueueStressTest, SingleIntervalCohort) {
+  Rng rng(7);
+  EventQueue q;
+  const SimTime when = SimTime::Millis(42);
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  std::vector<int> expected;
+  for (int i = 0; i < 5000; ++i) {
+    handles.push_back(q.Schedule(when, [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.NextDouble() < 0.3) {
+      EXPECT_TRUE(q.Cancel(handles[static_cast<size_t>(i)]));
+    } else {
+      expected.push_back(i);
+    }
+  }
+  while (!q.empty()) {
+    auto f = q.PopNext();
+    EXPECT_EQ(f.time, when);
+    f.fn();
+  }
+  EXPECT_EQ(fired, expected);
+}
+
+// One event per calendar day, spaced exactly one day apart across many
+// ring years: every pop lands on a different bucket and the drain
+// crosses several ring rebases.
+TEST(EventQueueStressTest, OneEventPerCalendarDay) {
+  EventQueue q;
+  const int kDays = 4 * EventQueue::kNumDays + 17;
+  std::vector<int> fired;
+  for (int i = kDays - 1; i >= 0; --i) {
+    q.Schedule(SimTime::Micros(i * EventQueue::kDayMicros),
+               [&fired, i] { fired.push_back(i); });
+  }
+  int64_t expect = 0;
+  while (!q.empty()) {
+    EXPECT_EQ(q.NextTime(), SimTime::Micros(expect * EventQueue::kDayMicros));
+    auto f = q.PopNext();
+    f.fn();
+    ++expect;
+  }
+  EXPECT_EQ(expect, kDays);
+  for (int i = 0; i < kDays; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+// Monotonically increasing far-future times: each schedule lands in the
+// overflow map far beyond the ring, and each pop forces the ring to
+// rebase onto a new year.  Alternating schedule/pop keeps the queue
+// nearly empty, the worst case for rebase frequency.
+TEST(EventQueueStressTest, MonotoneFarFutureOverflow) {
+  EventQueue q;
+  const int64_t year = EventQueue::kDayMicros * EventQueue::kNumDays;
+  int64_t t = 0;
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += year * 3 + 12345 * i;
+    q.Schedule(SimTime::Micros(t), [&fired] { ++fired; });
+    if (i % 2 == 0) {
+      auto f = q.PopNext();
+      f.fn();
+    }
+  }
+  SimTime last = SimTime::Zero();
+  while (!q.empty()) {
+    auto f = q.PopNext();
+    EXPECT_GE(f.time, last);
+    last = f.time;
+    f.fn();
+  }
+  EXPECT_EQ(fired, 2000);
+}
+
+// Callbacks scheduling more events while the queue is mid-drain,
+// including same-instant events at a lower priority than the one in
+// flight (which must preempt an open batch rather than be skipped).
+TEST(EventQueueStressTest, ScheduleFromInsideCallback) {
+  EventQueue q;
+  std::vector<int> fired;
+  int64_t clock = 0;
+
+  std::function<void(int)> spawn = [&](int depth) {
+    if (depth >= 6) return;
+    const int64_t at = clock + 100;
+    q.Schedule(SimTime::Micros(at), [&, depth, at] {
+      clock = at;
+      fired.push_back(depth + 100);
+      spawn(depth + 1);
+    });
+  };
+
+  int preempted = 0;
+  q.Schedule(SimTime::Micros(10),
+             [&] {
+               clock = 10;
+               fired.push_back(1);
+               // Same time, smaller priority value: outranks the open
+               // (10, priority 0) batch, so the calendar must hand the
+               // staged remainder back and fire this before moving on.
+               q.Schedule(SimTime::Micros(10), [&] { ++preempted; },
+                          /*priority=*/-5);
+               spawn(0);
+             },
+             /*priority=*/0);
+
+  // Drain in batched mode to exercise stage reentrancy.  Events fire in
+  // nondecreasing time even though callbacks keep scheduling.
+  int64_t last_us = 0;
+  while (!q.empty()) {
+    const EventQueue::Batch batch = q.PopInterval();
+    EXPECT_GE(batch.time.micros(), last_us);
+    last_us = batch.time.micros();
+    EventQueue::Fired f;
+    while (q.PopStaged(&f)) {
+      EXPECT_EQ(f.time.micros(), last_us);
+      f.fn();
+    }
+  }
+  EXPECT_EQ(preempted, 1);
+  EXPECT_EQ(fired, (std::vector<int>{1, 100, 101, 102, 103, 104, 105}));
+}
+
 TEST(EventQueueStressTest, CancelEverythingLeavesCleanQueue) {
   EventQueue q;
   std::vector<EventHandle> handles;

@@ -2,7 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "disk/disk_array.h"
+#include "disk/disk_parameters.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "util/check.h"
 
 namespace stagger {
 namespace {
@@ -101,6 +109,92 @@ TEST(SimulatorTest, StepExecutesOneEvent) {
   EXPECT_TRUE(sim.Step());
   EXPECT_FALSE(sim.Step());
   EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+// Batched dispatch (Run) must replay a fault-laden scenario in exactly
+// the order a Step() loop produces.  The scenario mirrors the real
+// server: a periodic scheduler tick, fault events at a negative
+// priority landing exactly on tick boundaries, per-tick work events,
+// and callbacks that cancel and reschedule.
+class ReplayScenario {
+ public:
+  std::vector<std::pair<int64_t, int>> log;  // (time us, tag)
+
+  explicit ReplayScenario(Simulator* sim) : sim_(sim) {
+    DiskParameters params = DiskParameters::Evaluation();
+    auto disks = DiskArray::Create(4, params);
+    STAGGER_CHECK(disks.ok());
+    disks_ = std::make_unique<DiskArray>(std::move(disks).ValueOrDie());
+
+    FaultPlan plan;
+    plan.FailAt(1, SimTime::Millis(20))
+        .StallAt(2, SimTime::Millis(30), SimTime::Millis(25))
+        .RecoverAt(1, SimTime::Millis(60))
+        .FailAt(3, SimTime::Millis(60));
+    auto injector = FaultInjector::Create(sim_, disks_.get(), std::move(plan));
+    STAGGER_CHECK(injector.ok());
+    injector_ = std::move(injector).ValueOrDie();
+    injector_->OnDown([this](DiskId d, SimTime t) {
+      log.push_back({t.micros(), 1000 + d});
+    });
+    injector_->OnUp([this](DiskId d, SimTime t) {
+      log.push_back({t.micros(), 2000 + d});
+    });
+
+    ticker_ = std::make_unique<PeriodicTicker>(
+        sim_, SimTime::Zero(), SimTime::Millis(10), [this](int64_t tick) {
+          if (tick >= 10) {
+            ticker_->Stop();
+            return;
+          }
+          log.push_back({sim_->Now().micros(), 100});
+          // Per-tick work at the same instant, varying priorities.
+          for (int i = 0; i < 3; ++i) {
+            sim_->ScheduleAt(sim_->Now(),
+                             [this, i] {
+                               log.push_back({sim_->Now().micros(), 200 + i});
+                             },
+                             /*priority=*/i % 2);
+          }
+          // Retries: some fire, some are cancelled before their time.
+          if (tick % 2 == 0) {
+            retry_ = sim_->ScheduleAfter(SimTime::Millis(25), [this] {
+              log.push_back({sim_->Now().micros(), 300});
+            });
+          } else if (tick % 4 == 1 && retry_.valid()) {
+            sim_->Cancel(retry_);
+          }
+        });
+  }
+
+ private:
+  Simulator* sim_;
+  std::unique_ptr<DiskArray> disks_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<PeriodicTicker> ticker_;
+  EventHandle retry_;
+};
+
+TEST(SimulatorTest, BatchedRunMatchesStepLoopOnFaultReplay) {
+  Simulator step_sim;
+  ReplayScenario step_scenario(&step_sim);
+  while (step_sim.Step()) {
+  }
+
+  Simulator run_sim;
+  ReplayScenario run_scenario(&run_sim);
+  run_sim.Run();
+
+  // Identical event-fire order, fault applications included.
+  ASSERT_EQ(run_scenario.log.size(), step_scenario.log.size());
+  for (size_t i = 0; i < run_scenario.log.size(); ++i) {
+    EXPECT_EQ(run_scenario.log[i], step_scenario.log[i]) << "at index " << i;
+  }
+  EXPECT_EQ(run_sim.events_executed(), step_sim.events_executed());
+
+  // Batching is real: many same-instant events per dispatched batch.
+  EXPECT_GT(run_sim.events_executed(), run_sim.batches_dispatched());
+  EXPECT_EQ(step_sim.batches_dispatched(), 0u);
 }
 
 TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
