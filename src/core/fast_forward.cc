@@ -20,4 +20,21 @@ Result<FastForwardReplica> MakeFastForwardReplica(const MediaObject& original,
   return replica;
 }
 
+Result<std::vector<ObjectId>> AddFastForwardReplicas(Catalog* catalog,
+                                                     int32_t speedup) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("need a catalog to add replicas to");
+  }
+  const int32_t originals = catalog->size();
+  std::vector<ObjectId> replica_of(static_cast<size_t>(originals),
+                                   kInvalidObject);
+  for (ObjectId id = 0; id < originals; ++id) {
+    STAGGER_ASSIGN_OR_RETURN(
+        FastForwardReplica replica,
+        MakeFastForwardReplica(catalog->Get(id), speedup));
+    replica_of[static_cast<size_t>(id)] = catalog->Add(replica.object);
+  }
+  return replica_of;
+}
+
 }  // namespace stagger

@@ -7,6 +7,9 @@
 #ifndef STAGGER_CORE_FAST_FORWARD_H_
 #define STAGGER_CORE_FAST_FORWARD_H_
 
+#include <vector>
+
+#include "storage/catalog.h"
 #include "storage/media_object.h"
 #include "util/result.h"
 
@@ -36,6 +39,14 @@ struct FastForwardReplica {
 /// at the original display bandwidth.  `speedup` must be >= 1.
 Result<FastForwardReplica> MakeFastForwardReplica(const MediaObject& original,
                                                   int32_t speedup);
+
+/// Appends a scan replica of every object currently in `catalog` and
+/// returns the original -> replica id map (sized to the original
+/// catalog), in the shape OpenArrivalsConfig::scan_replica consumes.
+/// Replica ids start at the pre-call catalog size, so existing ids are
+/// untouched.
+Result<std::vector<ObjectId>> AddFastForwardReplicas(Catalog* catalog,
+                                                     int32_t speedup);
 
 }  // namespace stagger
 

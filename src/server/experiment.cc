@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "baseline/vdr_server.h"
+#include "core/fast_forward.h"
 #include "disk/disk_array.h"
 #include "fault/fault_injector.h"
 #include "server/striped_server.h"
@@ -56,6 +57,21 @@ Status ExperimentConfig::Validate() const {
   if (Degree() > num_disks) {
     return Status::InvalidArgument("degree of declustering exceeds D");
   }
+  if (open_arrivals) {
+    if (mean_interarrival <= SimTime::Zero()) {
+      return Status::InvalidArgument("mean interarrival must be positive");
+    }
+    if (zipf_theta < 0.0) {
+      return Status::InvalidArgument("zipf theta must be >= 0");
+    }
+    if (scan_probability > 0.0 && scan_speedup < 1) {
+      return Status::InvalidArgument("scan speedup must be >= 1");
+    }
+  }
+  if (batch && scheme == Scheme::kVdr) {
+    return Status::InvalidArgument(
+        "stream batching is a striped-server feature");
+  }
   return Status::OK();
 }
 
@@ -90,9 +106,27 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
       TertiaryPool::Create(&sim, TertiaryDevice(config.tertiary),
                            config.num_tertiary_devices));
   MaterializationService& tertiary = *tertiary_pool;
+  // Fast-forward scan replicas join the catalog before any server sees
+  // it, so server-side per-object state covers them too.
+  std::vector<ObjectId> scan_replica;
+  if (config.open_arrivals && config.scan_probability > 0.0) {
+    STAGGER_ASSIGN_OR_RETURN(
+        scan_replica, AddFastForwardReplicas(&catalog, config.scan_speedup));
+  }
   STAGGER_ASSIGN_OR_RETURN(
       TruncatedGeometric popularity,
       TruncatedGeometric::FromMean(config.num_objects, config.geometric_mean));
+  // The popularity distribution only ever names original objects;
+  // replicas are reached through the scan_replica map.
+  std::unique_ptr<ZipfDistribution> zipf;
+  const DiscreteDistribution* pop = &popularity;
+  if (config.open_arrivals && config.zipf_theta > 0.0) {
+    STAGGER_ASSIGN_OR_RETURN(
+        ZipfDistribution z,
+        ZipfDistribution::Create(config.num_objects, config.zipf_theta));
+    zipf = std::make_unique<ZipfDistribution>(std::move(z));
+    pop = zipf.get();
+  }
 
   std::unique_ptr<StripedServer> striped;
   std::unique_ptr<VdrServer> vdr;
@@ -137,6 +171,9 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     sc.degraded_policy = config.degraded_policy;
     sc.parity = config.parity;
     sc.rebuild_intervals_per_fragment = config.rebuild_intervals_per_fragment;
+    sc.batch = config.batch;
+    sc.batch_window = config.batch_window;
+    sc.max_batch_fanout = config.max_batch_fanout;
     STAGGER_ASSIGN_OR_RETURN(
         striped,
         StripedServer::Create(&sim, &catalog, &disks, &tertiary, sc));
@@ -171,24 +208,69 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     }
   }
 
-  StationPool stations(&sim, service, &popularity, config.stations,
-                       config.seed);
-  stations.SetMeasurementWindowStart(config.warmup);
-  stations.SetMeanThinkTime(config.mean_think_time);
-  stations.Start();
+  std::unique_ptr<StationPool> stations;
+  std::unique_ptr<OpenArrivals> arrivals;
+  if (config.open_arrivals) {
+    OpenArrivalsConfig oc;
+    oc.mean_interarrival = config.mean_interarrival;
+    oc.seed = config.seed;
+    oc.diurnal_amplitude = config.diurnal_amplitude;
+    oc.diurnal_period = config.diurnal_period;
+    oc.flash_crowds = config.flash_crowds;
+    oc.scan_probability = scan_replica.empty() ? 0.0 : config.scan_probability;
+    oc.pause_probability = config.pause_probability;
+    oc.mean_pause = config.mean_pause;
+    oc.scan_replica = std::move(scan_replica);
+    oc.measure_start = config.warmup;
+    STAGGER_RETURN_NOT_OK(oc.Validate());
+    arrivals =
+        std::make_unique<OpenArrivals>(&sim, service, pop, std::move(oc));
+    arrivals->Start();
+  } else {
+    stations = std::make_unique<StationPool>(&sim, service, pop,
+                                             config.stations, config.seed);
+    stations->SetMeasurementWindowStart(config.warmup);
+    stations->SetMeanThinkTime(config.mean_think_time);
+    stations->Start();
+  }
   sim.RunUntil(config.warmup + config.measure);
 
   ExperimentResult result;
-  result.displays_per_hour =
-      stations.metrics().ThroughputPerHour(config.warmup, sim.Now());
-  result.displays_completed =
-      stations.metrics().displays_completed_in_window;
-  result.mean_startup_latency_sec =
-      stations.metrics().startup_latency_sec_in_window.mean();
+  if (config.open_arrivals) {
+    const double window_sec = (sim.Now() - config.warmup).seconds();
+    result.displays_completed = arrivals->completed_in_window();
+    result.displays_per_hour =
+        window_sec > 0.0
+            ? static_cast<double>(result.displays_completed) * 3600.0 /
+                  window_sec
+            : 0.0;
+    result.mean_startup_latency_sec = arrivals->startup_latency_sec().mean();
+    result.requests_issued = arrivals->requests_issued();
+    result.vcr_scans = arrivals->vcr_scans();
+    result.vcr_resumes = arrivals->vcr_resumes();
+    result.flash_redirects = arrivals->flash_redirects();
+    const QuantileTracker& admission = arrivals->admission_latency_sec();
+    result.admission_latency_p50_sec = admission.p50();
+    result.admission_latency_p95_sec = admission.p95();
+    result.admission_latency_p99_sec = admission.p99();
+  } else {
+    result.displays_per_hour =
+        stations->metrics().ThroughputPerHour(config.warmup, sim.Now());
+    result.displays_completed =
+        stations->metrics().displays_completed_in_window;
+    result.mean_startup_latency_sec =
+        stations->metrics().startup_latency_sec_in_window.mean();
+    result.requests_issued = stations->metrics().requests_issued;
+    result.unique_objects_referenced = stations->UniqueObjectsReferenced();
+    const QuantileTracker& startup =
+        stations->metrics().startup_latency_quantiles_sec;
+    result.admission_latency_p50_sec = startup.p50();
+    result.admission_latency_p95_sec = startup.p95();
+    result.admission_latency_p99_sec = startup.p99();
+  }
   result.tertiary_utilization = tertiary.Utilization(sim.Now());
   result.tertiary_queue_end = static_cast<int64_t>(tertiary.queue_length());
   result.materializations = tertiary.completed();
-  result.unique_objects_referenced = stations.UniqueObjectsReferenced();
 
   if (config.scheme == Scheme::kVdr) {
     result.disk_utilization = vdr->MeanClusterUtilization();
@@ -212,6 +294,21 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     if (const RebuildManager* rebuild = striped->rebuild()) {
       result.rebuilds_completed = rebuild->metrics().rebuilds_completed;
       result.fragments_rebuilt = rebuild->metrics().fragments_rebuilt;
+    }
+    if (const StreamBatcher* batcher = striped->batcher()) {
+      const BatcherMetrics& bm = batcher->metrics();
+      result.physical_streams = bm.physical_streams;
+      result.window_joins = bm.window_joins;
+      result.piggyback_joins = bm.piggyback_joins;
+      result.mean_fanout = bm.fanout.mean();
+      result.max_start_offset_sec = bm.start_offset_sec.max();
+      if (!config.open_arrivals) {
+        // Closed-loop runs have no arrival-side tracker; the batcher
+        // sees every logical request and records exact latencies.
+        result.admission_latency_p50_sec = bm.admission_latency_sec.p50();
+        result.admission_latency_p95_sec = bm.admission_latency_sec.p95();
+        result.admission_latency_p99_sec = bm.admission_latency_sec.p99();
+      }
     }
   }
   return result;

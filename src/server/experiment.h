@@ -16,6 +16,7 @@
 #include "tertiary/tertiary_device.h"
 #include "util/result.h"
 #include "util/units.h"
+#include "workload/open_arrivals.h"
 
 namespace stagger {
 
@@ -76,6 +77,32 @@ struct ExperimentConfig {
   SimTime mean_think_time = SimTime::Zero();
   uint64_t seed = 20240101;
 
+  // Open-arrivals workload (ROADMAP item 5): replaces the closed
+  // station pool with a Poisson stream whose rate and popularity vary
+  // over time.  See workload/open_arrivals.h for the shape knobs.
+  bool open_arrivals = false;
+  SimTime mean_interarrival = SimTime::Seconds(30);
+  /// Zipf skew for open-arrivals popularity; 0 keeps the paper's
+  /// truncated-geometric distribution.
+  double zipf_theta = 0.0;
+  double diurnal_amplitude = 0.0;
+  SimTime diurnal_period = SimTime::Hours(24);
+  std::vector<FlashCrowd> flash_crowds;
+  /// VCR behavior: scan sessions display the fast-forward replica
+  /// (appended to the catalog at `scan_speedup`) before the original;
+  /// pause sessions re-request the object after an exponential pause.
+  double scan_probability = 0.0;
+  int32_t scan_speedup = 16;
+  double pause_probability = 0.0;
+  SimTime mean_pause = SimTime::Minutes(5);
+
+  // Stream batching (striped schemes only; workload/batcher.h): merge
+  // same-object requests inside `batch_window` onto one physical
+  // stream.  Off by default — admission is untouched.
+  bool batch = false;
+  SimTime batch_window = SimTime::Zero();
+  int32_t max_batch_fanout = 0;
+
   // Run control.
   SimTime warmup = SimTime::Hours(2);
   SimTime measure = SimTime::Hours(10);
@@ -121,6 +148,23 @@ struct ExperimentResult {
   // --- rebuild outcomes (parity + spares only) -------------------------
   int64_t rebuilds_completed = 0;      ///< spares promoted into failed slots
   int64_t fragments_rebuilt = 0;
+  // --- admission latency (exact percentiles; open-arrivals and closed
+  // runs report the measurement window, except closed *batched* runs
+  // where the batcher's whole-run tracker wins) -------------------------
+  double admission_latency_p50_sec = 0.0;
+  double admission_latency_p95_sec = 0.0;
+  double admission_latency_p99_sec = 0.0;
+  // --- open-arrivals workload counters ---------------------------------
+  int64_t requests_issued = 0;         ///< logical display requests
+  int64_t vcr_scans = 0;
+  int64_t vcr_resumes = 0;
+  int64_t flash_redirects = 0;
+  // --- batching outcomes (batch on only) -------------------------------
+  int64_t physical_streams = 0;        ///< streams submitted to the scheduler
+  int64_t window_joins = 0;
+  int64_t piggyback_joins = 0;
+  double mean_fanout = 0.0;            ///< stations per physical stream
+  double max_start_offset_sec = 0.0;   ///< piggyback bound: <= batch window
 };
 
 /// Runs one experiment to completion (warmup + measurement).

@@ -60,6 +60,16 @@ Status StripedConfig::Validate() const {
     return Status::InvalidArgument(
         "kReconstruct requires parity layouts to reconstruct from");
   }
+  if (!batch && (batch_window != SimTime::Zero() || max_batch_fanout != 0)) {
+    return Status::InvalidArgument(
+        "batch window / fanout knobs require batching to be enabled");
+  }
+  if (batch && batch_window < SimTime::Zero()) {
+    return Status::InvalidArgument("batch window must be >= 0");
+  }
+  if (batch && max_batch_fanout < 0) {
+    return Status::InvalidArgument("max batch fanout must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -96,6 +106,20 @@ Result<std::unique_ptr<StripedServer>> StripedServer::Create(
     RebuildManager* rebuild = server->rebuild_.get();
     server->scheduler_->SetIdleBandwidthHook(
         [rebuild](int64_t interval) { rebuild->OnIdleInterval(interval); });
+  }
+  if (config.batch) {
+    BatcherConfig bc;
+    bc.window = config.batch_window;
+    bc.max_fanout = config.max_batch_fanout;
+    StripedServer* s = server.get();
+    server->batcher_ = std::make_unique<StreamBatcher>(
+        sim, bc,
+        [s](ObjectId object, MediaService::StartedFn on_started,
+            MediaService::CompletedFn on_completed,
+            MediaService::InterruptedFn on_interrupted) {
+          s->AdmitDisplay(object, std::move(on_started),
+                          std::move(on_completed), std::move(on_interrupted));
+        });
   }
   STAGGER_RETURN_NOT_OK(server->Preload());
   return server;
@@ -218,11 +242,26 @@ Status StripedServer::RequestDisplay(ObjectId object, StartedFn on_started,
   ++metrics_.requests;
   objects_->RecordAccess(object);
 
+  if (batcher_) {
+    // The batcher merges same-object requests inside the admission
+    // window and calls AdmitDisplay once per physical stream.
+    batcher_->Request(object, std::move(on_started), std::move(on_completed),
+                      std::move(on_interrupted));
+    return Status::OK();
+  }
+  AdmitDisplay(object, std::move(on_started), std::move(on_completed),
+               std::move(on_interrupted));
+  return Status::OK();
+}
+
+void StripedServer::AdmitDisplay(ObjectId object, StartedFn on_started,
+                                 CompletedFn on_completed,
+                                 InterruptedFn on_interrupted) {
   if (objects_->IsResident(object)) {
     ++metrics_.resident_hits;
     SubmitDisplay(object, std::move(on_started), std::move(on_completed),
                   std::move(on_interrupted));
-    return Status::OK();
+    return;
   }
 
   waiters_[object].push_back(Waiter{std::move(on_started),
@@ -245,7 +284,6 @@ Status StripedServer::RequestDisplay(ObjectId object, StartedFn on_started,
                        [this](ObjectId done) { OnMaterialized(done); },
                        std::move(on_start));
   }
-  return Status::OK();
 }
 
 const StaggeredLayout& StripedServer::PlannedLayout(ObjectId object) {

@@ -27,6 +27,7 @@
 #include "storage/object_manager.h"
 #include "tertiary/tertiary_manager.h"
 #include "util/result.h"
+#include "workload/batcher.h"
 #include "workload/media_service.h"
 
 namespace stagger {
@@ -73,6 +74,15 @@ struct StripedConfig {
   /// per failed disk every this many intervals.  Rebuild runs when the
   /// array has hot spares (DiskArray num_spares > 0) and parity is on.
   int64_t rebuild_intervals_per_fragment = 1;
+  /// Stream batching (workload/batcher.h): requests for the same object
+  /// arriving within `batch_window` share one physical stream, so N
+  /// stations ride one stripe's bandwidth.  Strictly opt-in: with
+  /// `batch` false admission is untouched, and `batch_window` zero is a
+  /// proven pass-through (bit-identical schedules either way).
+  bool batch = false;
+  SimTime batch_window = SimTime::Zero();
+  /// Stations per physical stream (0 = unlimited).
+  int32_t max_batch_fanout = 0;
   /// Forwarded to SchedulerConfig::read_observer (schedule tracing).
   std::function<void(int64_t, ObjectId, int64_t, int32_t, int32_t)>
       read_observer;
@@ -115,6 +125,8 @@ class StripedServer : public MediaService {
   void OnDiskUp(DiskId disk, SimTime now);
 
   const StripedMetrics& metrics() const { return metrics_; }
+  /// Stream batcher, or nullptr when batching is off.
+  const StreamBatcher* batcher() const { return batcher_.get(); }
   const SchedulerMetrics& scheduler_metrics() const {
     return scheduler_->metrics();
   }
@@ -137,6 +149,12 @@ class StripedServer : public MediaService {
                 MaterializationService* tertiary, StripedConfig config);
 
   Status Preload();
+  /// Admits one physical display: resident objects go straight to the
+  /// scheduler, absent ones queue behind a materialization.  With
+  /// batching on this is the batcher's downstream hook and runs once
+  /// per physical stream; otherwise RequestDisplay calls it directly.
+  void AdmitDisplay(ObjectId object, StartedFn on_started,
+                    CompletedFn on_completed, InterruptedFn on_interrupted);
   /// Picks the start disk for a newly landing object.
   int32_t NextStartDisk();
   StaggeredLayout MakeLayout(ObjectId object);
@@ -164,6 +182,7 @@ class StripedServer : public MediaService {
   std::unique_ptr<ObjectManager> objects_;
   std::unique_ptr<IntervalScheduler> scheduler_;
   std::unique_ptr<RebuildManager> rebuild_;
+  std::unique_ptr<StreamBatcher> batcher_;
   std::unordered_map<ObjectId, std::vector<Waiter>> waiters_;
   std::vector<char> materializing_;
   std::unordered_map<ObjectId, StaggeredLayout> planned_layouts_;

@@ -89,6 +89,40 @@ std::string Histogram::ToString() const {
   return os.str();
 }
 
+void QuantileTracker::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void QuantileTracker::Merge(const QuantileTracker& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void QuantileTracker::Reset() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void QuantileTracker::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+double QuantileTracker::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lower = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= samples_.size()) return samples_.back();
+  return samples_[lower] + frac * (samples_[lower + 1] - samples_[lower]);
+}
+
 void TimeWeighted::Set(SimTime now, double value) {
   if (!started_) {
     started_ = true;

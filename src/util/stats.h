@@ -68,6 +68,39 @@ class Histogram {
   StreamingStats stats_;
 };
 
+/// \brief Exact streaming quantiles: stores every sample and sorts
+/// lazily on the first query after an Add/Merge, so a hot Add path pays
+/// one amortized push_back and queries pay O(n log n) only when the
+/// sample set actually changed.  Intended for admission-latency
+/// percentile reporting (p50/p95/p99), where sample counts are bounded
+/// by the number of requests in a run — use Histogram when an
+/// approximate, bounded-memory answer is enough.
+class QuantileTracker {
+ public:
+  void Add(double x);
+  /// Merges another tracker's samples into this one.
+  void Merge(const QuantileTracker& other);
+  void Reset();
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+  /// Exact value at quantile q in [0, 1] with linear interpolation
+  /// between closest ranks (position q * (n - 1)); 0 for an empty
+  /// tracker.  q is clamped to [0, 1].
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+  double min() const { return Quantile(0.0); }
+  double max() const { return Quantile(1.0); }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
 /// \brief Time-weighted average of a piecewise-constant signal, e.g. the
 /// number of busy disks.  Call `Set(t, value)` at every change; `Average`
 /// integrates value over time between changes.

@@ -1,0 +1,178 @@
+#include "workload/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace stagger {
+
+StreamBatcher::StreamBatcher(Simulator* sim, const BatcherConfig& config,
+                             PhysicalIssueFn issue)
+    : sim_(sim), config_(config), issue_(std::move(issue)) {
+  STAGGER_CHECK(sim_ != nullptr) << "batcher needs a simulator";
+  STAGGER_CHECK(issue_ != nullptr) << "batcher needs an issue hook";
+  STAGGER_CHECK(config_.window >= SimTime::Zero())
+      << "admission window must be >= 0";
+  STAGGER_CHECK(config_.max_fanout >= 0) << "max fanout must be >= 0";
+}
+
+StreamBatcher::~StreamBatcher() {
+  // Unflushed gathering batches hold live timers into `this`; cancel
+  // them so a batcher torn down mid-simulation leaves no dangling
+  // callbacks in the queue.  (Cancel on an already-fired handle is a
+  // generation-checked no-op.)
+  for (auto& [id, batch] : batches_) {
+    if (!batch.issued) sim_->Cancel(batch.flush);
+  }
+}
+
+void StreamBatcher::Request(ObjectId object,
+                            MediaService::StartedFn on_started,
+                            MediaService::CompletedFn on_completed,
+                            MediaService::InterruptedFn on_interrupted) {
+  ++metrics_.requests;
+
+  if (config_.window == SimTime::Zero()) {
+    // Pass-through: forward synchronously — no timers, no batch state,
+    // no piggybacking — so the event order downstream is identical to
+    // running without a batcher at all.
+    ++metrics_.physical_streams;
+    issue_(
+        object,
+        [this, started = std::move(on_started)](SimTime latency) {
+          metrics_.admission_latency_sec.Add(latency.seconds());
+          if (started) started(latency);
+        },
+        [this, done = std::move(on_completed)] {
+          ++metrics_.completed;
+          metrics_.fanout.Add(1.0);
+          if (done) done();
+        },
+        [this, gave_up = std::move(on_interrupted)] {
+          ++metrics_.interrupted;
+          metrics_.fanout.Add(1.0);
+          if (gave_up) gave_up();
+        });
+    return;
+  }
+
+  const SimTime now = sim_->Now();
+  if (Batch* batch = JoinableBatch(object, now)) {
+    if (batch->started) {
+      // Piggyback: attach mid-stream.  The join is instantaneous
+      // (admission latency zero) at a start offset of at most the
+      // window — the content missed since the stream began.
+      ++metrics_.piggyback_joins;
+      metrics_.start_offset_sec.Add((now - batch->started_at).seconds());
+      metrics_.admission_latency_sec.Add(0.0);
+      if (on_started) on_started(SimTime::Zero());
+      batch->members.push_back(Member{nullptr, std::move(on_completed),
+                                      std::move(on_interrupted), now});
+    } else {
+      // Window join: the stream has not started, so this station will
+      // see the display from the beginning (start offset zero).
+      ++metrics_.window_joins;
+      batch->members.push_back(Member{std::move(on_started),
+                                      std::move(on_completed),
+                                      std::move(on_interrupted), now});
+    }
+    return;
+  }
+
+  const int64_t id = next_batch_id_++;
+  Batch& batch = batches_[id];
+  batch.object = object;
+  batch.members.push_back(Member{std::move(on_started),
+                                 std::move(on_completed),
+                                 std::move(on_interrupted), now});
+  by_object_[object].push_back(id);
+  batch.flush = sim_->ScheduleAfter(config_.window, [this, id] { Flush(id); });
+}
+
+StreamBatcher::Batch* StreamBatcher::JoinableBatch(ObjectId object,
+                                                   SimTime now) {
+  auto it = by_object_.find(object);
+  if (it == by_object_.end()) return nullptr;
+  Batch* playing = nullptr;
+  for (const int64_t id : it->second) {
+    Batch& batch = batches_.at(id);
+    if (config_.max_fanout > 0 &&
+        static_cast<int32_t>(batch.members.size()) >= config_.max_fanout) {
+      continue;
+    }
+    // A batch that has not started (gathering, or issued and waiting on
+    // scheduler admission) is the best join: the station sees the whole
+    // display.  Otherwise fall back to the earliest playing stream
+    // still within the piggyback window.
+    if (!batch.started) return &batch;
+    if (playing == nullptr && now - batch.started_at <= config_.window) {
+      playing = &batch;
+    }
+  }
+  return playing;
+}
+
+void StreamBatcher::Flush(int64_t batch_id) {
+  Batch& batch = batches_.at(batch_id);
+  batch.issued = true;
+  ++metrics_.physical_streams;
+  issue_(
+      batch.object,
+      [this, batch_id](SimTime latency) { OnStarted(batch_id, latency); },
+      [this, batch_id] { OnCompleted(batch_id); },
+      [this, batch_id] { OnInterrupted(batch_id); });
+}
+
+void StreamBatcher::OnStarted(int64_t batch_id, SimTime /*physical_latency*/) {
+  Batch& batch = batches_.at(batch_id);
+  batch.started = true;
+  batch.started_at = sim_->Now();
+  // Fire only the members present at start: a started callback may
+  // re-enter Request() and piggyback into this very batch, and those
+  // joiners already had their start reported.
+  const size_t at_start = batch.members.size();
+  for (size_t i = 0; i < at_start; ++i) {
+    Member& member = batch.members[i];
+    const SimTime latency = batch.started_at - member.arrival;
+    metrics_.admission_latency_sec.Add(latency.seconds());
+    if (member.on_started) {
+      MediaService::StartedFn started = std::move(member.on_started);
+      member.on_started = nullptr;
+      started(latency);
+    }
+  }
+}
+
+void StreamBatcher::OnCompleted(int64_t batch_id) { Teardown(batch_id, true); }
+
+void StreamBatcher::OnInterrupted(int64_t batch_id) {
+  Teardown(batch_id, false);
+}
+
+void StreamBatcher::Teardown(int64_t batch_id, bool completed) {
+  auto it = batches_.find(batch_id);
+  STAGGER_CHECK(it != batches_.end()) << "physical stream ended twice";
+  // Extract the batch before firing anything: completion callbacks may
+  // re-enter Request() and must not find a dead batch joinable.
+  Batch batch = std::move(it->second);
+  batches_.erase(it);
+  auto by = by_object_.find(batch.object);
+  STAGGER_CHECK(by != by_object_.end());
+  std::vector<int64_t>& open = by->second;
+  open.erase(std::find(open.begin(), open.end(), batch_id));
+  if (open.empty()) by_object_.erase(by);
+
+  metrics_.fanout.Add(static_cast<double>(batch.members.size()));
+  for (Member& member : batch.members) {
+    if (completed) {
+      ++metrics_.completed;
+      if (member.on_completed) member.on_completed();
+    } else {
+      ++metrics_.interrupted;
+      if (member.on_interrupted) member.on_interrupted();
+    }
+  }
+}
+
+}  // namespace stagger

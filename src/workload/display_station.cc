@@ -36,6 +36,7 @@ void StationPool::IssueRequest(int32_t station) {
         metrics_.startup_latency_sec.Add(latency.seconds());
         if (issued_at >= window_start_) {
           metrics_.startup_latency_sec_in_window.Add(latency.seconds());
+          metrics_.startup_latency_quantiles_sec.Add(latency.seconds());
         }
       },
       [this, station, issued_at] {

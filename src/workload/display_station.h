@@ -29,6 +29,8 @@ struct WorkloadMetrics {
   int64_t displays_completed_in_window = 0;
   StreamingStats startup_latency_sec;
   StreamingStats startup_latency_sec_in_window;
+  /// Exact in-window startup-latency samples, for p50/p95/p99 reporting.
+  QuantileTracker startup_latency_quantiles_sec;
 
   /// Displays per hour over [window_start, now].
   double ThroughputPerHour(SimTime window_start, SimTime now) const {

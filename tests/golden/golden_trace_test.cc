@@ -319,6 +319,120 @@ TEST(GoldenTraceTest, StripedReconstructRebuild) {
   CompareOrUpdate("striped_reconstruct_rebuild", os.str());
 }
 
+// --- flash-crowd batching trace ---------------------------------------
+
+// A scripted burst of same-object requests through a batching
+// StripedServer: the first two arrivals gather in the admission window
+// and share one stream, a third rides piggyback on the playing stream,
+// a fourth arrives past the window and seeds a second stream that a
+// fifth joins piggyback — while an unrelated object streams alongside.
+// The trace records every request/start/complete with its latency plus
+// the per-disk schedule, so any change to a merge decision (who joins
+// which stream, and when) shows up as a readable diff.
+TEST(GoldenTraceTest, StripedFlashCrowdBatching) {
+  constexpr int32_t kDisks = 10;
+  constexpr int32_t kObjects = 3;
+  constexpr int64_t kSubobjects = 24;
+  constexpr int64_t kRunIntervals = 120;
+  const SimTime window = kInterval * 8;
+
+  Simulator sim;
+  Catalog catalog =
+      Catalog::Uniform(kObjects, kSubobjects, Bandwidth::Mbps(30));
+  auto disks = DiskArray::Create(kDisks, DiskParameters::Evaluation());
+  STAGGER_CHECK(disks.ok());
+  TertiaryParameters tp;
+  tp.bandwidth = Bandwidth::Mbps(40);
+  tp.reposition = SimTime::Zero();
+  TertiaryManager tertiary(&sim, TertiaryDevice(tp));
+
+  ScheduleTracer tracer(kDisks, /*max_intervals=*/kRunIntervals + 1);
+  StripedConfig config;
+  config.stride = 1;
+  config.interval = kInterval;
+  config.fragment_size = DataSize::MB(1.512);
+  config.preload_objects = kObjects;
+  config.batch = true;
+  config.batch_window = window;
+  config.read_observer = [&tracer](int64_t interval, ObjectId object,
+                                   int64_t subobject, int32_t fragment,
+                                   int32_t disk) {
+    tracer.Record(interval, object, subobject, fragment, disk);
+  };
+  auto server =
+      StripedServer::Create(&sim, &catalog, &*disks, &tertiary, config);
+  ASSERT_TRUE(server.ok()) << server.status();
+  StripedServer* srv = server->get();
+
+  std::ostringstream log;
+  auto issue = [&log, &sim, srv](int viewer, ObjectId object) {
+    log << "t=" << sim.Now().micros() << "us request viewer=" << viewer
+        << " obj=" << object << "\n";
+    STAGGER_CHECK_OK(srv->RequestDisplay(
+        object,
+        [&log, &sim, viewer](SimTime latency) {
+          log << "t=" << sim.Now().micros() << "us start viewer=" << viewer
+              << " latency_us=" << latency.micros() << "\n";
+        },
+        [&log, &sim, viewer] {
+          log << "t=" << sim.Now().micros() << "us complete viewer=" << viewer
+              << "\n";
+        },
+        [&log, &sim, viewer] {
+          log << "t=" << sim.Now().micros() << "us interrupt viewer=" << viewer
+              << "\n";
+        }));
+  };
+  // The burst: viewers 0/1 gather in the window, 2 piggybacks on the
+  // playing stream, 3 misses the window and seeds stream two, 4 joins
+  // it piggyback.  Viewer 5 streams object 1 alongside the crowd.
+  const struct {
+    int64_t at_interval;
+    int viewer;
+    ObjectId object;
+  } arrivals[] = {{0, 0, 0},  {2, 1, 0},  {3, 5, 1},
+                  {12, 2, 0}, {20, 3, 0}, {30, 4, 0}};
+  for (const auto& a : arrivals) {
+    sim.ScheduleAt(kInterval * a.at_interval,
+                   [&issue, v = a.viewer, o = a.object] { issue(v, o); });
+  }
+
+  for (int64_t step = 1; step <= kRunIntervals; ++step) {
+    sim.RunUntil(kInterval * step);
+    ASSERT_TRUE(srv->AuditInvariants().ok())
+        << srv->AuditInvariants() << " after interval " << step;
+  }
+
+  const StreamBatcher* batcher = srv->batcher();
+  ASSERT_NE(batcher, nullptr);
+  const BatcherMetrics& bm = batcher->metrics();
+  const SchedulerMetrics& m = srv->scheduler_metrics();
+  EXPECT_EQ(bm.requests, 6);
+  EXPECT_EQ(bm.completed, 6);
+  EXPECT_EQ(batcher->open_batches(), 0);
+  EXPECT_EQ(m.hiccups, 0);
+  EXPECT_LE(bm.start_offset_sec.max(), window.seconds() + 1e-9);
+
+  std::ostringstream os;
+  os << "# D=" << kDisks << " k=1 batch_window_us=" << window.micros()
+     << " burst on obj 0\n"
+     << log.str();
+  tracer.RenderDisks().Print(os);
+  os << "reads=" << tracer.num_events()
+     << " collisions=" << tracer.num_collisions() << "\n"
+     << "displays: requested=" << m.displays_requested
+     << " completed=" << m.displays_completed << " hiccups=" << m.hiccups
+     << "\n"
+     << "batching: requests=" << bm.requests
+     << " physical_streams=" << bm.physical_streams
+     << " window_joins=" << bm.window_joins
+     << " piggyback_joins=" << bm.piggyback_joins << "\n"
+     << "fanout_max=" << bm.fanout.max()
+     << " start_offset_max_us="
+     << static_cast<int64_t>(bm.start_offset_sec.max() * 1e6) << "\n";
+  CompareOrUpdate("striped_flash_crowd_batching", os.str());
+}
+
 // --- VDR event log ----------------------------------------------------
 
 TEST(GoldenTraceTest, VdrFailoverEventLog) {

@@ -2,10 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "util/rng.h"
 
 namespace stagger {
 namespace {
+
+// Naive sort-based oracle: same closest-ranks linear interpolation,
+// computed from scratch on a fresh copy each call.
+double OracleQuantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const size_t lower = static_cast<size_t>(pos);
+  if (lower + 1 >= samples.size()) return samples.back();
+  const double frac = pos - static_cast<double>(lower);
+  return samples[lower] + frac * (samples[lower + 1] - samples[lower]);
+}
 
 TEST(StreamingStatsTest, EmptyDefaults) {
   StreamingStats s;
@@ -99,6 +116,114 @@ TEST(HistogramTest, OverflowAndUnderflowBuckets) {
 TEST(HistogramTest, EmptyQuantileIsZero) {
   Histogram h(0, 1, 4);
   EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileTrackerTest, EmptyIsZero) {
+  QuantileTracker q;
+  EXPECT_EQ(q.count(), 0);
+  EXPECT_EQ(q.Quantile(0.5), 0.0);
+  EXPECT_EQ(q.p99(), 0.0);
+}
+
+TEST(QuantileTrackerTest, SingleSampleEveryQuantile) {
+  QuantileTracker q;
+  q.Add(42.0);
+  for (double p : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(q.Quantile(p), 42.0) << "q=" << p;
+  }
+  EXPECT_EQ(q.count(), 1);
+}
+
+TEST(QuantileTrackerTest, MatchesSortOracleOnRandomStreams) {
+  const double probes[] = {0.0, 0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0};
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    QuantileTracker tracker;
+    std::vector<double> samples;
+    const int n = 1 + static_cast<int>(rng.NextBounded(2000));
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.NextDouble() * 1e3 - 500.0;
+      tracker.Add(x);
+      samples.push_back(x);
+    }
+    for (double p : probes) {
+      EXPECT_DOUBLE_EQ(tracker.Quantile(p), OracleQuantile(samples, p))
+          << "seed=" << seed << " n=" << n << " q=" << p;
+    }
+  }
+}
+
+TEST(QuantileTrackerTest, DuplicateHeavyInput) {
+  // 90% of the stream is the same value; percentiles must land on it
+  // exactly, and the tail must still be found.
+  QuantileTracker tracker;
+  std::vector<double> samples;
+  for (int i = 0; i < 900; ++i) {
+    tracker.Add(7.0);
+    samples.push_back(7.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    tracker.Add(100.0 + i);
+    samples.push_back(100.0 + i);
+  }
+  EXPECT_DOUBLE_EQ(tracker.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(tracker.Quantile(0.89), 7.0);
+  for (double p : {0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(tracker.Quantile(p), OracleQuantile(samples, p));
+  }
+  EXPECT_EQ(tracker.max(), 199.0);
+}
+
+TEST(QuantileTrackerTest, InterleavedAddAndQueryStaysExact) {
+  // Queries between Adds force repeated lazy re-sorts; the answer must
+  // track the oracle at every step.
+  QuantileTracker tracker;
+  std::vector<double> samples;
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    tracker.Add(x);
+    samples.push_back(x);
+    if (i % 37 == 0) {
+      EXPECT_DOUBLE_EQ(tracker.p95(), OracleQuantile(samples, 0.95));
+    }
+  }
+  EXPECT_DOUBLE_EQ(tracker.p50(), OracleQuantile(samples, 0.5));
+}
+
+TEST(QuantileTrackerTest, MergeEqualsCombinedStream) {
+  QuantileTracker a, b;
+  std::vector<double> all;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.NextDouble() * 50.0;
+    (i % 3 == 0 ? a : b).Add(x);
+    all.push_back(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 400);
+  for (double p : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(p), OracleQuantile(all, p));
+  }
+}
+
+TEST(QuantileTrackerTest, ResetClears) {
+  QuantileTracker q;
+  q.Add(1.0);
+  q.Add(2.0);
+  q.Reset();
+  EXPECT_EQ(q.count(), 0);
+  EXPECT_EQ(q.p50(), 0.0);
+  q.Add(5.0);
+  EXPECT_DOUBLE_EQ(q.p50(), 5.0);
+}
+
+TEST(QuantileTrackerTest, ClampsOutOfRangeQuantiles) {
+  QuantileTracker q;
+  q.Add(1.0);
+  q.Add(9.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.5), 9.0);
 }
 
 TEST(TimeWeightedTest, ConstantSignal) {

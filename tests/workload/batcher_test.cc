@@ -1,0 +1,224 @@
+// StreamBatcher unit tests against a scripted downstream: a fake
+// physical-issue hook records submissions and lets the test fire
+// start/complete/interrupt at chosen instants, pinning the window-join,
+// piggyback, fanout-cap, pass-through, and teardown semantics without a
+// server in the loop.
+
+#include "workload/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace stagger {
+namespace {
+
+/// One physical stream the fake downstream accepted.
+struct Physical {
+  ObjectId object;
+  MediaService::StartedFn on_started;
+  MediaService::CompletedFn on_completed;
+  MediaService::InterruptedFn on_interrupted;
+  SimTime issued_at;
+};
+
+/// Per-logical-request outcome recorder.
+struct Station {
+  int started = 0;
+  int completed = 0;
+  int interrupted = 0;
+  SimTime latency = SimTime::Max();
+
+  void Request(StreamBatcher* batcher, ObjectId object) {
+    batcher->Request(
+        object,
+        [this](SimTime lat) {
+          ++started;
+          latency = lat;
+        },
+        [this] { ++completed; }, [this] { ++interrupted; });
+  }
+};
+
+class BatcherTest : public ::testing::Test {
+ protected:
+  StreamBatcher MakeBatcher(SimTime window, int32_t max_fanout = 0) {
+    BatcherConfig config;
+    config.window = window;
+    config.max_fanout = max_fanout;
+    return StreamBatcher(
+        &sim_, config,
+        [this](ObjectId object, MediaService::StartedFn started,
+               MediaService::CompletedFn completed,
+               MediaService::InterruptedFn interrupted) {
+          physicals_.push_back(Physical{object, std::move(started),
+                                        std::move(completed),
+                                        std::move(interrupted), sim_.Now()});
+        });
+  }
+
+  Simulator sim_;
+  std::vector<Physical> physicals_;
+};
+
+TEST_F(BatcherTest, WindowJoinersShareOneStreamFromTheStart) {
+  StreamBatcher batcher = MakeBatcher(SimTime::Seconds(30));
+  Station a, b, c;
+  a.Request(&batcher, 5);
+  sim_.RunUntil(SimTime::Seconds(10));
+  b.Request(&batcher, 5);
+  sim_.RunUntil(SimTime::Seconds(20));
+  c.Request(&batcher, 5);
+  EXPECT_TRUE(physicals_.empty());  // still gathering
+
+  sim_.RunUntil(SimTime::Seconds(31));
+  ASSERT_EQ(physicals_.size(), 1u);  // one stream for three stations
+  EXPECT_EQ(physicals_[0].object, 5);
+  EXPECT_EQ(physicals_[0].issued_at, SimTime::Seconds(30));
+
+  // Stream starts 5 s after issue (mock scheduler admission).
+  sim_.RunUntil(SimTime::Seconds(35));
+  physicals_[0].on_started(SimTime::Seconds(5));
+  EXPECT_EQ(a.started, 1);
+  EXPECT_EQ(a.latency, SimTime::Seconds(35));  // waited the full window
+  EXPECT_EQ(b.latency, SimTime::Seconds(25));
+  EXPECT_EQ(c.latency, SimTime::Seconds(15));
+
+  physicals_[0].on_completed();
+  EXPECT_EQ(a.completed + b.completed + c.completed, 3);
+  EXPECT_EQ(batcher.open_batches(), 0);
+  EXPECT_EQ(batcher.metrics().physical_streams, 1);
+  EXPECT_EQ(batcher.metrics().window_joins, 2);
+  EXPECT_DOUBLE_EQ(batcher.metrics().fanout.max(), 3.0);
+}
+
+TEST_F(BatcherTest, PiggybackWithinWindowOnly) {
+  StreamBatcher batcher = MakeBatcher(SimTime::Seconds(30));
+  Station first, rider, late;
+  first.Request(&batcher, 2);
+  sim_.RunUntil(SimTime::Seconds(30));  // flush fires
+  ASSERT_EQ(physicals_.size(), 1u);
+  physicals_[0].on_started(SimTime::Zero());  // starts at t = 30
+
+  // t = 50: 20 s into the stream, inside the window -> piggyback.
+  sim_.RunUntil(SimTime::Seconds(50));
+  rider.Request(&batcher, 2);
+  EXPECT_EQ(rider.started, 1);  // instant start
+  EXPECT_EQ(rider.latency, SimTime::Zero());
+  EXPECT_EQ(batcher.metrics().piggyback_joins, 1);
+  EXPECT_DOUBLE_EQ(batcher.metrics().start_offset_sec.max(), 20.0);
+
+  // t = 70: 40 s into the stream, outside the window -> fresh batch.
+  sim_.RunUntil(SimTime::Seconds(70));
+  late.Request(&batcher, 2);
+  EXPECT_EQ(late.started, 0);
+  EXPECT_EQ(batcher.open_batches(), 2);
+
+  physicals_[0].on_completed();
+  EXPECT_EQ(first.completed, 1);
+  EXPECT_EQ(rider.completed, 1);
+  EXPECT_EQ(late.completed, 0);  // its own stream still gathering
+
+  sim_.RunUntil(SimTime::Seconds(101));
+  ASSERT_EQ(physicals_.size(), 2u);
+  physicals_[1].on_started(SimTime::Zero());
+  physicals_[1].on_completed();
+  EXPECT_EQ(late.completed, 1);
+  EXPECT_EQ(batcher.open_batches(), 0);
+}
+
+TEST_F(BatcherTest, FanoutCapOpensAFreshBatch) {
+  StreamBatcher batcher = MakeBatcher(SimTime::Seconds(30), /*max_fanout=*/2);
+  Station s[5];
+  for (int i = 0; i < 5; ++i) s[i].Request(&batcher, 9);
+  // 5 stations / cap 2 -> ceil(5/2) = 3 batches.
+  EXPECT_EQ(batcher.open_batches(), 3);
+  sim_.RunUntil(SimTime::Seconds(31));
+  ASSERT_EQ(physicals_.size(), 3u);
+  for (Physical& p : physicals_) {
+    p.on_started(SimTime::Zero());
+    p.on_completed();
+  }
+  int completed = 0;
+  for (const Station& st : s) completed += st.completed;
+  EXPECT_EQ(completed, 5);
+  EXPECT_LE(batcher.metrics().fanout.max(), 2.0);
+}
+
+TEST_F(BatcherTest, InterruptionFansOutToEveryStation) {
+  StreamBatcher batcher = MakeBatcher(SimTime::Seconds(10));
+  Station a, b;
+  a.Request(&batcher, 1);
+  b.Request(&batcher, 1);
+  sim_.RunUntil(SimTime::Seconds(11));
+  ASSERT_EQ(physicals_.size(), 1u);
+  physicals_[0].on_started(SimTime::Zero());
+  physicals_[0].on_interrupted();
+  EXPECT_EQ(a.interrupted, 1);
+  EXPECT_EQ(b.interrupted, 1);
+  EXPECT_EQ(a.completed + b.completed, 0);
+  EXPECT_EQ(batcher.metrics().interrupted, 2);
+  EXPECT_EQ(batcher.open_batches(), 0);  // stations back in the pool
+}
+
+TEST_F(BatcherTest, ZeroWindowIsSynchronousPassThrough) {
+  StreamBatcher batcher = MakeBatcher(SimTime::Zero());
+  Station a, b;
+  a.Request(&batcher, 3);
+  ASSERT_EQ(physicals_.size(), 1u);  // forwarded inside Request
+  b.Request(&batcher, 3);            // same object, still no merging
+  ASSERT_EQ(physicals_.size(), 2u);
+  EXPECT_EQ(batcher.open_batches(), 0);  // no batch state at all
+  physicals_[0].on_started(SimTime::Seconds(1));
+  EXPECT_EQ(a.latency, SimTime::Seconds(1));  // latency passed through
+  physicals_[0].on_completed();
+  physicals_[1].on_started(SimTime::Seconds(2));
+  physicals_[1].on_interrupted();
+  EXPECT_EQ(a.completed, 1);
+  EXPECT_EQ(b.interrupted, 1);
+  EXPECT_EQ(batcher.metrics().physical_streams, 2);
+  EXPECT_EQ(batcher.metrics().window_joins, 0);
+  EXPECT_EQ(batcher.metrics().piggyback_joins, 0);
+}
+
+TEST_F(BatcherTest, AdmissionLatencyPercentilesCoverEveryRequest) {
+  StreamBatcher batcher = MakeBatcher(SimTime::Seconds(10));
+  Station s[4];
+  s[0].Request(&batcher, 1);
+  sim_.RunUntil(SimTime::Seconds(5));
+  s[1].Request(&batcher, 1);
+  sim_.RunUntil(SimTime::Seconds(11));
+  ASSERT_EQ(physicals_.size(), 1u);
+  physicals_[0].on_started(SimTime::Zero());  // starts at t = 11
+  sim_.RunUntil(SimTime::Seconds(15));
+  s[2].Request(&batcher, 1);  // piggyback, latency 0
+  physicals_[0].on_completed();
+  s[3].Request(&batcher, 7);  // lone stream
+  sim_.RunUntil(SimTime::Seconds(26));
+  ASSERT_EQ(physicals_.size(), 2u);
+  physicals_[1].on_started(SimTime::Zero());
+  physicals_[1].on_completed();
+
+  const QuantileTracker& q = batcher.metrics().admission_latency_sec;
+  EXPECT_EQ(q.count(), 4);
+  EXPECT_DOUBLE_EQ(q.min(), 0.0);    // the piggyback join
+  EXPECT_DOUBLE_EQ(q.max(), 11.0);   // the first gatherer
+}
+
+TEST_F(BatcherTest, DestructorCancelsPendingFlushes) {
+  {
+    StreamBatcher batcher = MakeBatcher(SimTime::Seconds(30));
+    Station a;
+    a.Request(&batcher, 4);
+    EXPECT_EQ(batcher.open_batches(), 1);
+  }
+  // The flush timer must not fire into the dead batcher.
+  sim_.RunUntil(SimTime::Minutes(2));
+  EXPECT_TRUE(physicals_.empty());
+}
+
+}  // namespace
+}  // namespace stagger
