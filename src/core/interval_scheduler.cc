@@ -371,7 +371,12 @@ STAGGER_HOT_PATH void IntervalScheduler::AdvanceStreams() {
   // disk is up the set is never consulted and its build is skipped.
   const bool degraded = config_.degraded_policy != DegradedPolicy::kNone;
   const bool any_down = degraded && disks_->UnavailableCount() > 0;
-  if (any_down) {
+  // Latent sector errors trip the same degraded ladder: a read whose
+  // checksum fails is as unusable as a read off a failed disk.  The
+  // O(1) active() test keeps the no-corruption common case free.
+  const LatentErrorMap& latent = disks_->latent_errors();
+  const bool latent_active = latent.active();
+  if (any_down || (degraded && latent_active)) {
     for (const auto& [id, slot] : active_) {
       const Stream& s = slots_[static_cast<size_t>(slot)];
       const int64_t tau = s.Tau(interval_index_);
@@ -431,7 +436,8 @@ STAGGER_HOT_PATH void IntervalScheduler::AdvanceStreams() {
     // lane update replaces the per-lane scatter.  Audit builds keep
     // the per-lane path so the alignment audit covers every read; the
     // release-preset golden traces pin both paths to the same history.
-    if (s.lockstep && !any_down && !observe && s.degree > 0) {
+    if (s.lockstep && !any_down && !latent_active && !observe &&
+        s.degree > 0) {
       FragmentLane* lanes = s.lanes.data();
       if (!lanes[0].released() && lanes[0].reads_done < s.num_subobjects &&
           tau >= lanes[0].next_read_tau) {
@@ -476,7 +482,23 @@ STAGGER_HOT_PATH void IntervalScheduler::AdvanceStreams() {
           << "lane misalignment: stream " << s.id << " fragment " << j;
 #endif
       int32_t read_disk = physical;
-      if (degraded && any_down && !disks_->IsAvailable(physical)) {
+      const bool down = any_down && !disks_->IsAvailable(physical);
+      const bool corrupt = !down && latent_active &&
+                           latent.IsCorrupt(physical, lane.reads_done);
+      if (corrupt && !degraded) {
+        // DegradedPolicy::kNone verifies nothing: the corrupt fragment
+        // ships to the viewer.  Counted so fault-aware configurations
+        // can pin this to zero.
+        ++metrics_.corrupt_frames_delivered;
+      }
+      if (degraded && (down || corrupt)) {
+        if (corrupt) {
+          // The checksum rejects the transfer before it completes, so
+          // the corrupt read is not charged against the disk's slack;
+          // the fragment is served through the ladder below instead.
+          disks_->latent_errors().MarkDetected(physical, lane.reads_done);
+          ++metrics_.corrupt_reads_detected;
+        }
         read_disk = -1;
         if (config_.degraded_policy == DegradedPolicy::kReconstruct &&
             s.parity) {
@@ -489,7 +511,9 @@ STAGGER_HOT_PATH void IntervalScheduler::AdvanceStreams() {
                   lane.reads_done * config_.stride + s.degree,
               d));
           if (disks_->IsAvailable(parity_disk) &&
-              !disks_->SlotBusy(parity_disk) && !IsClaimed(parity_disk)) {
+              !disks_->SlotBusy(parity_disk) && !IsClaimed(parity_disk) &&
+              !(latent_active &&
+                latent.IsCorrupt(parity_disk, lane.reads_done))) {
             read_disk = parity_disk;
             ++metrics_.reconstructed_reads;
           }
@@ -497,7 +521,9 @@ STAGGER_HOT_PATH void IntervalScheduler::AdvanceStreams() {
         if (read_disk < 0 &&
             config_.degraded_policy != DegradedPolicy::kPause) {
           // kRemapOrPause, or kReconstruct falling down its ladder when
-          // parity offers no slack (or the stream carries none).
+          // parity offers no slack (or the stream carries none).  The
+          // substitute models a replica read off another disk's copy,
+          // so the original cell's corruption does not follow it.
           read_disk = FindDegradedSubstitute(s, static_cast<size_t>(j));
           if (read_disk >= 0) ++metrics_.degraded_reads;
         }

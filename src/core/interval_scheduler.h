@@ -93,6 +93,14 @@ struct SchedulerMetrics {
   /// Paused streams cancelled after exceeding `max_pause_intervals`
   /// (also counted in displays_cancelled).
   int64_t displays_interrupted = 0;
+  /// Reads that hit a latent-error cell and were caught by the display
+  /// path's checksum (any policy except kNone); the fragment was then
+  /// served via the degraded ladder instead.
+  int64_t corrupt_reads_detected = 0;
+  /// Corrupt fragments shipped to a viewer.  Only possible under
+  /// DegradedPolicy::kNone, where nothing verifies reads; fault-aware
+  /// configurations must keep this at zero.
+  int64_t corrupt_frames_delivered = 0;
   /// Seconds from pause to successful re-admission.
   StreamingStats resume_latency_sec;
   /// Seconds from request arrival to first delivered subobject.

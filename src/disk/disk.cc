@@ -27,6 +27,9 @@ void Disk::FreeStorage(int64_t cylinders) {
 void Disk::Fail() {
   if (available()) down_since_ = now_intervals();
   health_ = DiskHealth::kFailed;
+  degraded_percent_ = 0;
+  degraded_credit_ = 0;
+  degraded_serving_ = false;
 }
 
 void Disk::Stall() {
@@ -36,9 +39,38 @@ void Disk::Stall() {
   }
 }
 
+void Disk::Degrade(int32_t percent) {
+  STAGGER_CHECK(health_ == DiskHealth::kHealthy)
+      << "disk " << id_ << " degraded while not healthy";
+  STAGGER_CHECK(percent >= 1 && percent <= 99)
+      << "disk " << id_ << ": degrade percent " << percent
+      << " outside [1, 99]";
+  health_ = DiskHealth::kDegraded;
+  degraded_percent_ = percent;
+  degraded_credit_ = 0;
+  degraded_serving_ = false;
+  down_since_ = now_intervals();
+}
+
+void Disk::AdvanceDegradedInterval() {
+  STAGGER_CHECK(health_ == DiskHealth::kDegraded);
+  const bool was = degraded_serving_;
+  degraded_credit_ += degraded_percent_;
+  degraded_serving_ = degraded_credit_ >= 100;
+  if (degraded_serving_) degraded_credit_ -= 100;
+  if (was && !degraded_serving_) {
+    down_since_ = now_intervals();
+  } else if (!was && degraded_serving_) {
+    down_accumulated_ += now_intervals() - down_since_;
+  }
+}
+
 void Disk::Recover() {
   if (!available()) down_accumulated_ += now_intervals() - down_since_;
   health_ = DiskHealth::kHealthy;
+  degraded_percent_ = 0;
+  degraded_credit_ = 0;
+  degraded_serving_ = false;
 }
 
 void Disk::Reserve() {

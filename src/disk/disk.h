@@ -21,11 +21,16 @@ using DiskId = int32_t;
 /// operator-level Recover() (replacement + rebuild).  A stalled disk
 /// keeps its data but blows its T_switch budget — any read issued
 /// during the stall misses its interval deadline, so the scheduler must
-/// treat it exactly like a failure for the stall's duration.
+/// treat it exactly like a failure for the stall's duration.  A
+/// degraded disk (straggler) still has its data but sustains only a
+/// fraction of B_Disk: it can complete a fragment read in some
+/// intervals and not others, which the drive models as a deterministic
+/// duty cycle over intervals (see Degrade()).
 enum class DiskHealth {
   kHealthy,
   kFailed,
   kStalled,
+  kDegraded,
 };
 
 /// \brief Interval clock shared by every drive of one DiskArray.
@@ -75,16 +80,40 @@ class Disk {
 
   // --- health (fault injection) ----------------------------------------
   DiskHealth health() const { return health_; }
-  /// True when the drive can serve reads this interval.
-  bool available() const { return health_ == DiskHealth::kHealthy; }
+  /// True when the drive can serve reads this interval.  A degraded
+  /// drive is available only on its serving intervals (see Degrade()).
+  bool available() const {
+    return health_ == DiskHealth::kHealthy ||
+           (health_ == DiskHealth::kDegraded && degraded_serving_);
+  }
   /// Media loss: the drive rejects reads until Recover().  Idempotent;
-  /// failing a stalled disk escalates the stall to a failure.
+  /// failing a stalled or degraded disk escalates to a failure.
   void Fail();
   /// Transient stall (thermal recalibration, firmware hiccup): reads
   /// miss their deadline until Recover().  A no-op on a failed disk —
   /// a stall cannot downgrade a failure.
   void Stall();
-  /// Restores the drive to healthy from either degraded state.
+  /// Bandwidth degradation (straggler): the drive sustains only
+  /// `percent`% of B_Disk until Recover().  A fragment read occupies a
+  /// whole interval, so fractional bandwidth is modeled as a duty
+  /// cycle: the drive accumulates `percent` units of credit per
+  /// interval and serves exactly those intervals where the credit
+  /// reaches 100 — over any long window the fraction of serving
+  /// intervals converges to percent/100 with no drift and no
+  /// randomness.  The first interval of a degrade window never serves
+  /// (the slowdown is felt immediately).  Legal only while healthy;
+  /// `percent` must be in [1, 99].
+  void Degrade(int32_t percent);
+  /// Advances the duty cycle of a degraded drive by one interval;
+  /// called by DiskArray::EndInterval after the shared clock ticks.
+  /// Precondition: health() == kDegraded.
+  void AdvanceDegradedInterval();
+  /// True when a degraded drive serves reads this interval.
+  bool degraded_serving() const { return degraded_serving_; }
+  /// The configured bandwidth percentage of a degraded drive; 0 when
+  /// the drive is not degraded.
+  int32_t degraded_percent() const { return degraded_percent_; }
+  /// Restores the drive to healthy from any degraded state.
   void Recover();
   /// Intervals elapsed while the disk was failed or stalled.
   int64_t down_intervals() const {
@@ -136,6 +165,11 @@ class Disk {
   /// getter adds the open span — interval close stays O(reserved).
   int64_t down_accumulated_ = 0;
   int64_t down_since_ = 0;
+  /// Degrade duty cycle (health_ == kDegraded only): serving intervals
+  /// are paced by an integer error accumulator, Bresenham-style.
+  int32_t degraded_percent_ = 0;
+  int32_t degraded_credit_ = 0;
+  bool degraded_serving_ = false;
 };
 
 }  // namespace stagger

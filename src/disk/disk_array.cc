@@ -26,7 +26,9 @@ Result<DiskArray> DiskArray::Create(int32_t num_disks, const DiskParameters& par
 DiskArray::DiskArray(std::vector<Disk> drives, DiskParameters params,
                      int32_t num_slots, int32_t num_spares)
     : drives_(std::move(drives)), params_(params), num_slots_(num_slots),
-      num_spares_(num_spares), clock_(std::make_unique<IntervalClock>()) {
+      num_spares_(num_spares), clock_(std::make_unique<IntervalClock>()),
+      latent_errors_(std::make_unique<LatentErrorMap>()) {
+  latent_errors_->AttachClock(clock_.get());
   slot_to_drive_.resize(static_cast<size_t>(num_slots));
   for (int32_t i = 0; i < num_slots; ++i) slot_to_drive_[static_cast<size_t>(i)] = i;
   for (int32_t s = 0; s < num_spares; ++s) free_spares_.push_back(num_slots + s);
@@ -58,6 +60,14 @@ int32_t DiskArray::IdleCount() const {
   return idle;
 }
 
+int32_t DiskArray::IdleAvailableCount() const {
+  int32_t idle = 0;
+  for (int32_t d = 0; d < num_slots_; ++d) {
+    if (!SlotBusy(d) && !unavailable_slots_.Test(d)) ++idle;
+  }
+  return idle;
+}
+
 void DiskArray::NoteAvailabilityChange(DiskId slot, bool was) {
   const bool now = disk(slot).available();
   if (was == now) return;
@@ -70,9 +80,15 @@ void DiskArray::NoteAvailabilityChange(DiskId slot, bool was) {
   }
 }
 
+void DiskArray::DropDegradedSlot(DiskId slot) {
+  auto it = std::lower_bound(degraded_slots_.begin(), degraded_slots_.end(), slot);
+  if (it != degraded_slots_.end() && *it == slot) degraded_slots_.erase(it);
+}
+
 void DiskArray::FailDisk(DiskId id) {
   const DiskId slot = Wrap(id);
   const bool was = disk(slot).available();
+  if (disk(slot).health() == DiskHealth::kDegraded) DropDegradedSlot(slot);
   disk(slot).Fail();
   NoteAvailabilityChange(slot, was);
 }
@@ -84,9 +100,20 @@ void DiskArray::StallDisk(DiskId id) {
   NoteAvailabilityChange(slot, was);
 }
 
+void DiskArray::DegradeDisk(DiskId id, int32_t percent) {
+  const DiskId slot = Wrap(id);
+  const bool was = disk(slot).available();
+  disk(slot).Degrade(percent);
+  auto it = std::lower_bound(degraded_slots_.begin(), degraded_slots_.end(), slot);
+  STAGGER_CHECK(it == degraded_slots_.end() || *it != slot);
+  degraded_slots_.insert(it, slot);
+  NoteAvailabilityChange(slot, was);
+}
+
 void DiskArray::RecoverDisk(DiskId id) {
   const DiskId slot = Wrap(id);
   const bool was = disk(slot).available();
+  if (disk(slot).health() == DiskHealth::kDegraded) DropDegradedSlot(slot);
   disk(slot).Recover();
   NoteAvailabilityChange(slot, was);
 }
@@ -136,6 +163,10 @@ void DiskArray::PromoteSpare(DiskId slot, int32_t drive) {
   dense_slots_ = false;
   // The slot flips from failed to healthy: its new drive is fresh.
   NoteAvailabilityChange(slot, /*was=*/false);
+  // The rebuilt content was reconstructed from verified survivors onto
+  // fresh media, so whatever latent errors the dead drive carried are
+  // gone with it.
+  latent_errors_->DropDiskRebuilt(slot);
   // The dead drive stays retired: it is reachable by no slot and never
   // returns to the spare pool.
 }
@@ -150,6 +181,17 @@ STAGGER_HOT_PATH void DiskArray::EndInterval() {
       [this](int32_t drive) { ++drive_busy_intervals_[static_cast<size_t>(drive)]; });
   busy_drives_.ClearAll();
   ++clock_->intervals;
+  if (!degraded_slots_.empty()) {
+    // Advance the stragglers' duty cycles so the availability bitmap is
+    // right for the interval that just opened.
+    for (const DiskId slot : degraded_slots_) {
+      Disk& d = disk(slot);
+      const bool was = d.available();
+      d.AdvanceDegradedInterval();
+      NoteAvailabilityChange(slot, was);
+    }
+    degraded_disk_intervals_ += static_cast<int64_t>(degraded_slots_.size());
+  }
 }
 
 int64_t DiskArray::TotalCylinders() const {

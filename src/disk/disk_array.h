@@ -28,6 +28,7 @@
 
 #include "disk/disk.h"
 #include "disk/disk_parameters.h"
+#include "disk/latent_errors.h"
 #include "util/bitmap.h"
 #include "util/hot_path.h"
 #include "util/result.h"
@@ -141,13 +142,30 @@ class DiskArray {
   bool IsAvailable(DiskId id) const { return disk(id).available(); }
   void FailDisk(DiskId id);
   void StallDisk(DiskId id);
+  /// Degrades `id`'s drive to `percent`% of B_Disk (see Disk::Degrade):
+  /// from the next interval on it serves reads only on its duty-cycle
+  /// intervals, and the availability bitmap tracks the cycle.
+  void DegradeDisk(DiskId id, int32_t percent);
   void RecoverDisk(DiskId id);
   /// Disks currently able to serve reads.  O(1).
   int32_t AvailableCount() const { return num_slots_ - unavailable_count_; }
-  /// Disks currently failed or stalled.  O(1).
+  /// Disks currently failed, stalled, or on a degraded drive's
+  /// non-serving interval.  O(1).
   int32_t UnavailableCount() const { return unavailable_count_; }
-  /// Slot-space availability bitmap: bit set == slot failed or stalled.
+  /// Slot-space availability bitmap: bit set == slot unavailable.
   const Bitmap& unavailable_slots() const { return unavailable_slots_; }
+  /// Slots currently available AND idle this interval — the measured
+  /// idle bandwidth the background budget (src/background/) may grant.
+  int32_t IdleAvailableCount() const;
+  /// Total slot-intervals spent in the degraded state (serving or not),
+  /// across all disks and the whole run.
+  int64_t degraded_disk_intervals() const { return degraded_disk_intervals_; }
+
+  /// Registry of latent sector errors on this array's media, shared by
+  /// the fault injector (writes), the scrubber, the rebuild, and the
+  /// scheduler's checksum path (reads).
+  LatentErrorMap& latent_errors() { return *latent_errors_; }
+  const LatentErrorMap& latent_errors() const { return *latent_errors_; }
 
   // --- hot spares (online rebuild, src/rebuild/) ------------------------
   /// Spare drives configured at creation.
@@ -218,6 +236,9 @@ class DiskArray {
   /// slot's availability before the health transition.
   void NoteAvailabilityChange(DiskId slot, bool was);
 
+  /// Removes `slot` from the degraded-slot walk list.
+  void DropDegradedSlot(DiskId slot);
+
   /// ReserveRun fallback once slot_to_drive_ is no longer the identity:
   /// adjacent slots may sit on arbitrary drives, so reserve one by one.
   void ReserveRunRemapped(DiskId start, int32_t len);
@@ -244,9 +265,17 @@ class DiskArray {
   /// like busy_drives_.  Dense so the reservation hot path and the
   /// utilization reports never touch the Disk objects.
   std::vector<int64_t> drive_busy_intervals_;
-  /// Bit set == slot's drive is failed or stalled.
+  /// Bit set == slot's drive is failed, stalled, or degraded-and-not-
+  /// serving this interval.
   Bitmap unavailable_slots_;
   int32_t unavailable_count_ = 0;
+  /// Slots whose drives are currently degraded, sorted ascending; the
+  /// interval close advances only these drives' duty cycles, so arrays
+  /// with no stragglers pay nothing.
+  std::vector<DiskId> degraded_slots_;
+  int64_t degraded_disk_intervals_ = 0;
+  /// Heap-allocated like clock_ so reader-held pointers survive moves.
+  std::unique_ptr<LatentErrorMap> latent_errors_;
   /// True while slot_to_drive_ is the identity (no spare promoted yet):
   /// ReserveRun may then treat a slot run as a drive-bitmap bit range.
   bool dense_slots_ = true;

@@ -1,0 +1,69 @@
+#include "disk/latent_errors.h"
+
+#include "util/check.h"
+
+namespace stagger {
+
+int64_t LatentErrorMap::Inject(DiskId disk, int64_t sub_lo, int64_t sub_hi) {
+  STAGGER_CHECK(sub_lo >= 0 && sub_hi >= sub_lo)
+      << "latent error range [" << sub_lo << ", " << sub_hi << "] is invalid";
+  std::map<int64_t, Cell>& rows = cells_[disk];
+  int64_t fresh = 0;
+  for (int64_t sub = sub_lo; sub <= sub_hi; ++sub) {
+    const auto [it, inserted] = rows.emplace(sub, Cell{now(), -1});
+    (void)it;
+    if (inserted) ++fresh;
+  }
+  active_cells_ += fresh;
+  metrics_.injected += fresh;
+  return fresh;
+}
+
+bool LatentErrorMap::IsCorrupt(DiskId disk, int64_t subobject) const {
+  const auto dit = cells_.find(disk);
+  if (dit == cells_.end()) return false;
+  return dit->second.count(subobject) > 0;
+}
+
+bool LatentErrorMap::MarkDetected(DiskId disk, int64_t subobject) {
+  auto dit = cells_.find(disk);
+  STAGGER_CHECK(dit != cells_.end()) << "no corrupt cell on disk " << disk;
+  auto cit = dit->second.find(subobject);
+  STAGGER_CHECK(cit != dit->second.end())
+      << "cell (" << disk << ", " << subobject << ") is not corrupt";
+  if (cit->second.detected_interval >= 0) return false;
+  cit->second.detected_interval = now();
+  ++metrics_.detected;
+  return true;
+}
+
+void LatentErrorMap::Repair(DiskId disk, int64_t subobject) {
+  auto dit = cells_.find(disk);
+  STAGGER_CHECK(dit != cells_.end()) << "no corrupt cell on disk " << disk;
+  auto cit = dit->second.find(subobject);
+  STAGGER_CHECK(cit != dit->second.end())
+      << "cell (" << disk << ", " << subobject << ") is not corrupt";
+  metrics_.time_to_repair_intervals.Add(
+      static_cast<double>(now() - cit->second.injected_interval));
+  dit->second.erase(cit);
+  if (dit->second.empty()) cells_.erase(dit);
+  --active_cells_;
+  ++metrics_.repaired;
+}
+
+int64_t LatentErrorMap::DropDiskRebuilt(DiskId disk) {
+  auto dit = cells_.find(disk);
+  if (dit == cells_.end()) return 0;
+  const int64_t dropped = static_cast<int64_t>(dit->second.size());
+  for (const auto& [sub, cell] : dit->second) {
+    (void)sub;
+    metrics_.time_to_repair_intervals.Add(
+        static_cast<double>(now() - cell.injected_interval));
+  }
+  cells_.erase(dit);
+  active_cells_ -= dropped;
+  metrics_.repaired_by_rebuild += dropped;
+  return dropped;
+}
+
+}  // namespace stagger

@@ -1,0 +1,105 @@
+// Latent sector errors: media regions that silently return corrupt
+// content, discovered only when somebody actually reads (or scrubs)
+// them.
+//
+// A *cell* is one (disk, subobject-row) media region of the staggered
+// layout: the fragment a stripe at row `subobject` stores on `disk`
+// lives there, whatever object owns the stripe.  Injecting a latent
+// error marks a run of cells corrupt; the disk keeps serving reads —
+// availability is untouched — but any fragment read out of a corrupt
+// cell carries a wrong content word until the cell is repaired.
+//
+// Detection and repair are the readers' job (checksums on the display
+// path, the scrubber's verify pass, the rebuild's source reads); this
+// registry only keeps the authoritative cell state and the
+// injected/detected/repaired accounting, stamped in interval counts of
+// the owning array's IntervalClock so mean-time-to-repair is computable
+// without threading simulation time through every caller.
+//
+// Media-level semantics: cells survive fail -> recover (the platters
+// come back as they were) and object churn (a new object inherits the
+// region), and are cleared only by an explicit Repair (a verified
+// rewrite) or by DropDiskRebuilt (a spare promotion replaces the whole
+// medium).
+
+#ifndef STAGGER_DISK_LATENT_ERRORS_H_
+#define STAGGER_DISK_LATENT_ERRORS_H_
+
+#include <cstdint>
+#include <map>
+
+#include "disk/disk.h"
+#include "util/stats.h"
+
+namespace stagger {
+
+/// \brief Counters reported by the latent-error registry.
+struct LatentErrorMetrics {
+  int64_t injected = 0;            ///< cells ever marked corrupt
+  int64_t detected = 0;            ///< cells found by some read path
+  int64_t repaired = 0;            ///< cells repaired by a verified rewrite
+  int64_t repaired_by_rebuild = 0; ///< cells cleared with a rebuilt slot
+  /// Injection-to-repair spans, in intervals (both repair flavors).
+  StreamingStats time_to_repair_intervals;
+};
+
+/// \brief Authoritative map of corrupt media cells of one disk array.
+class LatentErrorMap {
+ public:
+  struct Cell {
+    int64_t injected_interval = 0;
+    int64_t detected_interval = -1;  ///< -1 until some reader notices
+  };
+
+  /// Binds the registry to the array's shared interval clock; all
+  /// timestamps below are that clock's interval count.
+  void AttachClock(const IntervalClock* clock) { clock_ = clock; }
+
+  /// Marks cells [sub_lo, sub_hi] of `disk` corrupt; already-corrupt
+  /// cells are left as they are (their original injection stands).
+  /// Returns the number of newly corrupt cells.
+  int64_t Inject(DiskId disk, int64_t sub_lo, int64_t sub_hi);
+
+  /// True when any cell is corrupt.  O(1): the read paths gate their
+  /// per-read IsCorrupt lookups on this.
+  bool active() const { return active_cells_ > 0; }
+  int64_t ActiveCells() const { return active_cells_; }
+
+  /// True when the fragment at row `subobject` of `disk` would read
+  /// back corrupt.
+  bool IsCorrupt(DiskId disk, int64_t subobject) const;
+
+  /// Records that a reader noticed the corruption (checksum mismatch).
+  /// Returns true when this is the first detection of the cell.
+  /// Precondition: IsCorrupt(disk, subobject).
+  bool MarkDetected(DiskId disk, int64_t subobject);
+
+  /// Clears a corrupt cell after a verified rewrite (scrub repair).
+  /// Precondition: IsCorrupt(disk, subobject).
+  void Repair(DiskId disk, int64_t subobject);
+
+  /// Drops every cell of `disk`: its slot was rewired onto a freshly
+  /// rebuilt spare, so the corrupt medium is gone.  Returns the number
+  /// of cells dropped (counted as repaired_by_rebuild).
+  int64_t DropDiskRebuilt(DiskId disk);
+
+  /// Full cell map, for the scrubber's orphan sweep.  Deterministic
+  /// iteration order (ordered by disk, then row).
+  const std::map<DiskId, std::map<int64_t, Cell>>& cells() const {
+    return cells_;
+  }
+
+  const LatentErrorMetrics& metrics() const { return metrics_; }
+
+ private:
+  int64_t now() const { return clock_ ? clock_->intervals : 0; }
+
+  const IntervalClock* clock_ = nullptr;
+  std::map<DiskId, std::map<int64_t, Cell>> cells_;
+  int64_t active_cells_ = 0;
+  LatentErrorMetrics metrics_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_DISK_LATENT_ERRORS_H_

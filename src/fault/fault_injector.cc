@@ -27,11 +27,17 @@ FaultInjector::FaultInjector(Simulator* sim, DiskArray* disks, FaultPlan plan)
 }
 
 void FaultInjector::ScheduleAll() {
-  for (const FaultEvent& e : plan_.Sorted()) {
+  // Group events are expanded here so listeners see one notification
+  // per affected disk, exactly as if each member had its own plan line.
+  for (const FaultEvent& e : plan_.ExpandedSorted()) {
     sim_->ScheduleAt(e.at, [this, e] { Apply(e); }, kFaultEventPriority);
     if (e.kind == FaultKind::kStall) {
       sim_->ScheduleAt(e.at + e.duration,
                        [this, disk = e.disk] { EndStall(disk); },
+                       kFaultEventPriority);
+    } else if (e.kind == FaultKind::kDegrade) {
+      sim_->ScheduleAt(e.at + e.duration,
+                       [this, disk = e.disk] { EndDegrade(disk); },
                        kFaultEventPriority);
     }
   }
@@ -49,6 +55,17 @@ void FaultInjector::Apply(const FaultEvent& event) {
       ++metrics_.stalls_injected;
       Notify(on_down_, event.disk);
       break;
+    case FaultKind::kDegrade:
+      disks_->DegradeDisk(event.disk, event.percent);
+      ++metrics_.degrades_injected;
+      Notify(on_down_, event.disk);
+      break;
+    case FaultKind::kLatentError:
+      // Silent by definition: the media goes bad with no health change
+      // and no listener notification — readers discover it later.
+      metrics_.latent_errors_injected +=
+          disks_->latent_errors().Inject(event.disk, event.sub_lo, event.sub_hi);
+      break;
     case FaultKind::kRecover:
       disks_->RecoverDisk(event.disk);
       ++metrics_.recoveries_injected;
@@ -62,6 +79,14 @@ void FaultInjector::EndStall(DiskId disk) {
   // so the disk is still stalled here.
   STAGGER_CHECK(disks_->disk(disk).health() == DiskHealth::kStalled)
       << "disk " << disk << " is not stalled at its stall-end event";
+  disks_->RecoverDisk(disk);
+  ++metrics_.recoveries_injected;
+  Notify(on_up_, disk);
+}
+
+void FaultInjector::EndDegrade(DiskId disk) {
+  STAGGER_CHECK(disks_->disk(disk).health() == DiskHealth::kDegraded)
+      << "disk " << disk << " is not degraded at its degrade-end event";
   disks_->RecoverDisk(disk);
   ++metrics_.recoveries_injected;
   Notify(on_up_, disk);

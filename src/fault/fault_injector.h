@@ -28,7 +28,12 @@ namespace stagger {
 struct FaultInjectorMetrics {
   int64_t failures_injected = 0;
   int64_t stalls_injected = 0;
-  int64_t recoveries_injected = 0;  ///< explicit + implicit (stall end)
+  int64_t degrades_injected = 0;
+  /// Corrupt media cells created (latent events, after de-duplication
+  /// against cells already corrupt).
+  int64_t latent_errors_injected = 0;
+  /// Explicit + implicit (stall/degrade window end).
+  int64_t recoveries_injected = 0;
 };
 
 /// \brief Deterministic fault-plan replayer.
@@ -67,6 +72,7 @@ class FaultInjector {
   void ScheduleAll();
   void Apply(const FaultEvent& event);
   void EndStall(DiskId disk);
+  void EndDegrade(DiskId disk);
   void Notify(const std::vector<Listener>& listeners, DiskId disk);
 
   Simulator* sim_;

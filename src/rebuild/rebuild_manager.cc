@@ -83,27 +83,71 @@ Status RebuildManager::CancelRebuild(DiskId slot) {
 }
 
 void RebuildManager::OnIdleInterval(int64_t interval) {
+  BackgroundGrant grant(disks_, /*max_reads=*/0);
+  RunIdle(interval, &grant);
+}
+
+int64_t RebuildManager::RunIdle(int64_t interval, BackgroundGrant* grant) {
   MutexLock lock(&mu_);
+  int64_t rebuilt = 0;
   std::vector<DiskId> done;
   for (auto& [slot, job] : jobs_) {
+    if (!job.paused_on.empty()) {
+      // A source disk is stalled: hold the cursor until OnSourceUp
+      // instead of burning scans (and churning the list order) on a
+      // job that cannot finish its remaining stripes anyway.
+      ++metrics_.paused_intervals;
+      continue;
+    }
     if (job.last_rebuild_interval >= 0 &&
         interval - job.last_rebuild_interval <
             config_.rebuild_intervals_per_fragment) {
       continue;  // throttled; not a stall
     }
-    if (TryRebuildOne(&job, interval)) {
+    if (TryRebuildOne(&job, interval, grant)) {
+      ++rebuilt;
       if (job.next >= job.lost.size()) done.push_back(slot);
     } else {
       ++metrics_.stalled_intervals;
     }
   }
   for (DiskId slot : done) Promote(slot);
+  return rebuilt;
 }
 
-bool RebuildManager::TryRebuildOne(Job* job, int64_t interval) {
+void RebuildManager::OnSourceDown(DiskId disk, DiskHealth health) {
+  if (health != DiskHealth::kStalled) return;
+  MutexLock lock(&mu_);
+  for (auto& [slot, job] : jobs_) {
+    if (JobReadsFrom(job, disk)) job.paused_on.insert(disk);
+  }
+}
+
+void RebuildManager::OnSourceUp(DiskId disk) {
+  MutexLock lock(&mu_);
+  for (auto& [slot, job] : jobs_) job.paused_on.erase(disk);
+}
+
+bool RebuildManager::JobReadsFrom(const Job& job, DiskId disk) const {
+  const int32_t d = disks_->num_disks();
+  for (size_t idx = job.next; idx < job.lost.size(); ++idx) {
+    const LostFragment& f = job.lost[idx];
+    for (int32_t j = 0; j <= f.degree; ++j) {
+      if (j == f.fragment) continue;
+      const DiskId src = static_cast<DiskId>(
+          PositiveMod(static_cast<int64_t>(f.stripe_first_disk) + j, d));
+      if (src == disk) return true;
+    }
+  }
+  return false;
+}
+
+bool RebuildManager::TryRebuildOne(Job* job, int64_t interval,
+                                   BackgroundGrant* grant) {
   STAGGER_CHECK(job->next < job->lost.size());
   const int32_t d = disks_->num_disks();
-  if (disks_->DriveBusy(job->spare)) return false;
+  if (!grant->CanWriteDrive(job->spare)) return false;
+  const bool latent_active = disks_->latent_errors().active();
 
   // Scan the remaining list for the first fragment whose whole source
   // set has slack this interval.  Display traffic pins a moving window
@@ -113,6 +157,10 @@ bool RebuildManager::TryRebuildOne(Job* job, int64_t interval) {
   // instead of serializing behind one blocked stripe.
   for (size_t idx = job->next; idx < job->lost.size(); ++idx) {
     const LostFragment& f = job->lost[idx];
+    // The whole stripe reads in one interval, all or nothing; a cap
+    // with less than a stripe's headroom left ends this consumer's
+    // interval.
+    if (grant->reads_remaining() < f.degree) return false;
     // Source set: every fragment of the stripe except the lost one —
     // the surviving data disks plus (for a lost data fragment) the
     // parity disk.  Stripe disks are consecutive mod D starting at the
@@ -122,22 +170,42 @@ bool RebuildManager::TryRebuildOne(Job* job, int64_t interval) {
       if (j == f.fragment) continue;
       const DiskId src = static_cast<DiskId>(
           PositiveMod(static_cast<int64_t>(f.stripe_first_disk) + j, d));
-      sources_free = disks_->IsAvailable(src) && !disks_->SlotBusy(src);
+      sources_free = grant->CanRead(src);
     }
     if (!sources_free) continue;
+
+    if (latent_active) {
+      // A corrupt source word would XOR garbage onto the spare.  The
+      // checksum on the source read catches it; surface the cell and
+      // leave the stripe for the scrubber to repair first.
+      bool corrupt = false;
+      for (int32_t j = 0; j <= f.degree; ++j) {
+        if (j == f.fragment) continue;
+        const DiskId src = static_cast<DiskId>(
+            PositiveMod(static_cast<int64_t>(f.stripe_first_disk) + j, d));
+        if (disks_->latent_errors().IsCorrupt(src, f.subobject)) {
+          disks_->latent_errors().MarkDetected(src, f.subobject);
+          corrupt = true;
+        }
+      }
+      if (corrupt) {
+        ++metrics_.corrupt_source_skips;
+        continue;
+      }
+    }
 
     // All sources have slack: take the reservations and reconstruct.
     uint64_t word = 0;
     for (int32_t j = 0; j <= f.degree; ++j) {
       if (j == f.fragment) continue;
-      const int32_t src = static_cast<int32_t>(
+      const DiskId src = static_cast<DiskId>(
           PositiveMod(static_cast<int64_t>(f.stripe_first_disk) + j, d));
-      disks_->ReserveSlot(src);
+      grant->ReadSlot(src);
       ++metrics_.source_reads;
       word ^= j == f.degree ? ParityWord(f.object, f.subobject, f.degree)
                             : FragmentWord(f.object, f.subobject, j);
     }
-    disks_->ReserveDrive(job->spare);  // the rebuilt fragment's write transfer
+    grant->WriteDrive(job->spare);  // the rebuilt fragment's write transfer
 
     const uint64_t expected =
         f.fragment == f.degree
@@ -178,6 +246,20 @@ int64_t RebuildManager::EtaIntervals(DiskId slot) const {
   const int64_t remaining =
       static_cast<int64_t>(it->second.lost.size() - it->second.next);
   return remaining * config_.rebuild_intervals_per_fragment;
+}
+
+size_t RebuildManager::NextFragmentIndex(DiskId slot) const {
+  MutexLock lock(&mu_);
+  auto it = jobs_.find(slot);
+  STAGGER_CHECK(it != jobs_.end()) << "slot " << slot << " is not rebuilding";
+  return it->second.next;
+}
+
+bool RebuildManager::paused(DiskId slot) const {
+  MutexLock lock(&mu_);
+  auto it = jobs_.find(slot);
+  STAGGER_CHECK(it != jobs_.end()) << "slot " << slot << " is not rebuilding";
+  return !it->second.paused_on.empty();
 }
 
 Status RebuildManager::AuditState() const {

@@ -25,8 +25,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "background/background_budget.h"
 #include "disk/disk_array.h"
 #include "storage/media_object.h"
 #include "util/result.h"
@@ -73,6 +75,13 @@ struct RebuildMetrics {
   /// Intervals where a job was due to rebuild but some source disk (or
   /// the throttle) had no slack.
   int64_t stalled_intervals = 0;
+  /// Job-intervals spent paused because a source disk was stalled
+  /// (OnSourceDown); the cursor holds still instead of re-scanning.
+  int64_t paused_intervals = 0;
+  /// Stripes skipped because a source fragment's media cell is corrupt
+  /// (latent error): rebuilding through it would write garbage onto the
+  /// spare, so the stripe waits for the scrubber to repair the source.
+  int64_t corrupt_source_skips = 0;
   /// Reconstructed words that failed to match the content model.  Any
   /// non-zero value is a reconstruction bug.
   int64_t mismatches = 0;
@@ -80,7 +89,14 @@ struct RebuildMetrics {
 
 /// \brief Walks lost fragments of failed slots and re-derives them onto
 /// hot spares from parity, on idle bandwidth only.
-class RebuildManager {
+///
+/// As a BackgroundConsumer the manager draws its source reads and
+/// spare writes from a BackgroundGrant handed out by the shared
+/// BackgroundBudget arbiter (src/background/), which caps its
+/// per-interval rate and arbitrates against the scrubber.  The legacy
+/// OnIdleInterval entry point remains for single-consumer setups and
+/// self-issues an uncapped grant.
+class RebuildManager : public BackgroundConsumer {
  public:
   /// \param disks  disk farm with a hot-spare pool; must outlive the
   ///               manager.
@@ -107,8 +123,32 @@ class RebuildManager {
   /// spare when the job's list is exhausted.  A stripe that lost two
   /// fragments is unrecoverable from single parity: its job holds the
   /// spare and keeps stalling until the other slot comes back.  Install
-  /// via IntervalScheduler::SetIdleBandwidthHook.
+  /// via IntervalScheduler::SetIdleBandwidthHook (single consumer) or
+  /// register with a BackgroundBudget; this wrapper self-issues an
+  /// uncapped grant and forwards to RunIdle.
   void OnIdleInterval(int64_t interval) STAGGER_EXCLUDES(mu_);
+
+  // BackgroundConsumer:
+  const char* name() const override { return "rebuild"; }
+  bool HasWork() const override STAGGER_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return !jobs_.empty();
+  }
+  /// One interval's rebuild work within `grant`; returns fragments
+  /// rebuilt.
+  int64_t RunIdle(int64_t interval, BackgroundGrant* grant) override
+      STAGGER_EXCLUDES(mu_);
+
+  /// A stall on a rebuild *source* disk: every job whose pending
+  /// fragments read from `disk` pauses — the stripe cursor holds still
+  /// until OnSourceUp — instead of fruitlessly re-scanning (and
+  /// re-ordering) its remaining list each interval.  Only stalls pause:
+  /// they always end, while pausing on a *failure* could deadlock two
+  /// jobs whose source sets cross (each waiting on the other's lost
+  /// disk); failures keep the scan-and-skip behavior.
+  void OnSourceDown(DiskId disk, DiskHealth health) STAGGER_EXCLUDES(mu_);
+  /// Clears `disk` from every job's paused set.
+  void OnSourceUp(DiskId disk) STAGGER_EXCLUDES(mu_);
 
   bool rebuilding(DiskId slot) const STAGGER_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
@@ -123,6 +163,10 @@ class RebuildManager {
   /// Intervals still needed for `slot` at the configured rate cap,
   /// assuming every interval offers slack.
   int64_t EtaIntervals(DiskId slot) const STAGGER_EXCLUDES(mu_);
+  /// Position of `slot`'s job cursor: fragments already rebuilt.
+  size_t NextFragmentIndex(DiskId slot) const STAGGER_EXCLUDES(mu_);
+  /// True when `slot`'s job is paused on a stalled source disk.
+  bool paused(DiskId slot) const STAGGER_EXCLUDES(mu_);
 
   const RebuildMetrics& metrics() const { return metrics_; }
   const RebuildConfig& config() const { return config_; }
@@ -137,12 +181,18 @@ class RebuildManager {
     std::vector<LostFragment> lost;
     size_t next = 0;     ///< first fragment not yet rebuilt
     int64_t last_rebuild_interval = -1;
+    /// Stalled disks some pending fragment reads from; non-empty
+    /// freezes the job (see OnSourceDown).
+    std::set<DiskId> paused_on;
   };
 
   RebuildManager(DiskArray* disks, RebuildConfig config);
 
   /// Attempts one fragment of `job` this interval; true on progress.
-  bool TryRebuildOne(Job* job, int64_t interval) STAGGER_REQUIRES(mu_);
+  bool TryRebuildOne(Job* job, int64_t interval, BackgroundGrant* grant)
+      STAGGER_REQUIRES(mu_);
+  /// True when some pending fragment of `job` reads from `disk`.
+  bool JobReadsFrom(const Job& job, DiskId disk) const STAGGER_REQUIRES(mu_);
   void Promote(DiskId slot) STAGGER_REQUIRES(mu_);
 
   DiskArray* disks_;

@@ -72,6 +72,10 @@ Status ExperimentConfig::Validate() const {
     return Status::InvalidArgument(
         "stream batching is a striped-server feature");
   }
+  if (scrub && scheme == Scheme::kVdr) {
+    return Status::InvalidArgument(
+        "stripe scrubbing is a striped-server feature");
+  }
   return Status::OK();
 }
 
@@ -171,6 +175,12 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     sc.degraded_policy = config.degraded_policy;
     sc.parity = config.parity;
     sc.rebuild_intervals_per_fragment = config.rebuild_intervals_per_fragment;
+    sc.scrub = config.scrub;
+    sc.scrub_intervals_per_stripe = config.scrub_intervals_per_stripe;
+    sc.rebuild_reads_per_interval = config.rebuild_reads_per_interval;
+    sc.scrub_reads_per_interval = config.scrub_reads_per_interval;
+    sc.scrub_starvation_floor_intervals =
+        config.scrub_starvation_floor_intervals;
     sc.batch = config.batch;
     sc.batch_window = config.batch_window;
     sc.max_batch_fanout = config.max_batch_fanout;
@@ -272,6 +282,22 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   result.tertiary_queue_end = static_cast<int64_t>(tertiary.queue_length());
   result.materializations = tertiary.completed();
 
+  // Latent-error outcomes live in the disk array and so apply to every
+  // scheme: a VDR run with latent events truthfully reports them as
+  // injected-but-never-repaired (it has no scrubber).
+  {
+    const LatentErrorMetrics& lm = disks.latent_errors().metrics();
+    result.latent_errors_injected = lm.injected;
+    result.latent_errors_detected = lm.detected;
+    result.latent_errors_repaired = lm.repaired + lm.repaired_by_rebuild;
+    result.latent_errors_unrepaired = disks.latent_errors().ActiveCells();
+    result.mean_time_to_repair_sec =
+        lm.time_to_repair_intervals.count() > 0
+            ? lm.time_to_repair_intervals.mean() * config.Interval().seconds()
+            : 0.0;
+    result.degraded_disk_intervals = disks.degraded_disk_intervals();
+  }
+
   if (config.scheme == Scheme::kVdr) {
     result.disk_utilization = vdr->MeanClusterUtilization();
     result.replications = vdr->metrics().replications;
@@ -291,9 +317,20 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
     result.streams_resumed = sm.streams_resumed;
     result.displays_interrupted = sm.displays_interrupted;
     result.mean_resume_latency_sec = sm.resume_latency_sec.mean();
+    result.corrupt_reads_detected = sm.corrupt_reads_detected;
+    result.corrupt_frames_delivered = sm.corrupt_frames_delivered;
     if (const RebuildManager* rebuild = striped->rebuild()) {
       result.rebuilds_completed = rebuild->metrics().rebuilds_completed;
       result.fragments_rebuilt = rebuild->metrics().fragments_rebuilt;
+    }
+    if (const Scrubber* scrubber = striped->scrubber()) {
+      result.scrub_stripes_verified = scrubber->metrics().stripes_scrubbed;
+      result.scrub_passes = scrubber->metrics().passes_completed;
+    }
+    if (const BackgroundBudget* budget = striped->background_budget()) {
+      result.background_reads_granted = budget->metrics().reads_granted;
+      result.background_budget_violations =
+          budget->metrics().budget_violations;
     }
     if (const StreamBatcher* batcher = striped->batcher()) {
       const BatcherMetrics& bm = batcher->metrics();

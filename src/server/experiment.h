@@ -69,6 +69,19 @@ struct ExperimentConfig {
   /// Rebuild rate cap: one fragment per failed slot every this many
   /// intervals.
   int64_t rebuild_intervals_per_fragment = 1;
+  /// Striped schemes: run the background scrubber (src/scrub/) that
+  /// detects and repairs latent sector errors on idle bandwidth.
+  bool scrub = false;
+  /// Scrub pacing: at most one stripe every N intervals (1 = as fast as
+  /// idle bandwidth allows).
+  int64_t scrub_intervals_per_stripe = 1;
+  /// Per-interval idle-read caps for the shared background budget;
+  /// 0 = uncapped.
+  int64_t rebuild_reads_per_interval = 0;
+  int64_t scrub_reads_per_interval = 0;
+  /// Scrub starvation floor (intervals without progress before the
+  /// arbiter serves scrub first once); 0 disables.
+  int64_t scrub_starvation_floor_intervals = 64;
 
   // Workload (Section 4.1).
   int32_t stations = 16;
@@ -148,6 +161,32 @@ struct ExperimentResult {
   // --- rebuild outcomes (parity + spares only) -------------------------
   int64_t rebuilds_completed = 0;      ///< spares promoted into failed slots
   int64_t fragments_rebuilt = 0;
+  // --- latent-error / scrub outcomes (zero without kLatentError events) -
+  int64_t latent_errors_injected = 0;  ///< corrupt media cells created
+  int64_t latent_errors_detected = 0;  ///< first detections (scrub or read)
+  int64_t latent_errors_repaired = 0;  ///< cells repaired (all paths)
+  /// Cells still corrupt at the end of the run — the scrub-off
+  /// signature (latent errors sit undetected forever).
+  int64_t latent_errors_unrepaired = 0;
+  /// Mean injected-to-repaired time of repaired cells, in seconds
+  /// (MTTR of the latent-error population); 0 when nothing was
+  /// repaired.
+  double mean_time_to_repair_sec = 0.0;
+  /// Display reads that hit a corrupt cell and were caught by the
+  /// checksum (served via the degraded ladder instead).
+  int64_t corrupt_reads_detected = 0;
+  /// Corrupt fragments shipped to viewers (possible only under
+  /// DegradedPolicy::kNone; fault-aware runs must report zero).
+  int64_t corrupt_frames_delivered = 0;
+  int64_t scrub_stripes_verified = 0;
+  int64_t scrub_passes = 0;
+  /// Intervals (summed over disks) a disk spent in the degraded state.
+  int64_t degraded_disk_intervals = 0;
+  // --- background-budget outcomes (rebuild or scrub on) ----------------
+  int64_t background_reads_granted = 0;
+  /// Intervals where consumers' reads exceeded the measured idle
+  /// capacity.  Any non-zero value is an arbiter bug.
+  int64_t background_budget_violations = 0;
   // --- admission latency (exact percentiles; open-arrivals and closed
   // runs report the measurement window, except closed *batched* runs
   // where the batcher's whole-run tracker wins) -------------------------

@@ -56,6 +56,18 @@ Status StripedConfig::Validate() const {
     return Status::InvalidArgument(
         "rebuild rate cap must be >= 1 interval per fragment");
   }
+  if (scrub_intervals_per_stripe < 1) {
+    return Status::InvalidArgument(
+        "scrub rate must be >= 1 interval per stripe");
+  }
+  if (rebuild_reads_per_interval < 0 || scrub_reads_per_interval < 0) {
+    return Status::InvalidArgument(
+        "background read caps must be >= 0 (0 = uncapped)");
+  }
+  if (scrub_starvation_floor_intervals < 0) {
+    return Status::InvalidArgument(
+        "scrub starvation floor must be >= 0 (0 = disabled)");
+  }
   if (degraded_policy == DegradedPolicy::kReconstruct && !parity) {
     return Status::InvalidArgument(
         "kReconstruct requires parity layouts to reconstruct from");
@@ -98,14 +110,38 @@ Result<std::unique_ptr<StripedServer>> StripedServer::Create(
   sched.read_observer = config.read_observer;
   STAGGER_ASSIGN_OR_RETURN(server->scheduler_,
                            IntervalScheduler::Create(sim, disks, sched));
-  if (config.parity && disks->num_spares() > 0) {
-    RebuildConfig rc;
-    rc.rebuild_intervals_per_fragment = config.rebuild_intervals_per_fragment;
-    STAGGER_ASSIGN_OR_RETURN(server->rebuild_,
-                             RebuildManager::Create(disks, rc));
-    RebuildManager* rebuild = server->rebuild_.get();
+  const bool want_rebuild = config.parity && disks->num_spares() > 0;
+  if (want_rebuild || config.scrub) {
+    // Both idle-bandwidth consumers draw from one shared budget; the
+    // arbiter serves rebuild (priority 0) before scrub (priority 1)
+    // and is the scheduler's single idle hook.
+    server->budget_ = std::make_unique<BackgroundBudget>(disks);
+    if (want_rebuild) {
+      RebuildConfig rc;
+      rc.rebuild_intervals_per_fragment = config.rebuild_intervals_per_fragment;
+      STAGGER_ASSIGN_OR_RETURN(server->rebuild_,
+                               RebuildManager::Create(disks, rc));
+      BackgroundConsumerConfig bcc;
+      bcc.priority = 0;
+      bcc.max_reads_per_interval = config.rebuild_reads_per_interval;
+      server->budget_->Register(server->rebuild_.get(), bcc);
+    }
+    if (config.scrub) {
+      ScrubConfig sc;
+      sc.intervals_per_stripe = config.scrub_intervals_per_stripe;
+      StripedServer* s = server.get();
+      STAGGER_ASSIGN_OR_RETURN(
+          server->scrubber_,
+          Scrubber::Create(disks, sc, [s] { return s->ScrubTargets(); }));
+      BackgroundConsumerConfig bcc;
+      bcc.priority = 1;
+      bcc.max_reads_per_interval = config.scrub_reads_per_interval;
+      bcc.starvation_floor_intervals = config.scrub_starvation_floor_intervals;
+      server->budget_->Register(server->scrubber_.get(), bcc);
+    }
+    BackgroundBudget* budget = server->budget_.get();
     server->scheduler_->SetIdleBandwidthHook(
-        [rebuild](int64_t interval) { rebuild->OnIdleInterval(interval); });
+        [budget](int64_t interval) { budget->OnIdleInterval(interval); });
   }
   if (config.batch) {
     BatcherConfig bc;
@@ -162,6 +198,8 @@ Status StripedServer::AuditInvariants() const {
         objects_->LayoutOf(id), catalog_->Get(id).num_subobjects));
   }
   if (rebuild_) STAGGER_RETURN_NOT_OK(rebuild_->AuditState());
+  if (scrubber_) STAGGER_RETURN_NOT_OK(scrubber_->AuditState());
+  if (budget_) STAGGER_RETURN_NOT_OK(budget_->AuditState());
   return InvariantAuditor::AuditScheduler(*scheduler_);
 }
 
@@ -186,8 +224,29 @@ std::vector<LostFragment> StripedServer::LostFragmentsOn(DiskId slot) const {
   return lost;
 }
 
+std::vector<ScrubTarget> StripedServer::ScrubTargets() const {
+  std::vector<ScrubTarget> targets;
+  for (ObjectId id = 0; id < catalog_->size(); ++id) {
+    if (!objects_->IsResident(id)) continue;
+    const StaggeredLayout& layout = objects_->LayoutOf(id);
+    ScrubTarget t;
+    t.object = id;
+    t.num_subobjects = catalog_->Get(id).num_subobjects;
+    t.degree = layout.degree();
+    t.first_disk = layout.FirstDiskFor(0);
+    t.stride = layout.stride();
+    t.parity = layout.has_parity();
+    targets.push_back(t);
+  }
+  return targets;
+}
+
 void StripedServer::OnDiskDown(DiskId disk, SimTime /*now*/) {
   if (!rebuild_) return;
+  // A stall on a rebuild *source* disk pauses the affected jobs at
+  // their current stripe cursor (they resume in OnDiskUp); this must
+  // run before the health filter below, which only admits failures.
+  rebuild_->OnSourceDown(disk, disks_->disk(disk).health());
   // Stalls recover by themselves; only a permanent failure is worth a
   // spare.  A slot already rebuilding keeps its job.
   if (disks_->disk(disk).health() != DiskHealth::kFailed) return;
@@ -199,6 +258,7 @@ void StripedServer::OnDiskDown(DiskId disk, SimTime /*now*/) {
 
 void StripedServer::OnDiskUp(DiskId disk, SimTime /*now*/) {
   if (!rebuild_) return;
+  rebuild_->OnSourceUp(disk);
   // The original drive came back before the rebuild finished: abandon
   // the job and return the spare.  After a promotion the slot is no
   // longer rebuilding, so a late plan `recover` event lands here as a
@@ -367,6 +427,9 @@ void StripedServer::Land(ObjectId object) {
 #endif
   materializing_[static_cast<size_t>(object)] = 0;
   planned_layouts_.erase(object);
+  // The resident set changed (this landing, plus any evictions it
+  // forced): the scrubber's target list is stale.
+  if (scrubber_) scrubber_->Invalidate();
   auto node = waiters_.extract(object);
   if (node.empty()) return;
   for (Waiter& w : node.mapped()) {

@@ -20,9 +20,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "background/background_budget.h"
 #include "core/interval_scheduler.h"
 #include "disk/disk_array.h"
 #include "rebuild/rebuild_manager.h"
+#include "scrub/scrubber.h"
 #include "storage/catalog.h"
 #include "storage/object_manager.h"
 #include "tertiary/tertiary_manager.h"
@@ -74,6 +76,23 @@ struct StripedConfig {
   /// per failed disk every this many intervals.  Rebuild runs when the
   /// array has hot spares (DiskArray num_spares > 0) and parity is on.
   int64_t rebuild_intervals_per_fragment = 1;
+  /// Run the background scrubber (src/scrub/): cycle over resident
+  /// stripes on idle bandwidth verifying content words, surfacing and
+  /// repairing latent sector errors.  Registered below rebuild priority
+  /// on the shared background budget.
+  bool scrub = false;
+  /// Scrub pacing (ScrubConfig::intervals_per_stripe): at 1 the
+  /// scrubber uses whatever idle bandwidth its grant allows; at N > 1
+  /// it verifies at most one stripe every N intervals.
+  int64_t scrub_intervals_per_stripe = 1;
+  /// Per-interval idle-read caps handed to the background budget;
+  /// 0 = uncapped (bounded only by measured idle bandwidth).
+  int64_t rebuild_reads_per_interval = 0;
+  int64_t scrub_reads_per_interval = 0;
+  /// Starvation floor: if the scrubber has work but makes no progress
+  /// for this many intervals (a rebuild storm is eating every grant),
+  /// it is served first once.  0 disables the floor.
+  int64_t scrub_starvation_floor_intervals = 64;
   /// Stream batching (workload/batcher.h): requests for the same object
   /// arriving within `batch_window` share one physical stream, so N
   /// stations ride one stripe's bandwidth.  Strictly opt-in: with
@@ -135,6 +154,13 @@ class StripedServer : public MediaService {
   /// Rebuild subsystem, or nullptr when parity/spares are off.
   RebuildManager* rebuild() { return rebuild_.get(); }
   const RebuildManager* rebuild() const { return rebuild_.get(); }
+  /// Scrubbing subsystem, or nullptr when `scrub` is off.
+  Scrubber* scrubber() { return scrubber_.get(); }
+  const Scrubber* scrubber() const { return scrubber_.get(); }
+  /// Shared idle-bandwidth arbiter, or nullptr when neither rebuild nor
+  /// scrub is configured.
+  BackgroundBudget* background_budget() { return budget_.get(); }
+  const BackgroundBudget* background_budget() const { return budget_.get(); }
   /// Effective per-disk bandwidth implied by fragment size and interval.
   Bandwidth EffectiveDiskBandwidth() const;
 
@@ -173,6 +199,9 @@ class StripedServer : public MediaService {
   /// Every fragment resident objects store on `slot`, parity included —
   /// the rebuild work list for a failed slot.
   std::vector<LostFragment> LostFragmentsOn(DiskId slot) const;
+  /// Flattened stripe geometry of every resident object — the
+  /// scrubber's work source, re-queried at each pass boundary.
+  std::vector<ScrubTarget> ScrubTargets() const;
 
   Simulator* sim_;
   const Catalog* catalog_;
@@ -182,6 +211,11 @@ class StripedServer : public MediaService {
   std::unique_ptr<ObjectManager> objects_;
   std::unique_ptr<IntervalScheduler> scheduler_;
   std::unique_ptr<RebuildManager> rebuild_;
+  std::unique_ptr<Scrubber> scrubber_;
+  /// Shared idle-bandwidth arbiter; rebuild and scrub both draw from it
+  /// (priority rebuild > scrub).  Must outlive neither consumer, so it
+  /// is declared after them (destroyed first).
+  std::unique_ptr<BackgroundBudget> budget_;
   std::unique_ptr<StreamBatcher> batcher_;
   std::unordered_map<ObjectId, std::vector<Waiter>> waiters_;
   std::vector<char> materializing_;

@@ -181,5 +181,140 @@ TEST(DiskArraySpareDeathTest, PromoteRequiresFailedSlot) {
   EXPECT_DEATH(array.PromoteSpare(0, *drive), "");
 }
 
+// ---------------------------------------------------------------------
+// Degraded drives (stragglers): Bresenham duty cycle over intervals.
+// ---------------------------------------------------------------------
+
+TEST(DiskArrayDegradeTest, DutyCycleMatchesPercent) {
+  DiskArray array = MakeArray(4);
+  array.DegradeDisk(1, 50);
+  EXPECT_EQ(array.disk(1).health(), DiskHealth::kDegraded);
+  EXPECT_FALSE(array.IsAvailable(1));  // the credit counter starts empty
+  int32_t serving = 0;
+  for (int i = 0; i < 10; ++i) {
+    array.EndInterval();
+    if (array.IsAvailable(1)) ++serving;
+  }
+  EXPECT_EQ(serving, 5);  // exactly percent% of intervals, no drift
+}
+
+TEST(DiskArrayDegradeTest, LowPercentServesSparsely) {
+  DiskArray array = MakeArray(4);
+  array.DegradeDisk(0, 25);
+  int32_t serving = 0;
+  for (int i = 0; i < 100; ++i) {
+    array.EndInterval();
+    if (array.IsAvailable(0)) ++serving;
+  }
+  EXPECT_EQ(serving, 25);
+}
+
+TEST(DiskArrayDegradeTest, DegradedIntervalAccountingStopsAtRecover) {
+  DiskArray array = MakeArray(4);
+  array.DegradeDisk(2, 40);
+  for (int i = 0; i < 8; ++i) array.EndInterval();
+  EXPECT_EQ(array.degraded_disk_intervals(), 8);
+  array.RecoverDisk(2);
+  EXPECT_TRUE(array.IsAvailable(2));
+  EXPECT_EQ(array.disk(2).health(), DiskHealth::kHealthy);
+  for (int i = 0; i < 3; ++i) array.EndInterval();
+  EXPECT_EQ(array.degraded_disk_intervals(), 8);
+}
+
+TEST(DiskArrayDegradeTest, NonServingStragglerIsNotIdleAvailable) {
+  DiskArray array = MakeArray(4);
+  array.DegradeDisk(3, 50);
+  array.EndInterval();  // credit 50: not serving this interval
+  EXPECT_EQ(array.IdleAvailableCount(), 3);
+  array.EndInterval();  // credit 100: serving
+  EXPECT_EQ(array.IdleAvailableCount(), 4);
+}
+
+TEST(DiskArrayDegradeTest, FailEscalatesAndClearsTheDutyCycle) {
+  DiskArray array = MakeArray(4);
+  array.DegradeDisk(1, 50);
+  array.FailDisk(1);
+  EXPECT_EQ(array.disk(1).health(), DiskHealth::kFailed);
+  EXPECT_FALSE(array.IsAvailable(1));
+  // The slot left the degraded walk list: intervals no longer accrue.
+  const int64_t before = array.degraded_disk_intervals();
+  array.EndInterval();
+  EXPECT_EQ(array.degraded_disk_intervals(), before);
+  array.RecoverDisk(1);
+  EXPECT_TRUE(array.IsAvailable(1));
+  EXPECT_EQ(array.disk(1).degraded_percent(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Latent sector errors: the array-owned media-cell registry.
+// ---------------------------------------------------------------------
+
+TEST(DiskArrayLatentTest, InjectDetectRepairLifecycle) {
+  DiskArray array = MakeArray(4);
+  LatentErrorMap& latent = array.latent_errors();
+  EXPECT_FALSE(latent.active());
+  EXPECT_EQ(latent.Inject(2, 10, 12), 3);
+  EXPECT_TRUE(latent.active());
+  EXPECT_EQ(latent.ActiveCells(), 3);
+  EXPECT_TRUE(latent.IsCorrupt(2, 11));
+  EXPECT_FALSE(latent.IsCorrupt(2, 13));
+  EXPECT_FALSE(latent.IsCorrupt(1, 11));
+  // Media-level: the disk keeps serving.
+  EXPECT_TRUE(array.IsAvailable(2));
+
+  EXPECT_TRUE(latent.MarkDetected(2, 11));
+  EXPECT_FALSE(latent.MarkDetected(2, 11));  // only the first counts
+  latent.Repair(2, 11);
+  EXPECT_FALSE(latent.IsCorrupt(2, 11));
+  EXPECT_EQ(latent.ActiveCells(), 2);
+  EXPECT_EQ(latent.metrics().injected, 3);
+  EXPECT_EQ(latent.metrics().detected, 1);
+  EXPECT_EQ(latent.metrics().repaired, 1);
+}
+
+TEST(DiskArrayLatentTest, ReinjectionKeepsTheOriginalCell) {
+  DiskArray array = MakeArray(2);
+  LatentErrorMap& latent = array.latent_errors();
+  EXPECT_EQ(latent.Inject(0, 5, 7), 3);
+  EXPECT_EQ(latent.Inject(0, 6, 8), 1);  // rows 6 and 7 already corrupt
+  EXPECT_EQ(latent.ActiveCells(), 4);
+  EXPECT_EQ(latent.metrics().injected, 4);
+}
+
+TEST(DiskArrayLatentTest, TimeToRepairIsStampedInIntervals) {
+  DiskArray array = MakeArray(2);
+  LatentErrorMap& latent = array.latent_errors();
+  latent.Inject(1, 3, 3);
+  for (int i = 0; i < 7; ++i) array.EndInterval();
+  latent.MarkDetected(1, 3);
+  latent.Repair(1, 3);
+  ASSERT_EQ(latent.metrics().time_to_repair_intervals.count(), 1);
+  EXPECT_DOUBLE_EQ(latent.metrics().time_to_repair_intervals.mean(), 7.0);
+}
+
+TEST(DiskArrayLatentTest, CellsSurviveFailAndRecover) {
+  DiskArray array = MakeArray(4);
+  array.latent_errors().Inject(1, 0, 0);
+  array.FailDisk(1);
+  array.RecoverDisk(1);
+  // The platters come back as they were: still corrupt.
+  EXPECT_TRUE(array.latent_errors().IsCorrupt(1, 0));
+}
+
+TEST(DiskArrayLatentTest, SparePromotionDropsTheSlotsCells) {
+  DiskArray array = MakeArrayWithSpares(4, 1);
+  array.latent_errors().Inject(2, 4, 6);
+  array.latent_errors().Inject(3, 9, 9);
+  array.FailDisk(2);
+  auto drive = array.AcquireSpare();
+  ASSERT_TRUE(drive.ok());
+  array.PromoteSpare(2, *drive);
+  // The promoted slot got a fresh medium; other disks' cells stand.
+  EXPECT_FALSE(array.latent_errors().IsCorrupt(2, 5));
+  EXPECT_TRUE(array.latent_errors().IsCorrupt(3, 9));
+  EXPECT_EQ(array.latent_errors().metrics().repaired_by_rebuild, 3);
+  EXPECT_EQ(array.latent_errors().ActiveCells(), 1);
+}
+
 }  // namespace
 }  // namespace stagger

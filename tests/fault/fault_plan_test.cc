@@ -202,6 +202,180 @@ TEST(FaultPlanTest, SameInstantTieBreakSurvivesSerialization) {
   EXPECT_EQ(reparsed->ToString(), plan.ToString());
 }
 
+// ---------------------------------------------------------------------
+// Partial faults and correlated events: degrade, latent, domains.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanTest, DegradeValidates) {
+  FaultPlan plan;
+  plan.DegradeAt(2, SimTime::Seconds(5), SimTime::Seconds(30), 50);
+  EXPECT_TRUE(plan.Validate(8).ok()) << plan.Validate(8);
+}
+
+TEST(FaultPlanTest, RejectsDegradePercentOutOfRange) {
+  FaultPlan zero;
+  zero.DegradeAt(0, SimTime::Seconds(1), SimTime::Seconds(1), 0);
+  EXPECT_TRUE(zero.Validate(4).IsInvalidArgument());
+  FaultPlan full;
+  full.DegradeAt(0, SimTime::Seconds(1), SimTime::Seconds(1), 100);
+  EXPECT_TRUE(full.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, RejectsDegradeOverlappingOutage) {
+  FaultPlan plan;
+  plan.FailAt(1, SimTime::Seconds(1))
+      .DegradeAt(1, SimTime::Seconds(2), SimTime::Seconds(1), 50)
+      .RecoverAt(1, SimTime::Seconds(10));
+  EXPECT_TRUE(plan.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, RejectsOverlappingDegrades) {
+  FaultPlan plan;
+  plan.DegradeAt(1, SimTime::Seconds(1), SimTime::Seconds(10), 40)
+      .DegradeAt(1, SimTime::Seconds(5), SimTime::Seconds(1), 60);
+  EXPECT_TRUE(plan.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, LatentIsOrthogonalToHealth) {
+  // A latent error inside an outage window is legal: media corruption
+  // does not care whether the disk is currently serving.
+  FaultPlan plan;
+  plan.FailAt(1, SimTime::Seconds(1))
+      .LatentAt(1, SimTime::Seconds(2), 10, 12)
+      .RecoverAt(1, SimTime::Seconds(5));
+  EXPECT_TRUE(plan.Validate(4).ok()) << plan.Validate(4);
+}
+
+TEST(FaultPlanTest, RejectsMalformedLatentRange) {
+  FaultPlan inverted;
+  inverted.LatentAt(0, SimTime::Seconds(1), 5, 3);
+  EXPECT_TRUE(inverted.Validate(4).IsInvalidArgument());
+  FaultPlan negative;
+  negative.LatentAt(0, SimTime::Seconds(1), -1, 3);
+  EXPECT_TRUE(negative.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, DomainEventExpandsToEveryMember) {
+  FaultPlan plan;
+  const int32_t d = plan.AddDomain({0, 1, 2});
+  plan.FailDomainAt(d, SimTime::Seconds(2))
+      .RecoverDomainAt(d, SimTime::Seconds(8));
+  EXPECT_TRUE(plan.Validate(6).ok()) << plan.Validate(6);
+  EXPECT_EQ(plan.Sorted().size(), 2u);            // one entry per line
+  EXPECT_EQ(plan.ExpandedSorted().size(), 6u);    // one per member
+  for (const FaultEvent& e : plan.ExpandedSorted()) {
+    EXPECT_EQ(e.domain, -1);  // expansion resolves to single disks
+    EXPECT_GE(e.disk, 0);
+    EXPECT_LE(e.disk, 2);
+  }
+}
+
+TEST(FaultPlanTest, RejectsOverlappingDomains) {
+  FaultPlan plan;
+  plan.AddDomain({0, 1});
+  plan.AddDomain({1, 2});
+  const int32_t id = 0;
+  plan.FailDomainAt(id, SimTime::Seconds(1));
+  EXPECT_TRUE(plan.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, RejectsDomainMemberOutOfRange) {
+  FaultPlan plan;
+  const int32_t d = plan.AddDomain({2, 9});
+  plan.StallDomainAt(d, SimTime::Seconds(1), SimTime::Seconds(1));
+  EXPECT_TRUE(plan.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, DomainEventConflictsWithMemberEvent) {
+  // The domain fail expands to disk 1, which is already failed.
+  FaultPlan plan;
+  const int32_t d = plan.AddDomain({1, 2});
+  plan.FailAt(1, SimTime::Seconds(1)).FailDomainAt(d, SimTime::Seconds(3));
+  EXPECT_TRUE(plan.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, NewKindsRoundTripThroughText) {
+  FaultPlan plan;
+  const int32_t d = plan.AddDomain({4, 5, 6});
+  plan.DegradeAt(1, SimTime::Seconds(3), SimTime::Seconds(20), 45)
+      .LatentAt(2, SimTime::Seconds(7), 100, 103)
+      .DegradeDomainAt(d, SimTime::Seconds(9), SimTime::Seconds(5), 70)
+      .StallDomainAt(d, SimTime::Seconds(30), SimTime::Seconds(2));
+  const std::string text = plan.ToString();
+  auto parsed = FaultPlan::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->ToString(), text);
+  EXPECT_TRUE(parsed->Validate(8).ok()) << parsed->Validate(8);
+  ASSERT_EQ(parsed->domains().size(), 1u);
+  EXPECT_EQ(parsed->domains()[0], (std::vector<DiskId>{4, 5, 6}));
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedNewKinds) {
+  // Missing or non-numeric fields fail at parse time.
+  EXPECT_FALSE(FaultPlan::Parse("1000 degrade 3 250000").ok());
+  EXPECT_FALSE(FaultPlan::Parse("1000 latent 3 10").ok());
+  EXPECT_FALSE(FaultPlan::Parse("1000 degrade 3 250000 fast").ok());
+  // Domain declarations: duplicate ids, empty groups, bad members, and
+  // latent targeted at a domain all fail at parse time.
+  EXPECT_FALSE(FaultPlan::Parse("domain 0 1 2\ndomain 0 3 4\n").ok());
+  EXPECT_FALSE(FaultPlan::Parse("domain 0\n").ok());
+  EXPECT_FALSE(FaultPlan::Parse("domain 0 1 x\n").ok());
+  EXPECT_FALSE(FaultPlan::Parse("domain 0 1 2\n1000 latent @0 1 2\n").ok());
+  // Trailing junk on otherwise well-formed lines.
+  EXPECT_FALSE(FaultPlan::Parse("1000 degrade 3 250000 50 extra").ok());
+  EXPECT_FALSE(FaultPlan::Parse("1000 latent 3 10 12 extra").ok());
+  // Out-of-range payloads and undeclared domain references parse (the
+  // grammar is satisfied) but fail Validate.
+  auto pct = FaultPlan::Parse("1000 degrade 3 250000 0");
+  ASSERT_TRUE(pct.ok()) << pct.status();
+  EXPECT_TRUE(pct->Validate(8).IsInvalidArgument());
+  auto inverted = FaultPlan::Parse("1000 latent 3 12 10");
+  ASSERT_TRUE(inverted.ok()) << inverted.status();
+  EXPECT_TRUE(inverted->Validate(8).IsInvalidArgument());
+  auto undeclared = FaultPlan::Parse("1000 fail @0\n");
+  ASSERT_TRUE(undeclared.ok()) << undeclared.status();
+  EXPECT_TRUE(undeclared->Validate(8).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, GeneratePlansAlwaysValidateAndRoundTrip) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    ChaosParams params;
+    params.horizon = SimTime::Hours(2);
+    params.mtbf = SimTime::Hours(20);
+    params.mttr = SimTime::Minutes(20);
+    params.stall_mtbf = SimTime::Hours(15);
+    params.mean_stall = SimTime::Seconds(30);
+    params.degrade_mtbf = SimTime::Hours(15);
+    params.mean_degrade = SimTime::Minutes(10);
+    params.latent_mtbf = SimTime::Hours(10);
+    params.subobject_space = 200;
+    params.max_latent_run = 3;
+    params.num_domains = 3;
+    FaultPlan plan = FaultPlan::Generate(&rng, /*num_disks=*/12, params);
+    EXPECT_TRUE(plan.Validate(12).ok())
+        << "seed " << seed << ": " << plan.Validate(12) << "\n"
+        << plan.ToString();
+    auto reparsed = FaultPlan::Parse(plan.ToString());
+    ASSERT_TRUE(reparsed.ok()) << "seed " << seed << ": " << reparsed.status();
+    EXPECT_EQ(reparsed->ToString(), plan.ToString()) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlanTest, GenerateIsDeterministicPerSeed) {
+  ChaosParams params;
+  params.horizon = SimTime::Hours(1);
+  params.mtbf = SimTime::Hours(10);
+  params.mttr = SimTime::Minutes(15);
+  params.latent_mtbf = SimTime::Hours(5);
+  params.subobject_space = 100;
+  params.num_domains = 2;
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(FaultPlan::Generate(&a, 10, params).ToString(),
+            FaultPlan::Generate(&b, 10, params).ToString());
+}
+
 TEST(FaultPlanTest, RandomIsDeterministicPerSeed) {
   Rng a(42);
   Rng b(42);

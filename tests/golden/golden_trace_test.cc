@@ -319,6 +319,139 @@ TEST(GoldenTraceTest, StripedReconstructRebuild) {
   CompareOrUpdate("striped_reconstruct_rebuild", os.str());
 }
 
+// --- latent-error scrub trace -----------------------------------------
+
+// The chaos-suite acceptance scenario in miniature: latent sector
+// errors appear mid-run on a parity-striped, scrub-enabled server —
+// two inside resident stripes (found by the scrub cursor's verify
+// reads and parity-repaired in place) and two beyond every resident
+// row (repairable only by the pass-end orphan sweep, which re-arms
+// until the busy disks free up).  A display runs alongside; the read
+// ladder must never deliver a corrupt frame.  The trace pins the repair
+// path taken for each cell, the pass structure, and the background
+// draw, so any change to scrub scheduling shows up as a readable diff.
+TEST(GoldenTraceTest, StripedScrubRepairsLatentError) {
+  constexpr int32_t kDisks = 8;
+  constexpr int32_t kObjects = 3;
+  constexpr int64_t kSubobjects = 24;
+  constexpr int64_t kRunIntervals = 160;
+
+  Simulator sim;
+  Catalog catalog =
+      Catalog::Uniform(kObjects, kSubobjects, Bandwidth::Mbps(30));
+  auto disks = DiskArray::Create(kDisks, DiskParameters::Evaluation());
+  STAGGER_CHECK(disks.ok());
+  TertiaryParameters tp;
+  tp.bandwidth = Bandwidth::Mbps(40);
+  tp.reposition = SimTime::Zero();
+  TertiaryManager tertiary(&sim, TertiaryDevice(tp));
+
+  ScheduleTracer tracer(kDisks, /*max_intervals=*/kRunIntervals + 1);
+  StripedConfig config;
+  config.stride = 1;
+  config.interval = kInterval;
+  config.fragment_size = DataSize::MB(1.512);
+  config.preload_objects = kObjects;
+  config.parity = true;
+  config.degraded_policy = DegradedPolicy::kReconstruct;
+  config.scrub = true;
+  config.read_observer = [&tracer](int64_t interval, ObjectId object,
+                                   int64_t subobject, int32_t fragment,
+                                   int32_t disk) {
+    tracer.Record(interval, object, subobject, fragment, disk);
+  };
+  auto server =
+      StripedServer::Create(&sim, &catalog, &*disks, &tertiary, config);
+  ASSERT_TRUE(server.ok()) << server.status();
+  StripedServer* srv = server->get();
+
+  // Two cells inside resident stripes — computed from the layouts so
+  // they land under real data fragments (object 0 row 5, behind the
+  // cursor at injection time so the *next* pass finds it; object 1 row
+  // 17, ahead of it so the first pass does) — and two on rows no
+  // resident object reaches, repairable only by the orphan sweep.
+  const StaggeredLayout& l0 = srv->object_manager().LayoutOf(0);
+  const StaggeredLayout& l1 = srv->object_manager().LayoutOf(1);
+  const auto cell_a = static_cast<DiskId>(
+      (l0.FirstDiskFor(0) + 5 * l0.stride() + 0) % kDisks);
+  const auto cell_b = static_cast<DiskId>(
+      (l1.FirstDiskFor(0) + 17 * l1.stride() + 1) % kDisks);
+  FaultPlan plan;
+  plan.LatentAt(cell_a, kInterval * 8 + SimTime::Millis(1), 5, 5)
+      .LatentAt(cell_b, kInterval * 8 + SimTime::Millis(1), 17, 17)
+      .LatentAt(6, kInterval * 12 + SimTime::Millis(1), 30, 31);
+  auto injector = FaultInjector::Create(&sim, &*disks, plan);
+  ASSERT_TRUE(injector.ok()) << injector.status();
+  (*injector)->OnDown([srv](DiskId d, SimTime now) { srv->OnDiskDown(d, now); });
+  (*injector)->OnUp([srv](DiskId d, SimTime now) { srv->OnDiskUp(d, now); });
+
+  // A display overlaps the corruption window: the fault-aware ladder
+  // must catch any corrupt cell its reads touch.
+  int completed = 0;
+  int interrupted = 0;
+  sim.ScheduleAt(kInterval * 10, [srv, &completed, &interrupted] {
+    STAGGER_CHECK_OK(srv->RequestDisplay(
+        /*object=*/0, /*on_started=*/nullptr, [&completed] { ++completed; },
+        [&interrupted] { ++interrupted; }));
+  });
+
+  for (int64_t step = 1; step <= kRunIntervals; ++step) {
+    sim.RunUntil(kInterval * step);
+    ASSERT_TRUE(srv->AuditInvariants().ok())
+        << srv->AuditInvariants() << " after interval " << step;
+  }
+
+  // Every injected cell healed, and nothing corrupt reached the viewer.
+  const LatentErrorMetrics& lm = disks->latent_errors().metrics();
+  EXPECT_EQ(lm.injected, 4);
+  EXPECT_EQ(lm.repaired, 4);
+  EXPECT_EQ(disks->latent_errors().ActiveCells(), 0);
+  const SchedulerMetrics& m = srv->scheduler_metrics();
+  EXPECT_EQ(m.corrupt_frames_delivered, 0);
+  EXPECT_EQ(m.hiccups, 0);
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(interrupted, 0);
+
+  ASSERT_NE(srv->scrubber(), nullptr);
+  const ScrubMetrics& sm = srv->scrubber()->metrics();
+  EXPECT_GE(sm.passes_completed, 1);
+  EXPECT_GE(sm.parity_repairs + sm.targeted_repairs, 1);
+  EXPECT_EQ(sm.orphans_repaired, 2);
+  EXPECT_EQ(sm.mismatches, 0);
+  EXPECT_TRUE(srv->scrubber()->AuditState().ok());
+  ASSERT_NE(srv->background_budget(), nullptr);
+  EXPECT_EQ(srv->background_budget()->metrics().budget_violations, 0);
+  EXPECT_TRUE(srv->background_budget()->AuditState().ok());
+
+  std::ostringstream os;
+  os << "# D=" << kDisks << " parity=1 scrub=1 policy=reconstruct\n"
+     << "# fault plan:\n"
+     << plan.ToString();
+  tracer.RenderDisks().Print(os);
+  os << "reads=" << tracer.num_events()
+     << " collisions=" << tracer.num_collisions() << "\n"
+     << "displays: requested=" << m.displays_requested
+     << " completed=" << m.displays_completed << " hiccups=" << m.hiccups
+     << "\n"
+     << "latent: injected=" << lm.injected << " detected=" << lm.detected
+     << " repaired=" << lm.repaired
+     << " corrupt_caught=" << m.corrupt_reads_detected
+     << " corrupt_delivered=" << m.corrupt_frames_delivered << "\n"
+     << "scrub: stripes=" << sm.stripes_scrubbed
+     << " passes=" << sm.passes_completed
+     << " verify_reads=" << sm.verify_reads
+     << " parity_repairs=" << sm.parity_repairs
+     << " targeted=" << sm.targeted_repairs
+     << " orphans=" << sm.orphans_repaired
+     << " archive_restores=" << sm.archive_restores << "\n"
+     << "budget: granted="
+     << srv->background_budget()->metrics().reads_granted
+     << " idle_capacity=" << srv->background_budget()->metrics().idle_capacity
+     << " violations="
+     << srv->background_budget()->metrics().budget_violations << "\n";
+  CompareOrUpdate("striped_scrub_repairs_latent_error", os.str());
+}
+
 // --- flash-crowd batching trace ---------------------------------------
 
 // A scripted burst of same-object requests through a batching

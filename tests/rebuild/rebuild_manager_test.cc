@@ -234,5 +234,80 @@ TEST_F(RebuildManagerTest, TwoConcurrentRebuilds) {
   EXPECT_EQ(rebuild_->metrics().mismatches, 0);
 }
 
+TEST_F(RebuildManagerTest, StalledSourcePausesAtTheCursor) {
+  Init(6, 1);
+  auto layout = StaggeredLayout::Create(6, 0, 1, 3, /*parity=*/true);
+  ASSERT_TRUE(layout.ok());
+  disks_->FailDisk(2);
+  const auto lost = LostOn(*layout, /*object=*/0, 12, 2);
+  ASSERT_TRUE(rebuild_->StartRebuild(2, lost).ok());
+
+  RunIdleIntervals(2);  // one fragment per interval: cursor at 2
+  const size_t cursor = rebuild_->NextFragmentIndex(2);
+  ASSERT_GT(cursor, 0u);
+  ASSERT_LT(cursor, lost.size());
+
+  // A stalled source freezes the job: the cursor must hold still (no
+  // re-scan churn) until the source comes back.
+  disks_->StallDisk(0);
+  rebuild_->OnSourceDown(0, disks_->disk(0).health());
+  EXPECT_TRUE(rebuild_->paused(2));
+  const int64_t stalled_before = rebuild_->metrics().stalled_intervals;
+  RunIdleIntervals(5, /*start=*/2);
+  EXPECT_EQ(rebuild_->NextFragmentIndex(2), cursor);
+  EXPECT_GE(rebuild_->metrics().paused_intervals, 5);
+  // Paused is not stalled: the job never scanned for sources.
+  EXPECT_EQ(rebuild_->metrics().stalled_intervals, stalled_before);
+
+  // Resume: same cursor, runs to completion.
+  disks_->RecoverDisk(0);
+  rebuild_->OnSourceUp(0);
+  EXPECT_FALSE(rebuild_->paused(2));
+  RunIdleIntervals(32, /*start=*/7);
+  EXPECT_FALSE(rebuild_->rebuilding(2));
+  EXPECT_TRUE(disks_->IsAvailable(2));
+  EXPECT_EQ(rebuild_->metrics().rebuilds_completed, 1);
+  EXPECT_EQ(rebuild_->metrics().mismatches, 0);
+}
+
+TEST_F(RebuildManagerTest, FailedSourceDoesNotPause) {
+  // A FAILED source must not freeze the job — remaining stripes that
+  // avoid it are still rebuildable, and the in-job scan skips the rest.
+  Init(6, 1);
+  auto layout = StaggeredLayout::Create(6, 0, 1, 3, /*parity=*/true);
+  ASSERT_TRUE(layout.ok());
+  disks_->FailDisk(2);
+  ASSERT_TRUE(rebuild_->StartRebuild(2, LostOn(*layout, 0, 12, 2)).ok());
+  disks_->FailDisk(4);
+  rebuild_->OnSourceDown(4, disks_->disk(4).health());
+  EXPECT_FALSE(rebuild_->paused(2));
+}
+
+TEST_F(RebuildManagerTest, CorruptSourceIsSurfacedAndSkipped) {
+  Init(6, 1);
+  auto layout = StaggeredLayout::Create(6, 0, 1, 3, /*parity=*/true);
+  ASSERT_TRUE(layout.ok());
+  // One lost fragment: stripe 0's data on disk 2; sources 0, 1, parity 3.
+  disks_->FailDisk(2);
+  const auto lost = LostOn(*layout, /*object=*/0, /*n=*/1, 2);
+  ASSERT_EQ(lost.size(), 1u);
+  disks_->latent_errors().Inject(0, 0, 0);  // corrupt a source cell
+  ASSERT_TRUE(rebuild_->StartRebuild(2, lost).ok());
+
+  RunIdleIntervals(3);
+  // XORing a corrupt word onto the spare would propagate garbage: the
+  // rebuild surfaces the cell and leaves the stripe alone.
+  EXPECT_TRUE(rebuild_->rebuilding(2));
+  EXPECT_GE(rebuild_->metrics().corrupt_source_skips, 1);
+  EXPECT_EQ(disks_->latent_errors().metrics().detected, 1);
+  EXPECT_EQ(rebuild_->metrics().fragments_rebuilt, 0);
+
+  // Once the cell is repaired the rebuild goes through clean.
+  disks_->latent_errors().Repair(0, 0);
+  RunIdleIntervals(4, /*start=*/3);
+  EXPECT_FALSE(rebuild_->rebuilding(2));
+  EXPECT_EQ(rebuild_->metrics().mismatches, 0);
+}
+
 }  // namespace
 }  // namespace stagger

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "server/experiment.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 namespace stagger {
@@ -42,6 +43,14 @@ Usage: stagger_sim [flags]
   --seed=N            workload seed                     [20240101]
   --replications=N    independent runs, seeds seed..seed+N-1  [1]
   --threads=N         concurrent replications           [1]
+  --parity            store per-subobject parity fragments
+  --spares=N          hot-spare drives (enables rebuild with --parity)
+  --scrub             run the background latent-error scrubber
+  --degraded=NAME     none | pause | remap | reconstruct  [remap]
+  --chaos-seed=N      generate a chaos fault plan (prints it for replay)
+  --chaos-mtbf-hours=X   per-disk failure MTBF           [200]
+  --chaos-mttr-hours=X   mean repair/outage duration     [0.5]
+  --chaos-domains=N   correlated failure domains        [0]
   --csv               machine-readable one-line output
   --help              this text
 
@@ -68,6 +77,11 @@ int Run(int argc, char** argv) {
   bool csv = false;
   int32_t replications = 1;
   int32_t threads = 1;
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
+  double chaos_mtbf_hours = 200.0;
+  double chaos_mttr_hours = 0.5;
+  int32_t chaos_domains = 0;
   for (int i = 1; i < argc; ++i) {
     std::string v;
     if (ParseFlag(argv[i], "--help", &v)) {
@@ -119,12 +133,65 @@ int Run(int argc, char** argv) {
       replications = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--threads", &v)) {
       threads = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--parity", &v)) {
+      cfg.parity = true;
+    } else if (ParseFlag(argv[i], "--spares", &v)) {
+      cfg.num_spares = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--scrub", &v)) {
+      cfg.scrub = true;
+    } else if (ParseFlag(argv[i], "--degraded", &v)) {
+      if (v == "none") {
+        cfg.degraded_policy = DegradedPolicy::kNone;
+      } else if (v == "pause") {
+        cfg.degraded_policy = DegradedPolicy::kPause;
+      } else if (v == "remap") {
+        cfg.degraded_policy = DegradedPolicy::kRemapOrPause;
+      } else if (v == "reconstruct") {
+        cfg.degraded_policy = DegradedPolicy::kReconstruct;
+      } else {
+        std::fprintf(stderr, "unknown degraded policy '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--chaos-seed", &v)) {
+      chaos = true;
+      chaos_seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(argv[i], "--chaos-mtbf-hours", &v)) {
+      chaos = true;
+      chaos_mtbf_hours = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--chaos-mttr-hours", &v)) {
+      chaos = true;
+      chaos_mttr_hours = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--chaos-domains", &v)) {
+      chaos = true;
+      chaos_domains = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--csv", &v)) {
       csv = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
       return 2;
     }
+  }
+
+  if (chaos) {
+    // Seeded chaos plan over the whole run; the serialized form is
+    // printed so any run can be replayed exactly by pasting the plan
+    // back through FaultPlan::Parse.
+    ChaosParams cp;
+    cp.horizon = cfg.warmup + cfg.measure;
+    cp.mtbf = SimTime::Hours(chaos_mtbf_hours);
+    cp.mttr = SimTime::Hours(chaos_mttr_hours);
+    cp.stall_mtbf = SimTime::Hours(chaos_mtbf_hours);
+    cp.mean_stall = SimTime::Hours(chaos_mttr_hours / 4.0);
+    cp.degrade_mtbf = SimTime::Hours(chaos_mtbf_hours);
+    cp.mean_degrade = SimTime::Hours(chaos_mttr_hours);
+    cp.latent_mtbf = SimTime::Hours(chaos_mtbf_hours / 2.0);
+    cp.subobject_space = cfg.subobjects_per_object;
+    cp.num_domains = chaos_domains;
+    Rng rng(chaos_seed);
+    cfg.fault_plan = FaultPlan::Generate(&rng, cfg.num_disks, cp);
+    std::fprintf(stderr, "# chaos plan (seed %llu) — replayable:\n%s",
+                 static_cast<unsigned long long>(chaos_seed),
+                 cfg.fault_plan.ToString().c_str());
   }
 
   if (replications > 1) {
@@ -222,6 +289,32 @@ int Run(int argc, char** argv) {
   std::printf("resident objects      %d\n", result->resident_objects_end);
   std::printf("hiccups               %lld\n",
               static_cast<long long>(result->hiccups));
+  if (!cfg.fault_plan.events().empty()) {
+    std::printf("degraded reads        %lld (+%lld reconstructed)\n",
+                static_cast<long long>(result->degraded_reads),
+                static_cast<long long>(result->reconstructed_reads));
+    std::printf("degraded intervals    %lld disk-intervals\n",
+                static_cast<long long>(result->degraded_disk_intervals));
+    std::printf("latent errors         %lld injected, %lld detected, %lld "
+                "repaired, %lld unrepaired\n",
+                static_cast<long long>(result->latent_errors_injected),
+                static_cast<long long>(result->latent_errors_detected),
+                static_cast<long long>(result->latent_errors_repaired),
+                static_cast<long long>(result->latent_errors_unrepaired));
+    std::printf("corrupt frames        %lld delivered, %lld caught\n",
+                static_cast<long long>(result->corrupt_frames_delivered),
+                static_cast<long long>(result->corrupt_reads_detected));
+    std::printf("mean time to repair   %.1f s\n",
+                result->mean_time_to_repair_sec);
+  }
+  if (cfg.scrub) {
+    std::printf("scrub                 %lld stripes verified, %lld passes\n",
+                static_cast<long long>(result->scrub_stripes_verified),
+                static_cast<long long>(result->scrub_passes));
+    std::printf("background budget     %lld reads granted, %lld violations\n",
+                static_cast<long long>(result->background_reads_granted),
+                static_cast<long long>(result->background_budget_violations));
+  }
   return result->hiccups == 0 ? 0 : 1;
 }
 
