@@ -1,0 +1,36 @@
+// Execution-policy seam between the interval scheduler and the shard
+// worker pool.  The scheduler plans per-shard work as index-addressed
+// tasks and hands them to a ShardExecutor; the core layer deliberately
+// knows nothing about threads, so the pool implementation lives in
+// node/ (node depends on core, never the reverse) and a null executor
+// simply runs the tasks inline.
+//
+// Determinism contract: ParallelFor must invoke fn(i) exactly once for
+// every i in [0, num_tasks) and must not return before all invocations
+// have completed (fork/join semantics).  Task bodies only mutate state
+// owned by their own index, so any interleaving is observably identical
+// to the serial loop.
+
+#ifndef STAGGER_CORE_SHARD_EXECUTOR_H_
+#define STAGGER_CORE_SHARD_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace stagger {
+
+/// \brief Fork/join executor for per-shard tick tasks.
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+
+  /// Runs fn(0) .. fn(num_tasks - 1), each exactly once, and returns
+  /// only after every task has finished.  Implementations may run the
+  /// tasks on worker threads in any order.
+  virtual void ParallelFor(int32_t num_tasks,
+                           const std::function<void(int32_t)>& fn) = 0;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_CORE_SHARD_EXECUTOR_H_

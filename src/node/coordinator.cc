@@ -1,0 +1,57 @@
+#include "node/coordinator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace stagger {
+
+Coordinator::Coordinator(const CoordinatorConfig& config, int32_t num_disks)
+    : config_(config),
+      ring_(config.ring_seed),
+      map_(num_disks, config.num_shards),
+      placement_load_(static_cast<size_t>(config.num_shards), 0) {
+  STAGGER_CHECK(config.ring_replicas >= 1);
+  for (int32_t s = 0; s < config.num_shards; ++s) ring_.AddShard(s);
+}
+
+int32_t Coordinator::HomeShardFor(ObjectId object) const {
+  return ring_.ShardFor(static_cast<uint64_t>(static_cast<uint32_t>(object)));
+}
+
+Coordinator::Route Coordinator::PlaceObject(ObjectId object) {
+  STAGGER_CHECK(object >= 0);
+  const size_t idx = static_cast<size_t>(object);
+  if (idx >= placed_shard_.size()) {
+    placed_shard_.resize(idx + 1, -1);
+    placed_hops_.resize(idx + 1, 0);
+  }
+  if (placed_shard_[idx] >= 0) {
+    return Route{placed_shard_[idx], placed_hops_[idx]};
+  }
+  const std::vector<int32_t> chain = ring_.ReplicaChainFor(
+      static_cast<uint64_t>(static_cast<uint32_t>(object)),
+      std::min(config_.ring_replicas, map_.num_shards()));
+  STAGGER_CHECK(!chain.empty());
+  // pickMin: lexicographic least (placement load, chain position) —
+  // ties go to the earliest chain entry, i.e. the home shard.
+  int32_t best = 0;
+  for (int32_t k = 1; k < static_cast<int32_t>(chain.size()); ++k) {
+    if (placement_load_[static_cast<size_t>(chain[static_cast<size_t>(k)])] <
+        placement_load_[static_cast<size_t>(
+            chain[static_cast<size_t>(best)])]) {
+      best = k;
+    }
+  }
+  const int32_t shard = chain[static_cast<size_t>(best)];
+  const int32_t hops = 1 + best;  // one hop to home, one per redirect
+  ++placement_load_[static_cast<size_t>(shard)];
+  placed_shard_[idx] = shard;
+  placed_hops_[idx] = static_cast<int8_t>(hops);
+  ++metrics_.placements;
+  metrics_.redirects += best > 0 ? 1 : 0;
+  metrics_.rpc_hops += hops;
+  return Route{shard, hops};
+}
+
+}  // namespace stagger

@@ -1,0 +1,95 @@
+// Coordinator: the thin admission front-end of the coordinator /
+// storage-node split.  A display request names an object; the
+// coordinator hashes it onto the ring to find its *home* shard, then
+// commits a placement with the memec-style pickMin rule — the
+// lexicographically least (placement load, chain position) shard among
+// the object's replica chain — so a loaded home shard sheds new objects
+// to its clockwise replicas instead of queueing behind them.  That
+// pick-least-loaded walk is the admission retry path collapsed into one
+// deterministic decision: chain position k means "the request was
+// redirected k times before a node accepted it", and each redirect
+// costs one modeled inter-node RPC hop on top of the mandatory
+// coordinator->node hop.
+//
+// Everything here is a *model* knob, off by default: with ring
+// placement disabled the server never consults the coordinator and
+// placement falls back to the flat round-robin start-disk walk.
+// Execution sharding (--shards/--threads) is intentionally a separate
+// axis — it must stay bit-identical to the flat run, so it cannot be
+// allowed to move object placements.
+
+#ifndef STAGGER_NODE_COORDINATOR_H_
+#define STAGGER_NODE_COORDINATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "node/hash_ring.h"
+#include "node/shard_map.h"
+#include "storage/media_object.h"
+
+namespace stagger {
+
+struct CoordinatorConfig {
+  int32_t num_shards = 1;
+  /// Seed for the consistent-hash ring (independent of workload seeds
+  /// so placement topology can be varied without moving arrivals).
+  uint64_t ring_seed = 0x517a66e7ull;
+  /// Replica-chain length: how many distinct shards a placement may be
+  /// redirected across (1 = always the home shard).
+  int32_t ring_replicas = 2;
+};
+
+/// \brief Object -> shard routing with pickMin placement and hop
+/// accounting.  Single-threaded, like the admission path it serves.
+class Coordinator {
+ public:
+  Coordinator(const CoordinatorConfig& config, int32_t num_disks);
+
+  struct Route {
+    int32_t shard = 0;
+    /// Modeled inter-node hops: 1 for coordinator->home, +1 per
+    /// redirect down the replica chain.
+    int32_t hops = 1;
+  };
+
+  /// Ring lookup only — where the object hashes, ignoring load.
+  int32_t HomeShardFor(ObjectId object) const;
+
+  /// Commits (and memoizes) the placement decision for `object`.  The
+  /// first call walks the replica chain with pickMin and charges the
+  /// chosen shard one unit of placement load; later calls return the
+  /// recorded route without re-charging.
+  Route PlaceObject(ObjectId object);
+
+  int32_t num_shards() const { return map_.num_shards(); }
+  const ShardMap& shard_map() const { return map_; }
+  const HashRing& ring() const { return ring_; }
+
+  int64_t placements_on(int32_t shard) const {
+    return placement_load_[static_cast<size_t>(shard)];
+  }
+
+  struct Metrics {
+    int64_t placements = 0;  ///< distinct objects routed
+    int64_t redirects = 0;   ///< placements that left their home shard
+    int64_t rpc_hops = 0;    ///< total modeled hops across placements
+  };
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  CoordinatorConfig config_;
+  HashRing ring_;
+  ShardMap map_;
+  std::vector<int64_t> placement_load_;  // per-shard committed objects
+  // Memoized routes, indexed by object id (dense catalog ids); packed
+  // as shard * 2 + (hops - 1 > 0) would be cute and unreadable — two
+  // flat vectors instead, -1 meaning "not yet placed".
+  std::vector<int32_t> placed_shard_;
+  std::vector<int8_t> placed_hops_;
+  Metrics metrics_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_NODE_COORDINATOR_H_

@@ -1,0 +1,75 @@
+#include "node/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace stagger {
+
+void HashRing::AddShard(int32_t shard, int32_t weight) {
+  STAGGER_CHECK(weight > 0) << "ring shard weight must be positive";
+  STAGGER_CHECK(!std::binary_search(shards_.begin(), shards_.end(), shard))
+      << "shard " << shard << " already on the ring";
+  shards_.insert(std::upper_bound(shards_.begin(), shards_.end(), shard),
+                 shard);
+  const int64_t vnodes = static_cast<int64_t>(weight) * kVnodesPerWeight;
+  points_.reserve(points_.size() + static_cast<size_t>(vnodes));
+  // Content-addressed positions: f(seed, shard, i) only, so the points
+  // of every other shard are untouched by this insertion.
+  const uint64_t shard_salt =
+      Mix(seed_ ^ (static_cast<uint64_t>(static_cast<uint32_t>(shard)) *
+                   0xd6e8feb86659fd93ull));
+  for (int64_t i = 0; i < vnodes; ++i) {
+    points_.push_back(
+        Point{Mix(shard_salt + static_cast<uint64_t>(i)), shard});
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+void HashRing::RemoveShard(int32_t shard) {
+  auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  STAGGER_CHECK(it != shards_.end() && *it == shard)
+      << "shard " << shard << " not on the ring";
+  shards_.erase(it);
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [shard](const Point& p) {
+                                 return p.shard == shard;
+                               }),
+                points_.end());
+}
+
+int32_t HashRing::ShardFor(uint64_t key) const {
+  STAGGER_CHECK(!points_.empty()) << "lookup on an empty ring";
+  const uint64_t h = Mix(key ^ seed_);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t pos) { return p.position < pos; });
+  if (it == points_.end()) it = points_.begin();  // wrap past 2^64 - 1
+  return it->shard;
+}
+
+std::vector<int32_t> HashRing::ReplicaChainFor(uint64_t key,
+                                               int32_t replicas) const {
+  STAGGER_CHECK(!points_.empty()) << "lookup on an empty ring";
+  std::vector<int32_t> chain;
+  if (replicas <= 0) return chain;
+  const uint64_t h = Mix(key ^ seed_);
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(points_.begin(), points_.end(), h,
+                       [](const Point& p, uint64_t pos) {
+                         return p.position < pos;
+                       }) -
+      points_.begin());
+  const int32_t want = std::min(replicas, num_shards());
+  for (size_t step = 0;
+       step < points_.size() && static_cast<int32_t>(chain.size()) < want;
+       ++step) {
+    const int32_t s = points_[(idx + step) % points_.size()].shard;
+    if (std::find(chain.begin(), chain.end(), s) == chain.end()) {
+      chain.push_back(s);
+    }
+  }
+  return chain;
+}
+
+}  // namespace stagger

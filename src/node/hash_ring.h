@@ -1,0 +1,77 @@
+// Seeded consistent-hash ring mapping objects to storage-node shards.
+//
+// Each shard contributes `weight * kVnodesPerWeight` virtual nodes whose
+// ring positions are pure functions of (seed, shard, vnode index) — no
+// std::hash, no platform-dependent state — so the mapping is identical
+// across machines and a shard's points never move when *other* shards
+// join or leave.  That content addressing is what bounds remap volume:
+// adding a shard steals only the key ranges its own new points cover.
+//
+// Lookup walks the ring clockwise from the key's hash; ReplicaChainFor
+// keeps walking and collects the first `n` distinct shards, giving every
+// object a deterministic failover order for admission retries.
+
+#ifndef STAGGER_NODE_HASH_RING_H_
+#define STAGGER_NODE_HASH_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace stagger {
+
+/// \brief Weight-aware consistent-hash ring over shard ids.
+class HashRing {
+ public:
+  /// Virtual nodes per unit of weight.  With V points per shard the
+  /// relative spread of arc ownership shrinks like 1/sqrt(V); 1024
+  /// keeps the max/mean key load under 1.15 across seeds (pinned by
+  /// HashRingProperty.BalanceBound).
+  static constexpr int32_t kVnodesPerWeight = 1024;
+
+  explicit HashRing(uint64_t seed) : seed_(seed) {}
+
+  /// Adds `shard` with the given weight.  Re-adding an existing shard
+  /// id or a non-positive weight is a caller bug.
+  void AddShard(int32_t shard, int32_t weight = 1);
+
+  /// Removes `shard` and its points; keys it owned fall through to the
+  /// clockwise successors.  Unknown ids are a caller bug.
+  void RemoveShard(int32_t shard);
+
+  /// Shard owning `key` (the first point at or clockwise after the
+  /// key's hash).  Requires a non-empty ring.
+  int32_t ShardFor(uint64_t key) const;
+
+  /// First `replicas` distinct shards clockwise from `key` — element 0
+  /// is ShardFor(key).  Returns fewer if the ring has fewer shards.
+  std::vector<int32_t> ReplicaChainFor(uint64_t key, int32_t replicas) const;
+
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
+  uint64_t seed() const { return seed_; }
+
+  /// SplitMix64 finalizer — the ring's only hash primitive.  Public so
+  /// callers hash their keys the same way the ring hashes its points.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  struct Point {
+    uint64_t position;
+    int32_t shard;
+    bool operator<(const Point& o) const {
+      return position != o.position ? position < o.position : shard < o.shard;
+    }
+  };
+
+  uint64_t seed_;
+  std::vector<Point> points_;   // sorted by (position, shard)
+  std::vector<int32_t> shards_; // sorted shard ids currently on the ring
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_NODE_HASH_RING_H_

@@ -1,0 +1,90 @@
+// Disk-to-shard topology: the D physical disks partitioned into S
+// contiguous, balanced slices ("node groups").  Slice s owns the
+// half-open global range [D*s/S, D*(s+1)/S), so slice sizes differ by
+// at most one disk and every boundary is a pure function of (D, S).
+//
+// Staggered striping itself stays GLOBAL — a layout's fragments stride
+// across all D disks regardless of sharding, which is what the scheme's
+// aggregate-bandwidth guarantee rests on (DESIGN.md §11).  The shard
+// map therefore never rewrites layout arithmetic; it only answers which
+// node group a global disk index lives on, and converts between global
+// indices and a node's local [0, RangeSize) addressing at the explicit
+// ToLocal/ToGlobal seams.  Keeping the conversion in one place is the
+// fix for the single-address-space assumption audit: any shard-local
+// path that needs a disk index must go through these helpers instead of
+// re-deriving offsets.
+
+#ifndef STAGGER_NODE_SHARD_MAP_H_
+#define STAGGER_NODE_SHARD_MAP_H_
+
+#include <cstdint>
+
+#include "disk/disk.h"
+#include "util/check.h"
+
+namespace stagger {
+
+/// \brief Contiguous balanced partition of D disks into S shards.
+class ShardMap {
+ public:
+  ShardMap(int32_t num_disks, int32_t num_shards)
+      : num_disks_(num_disks), num_shards_(num_shards) {
+    STAGGER_CHECK(num_disks > 0);
+    STAGGER_CHECK(num_shards > 0 && num_shards <= num_disks)
+        << "cannot split " << num_disks << " disks into " << num_shards
+        << " shards";
+  }
+
+  int32_t num_disks() const { return num_disks_; }
+  int32_t num_shards() const { return num_shards_; }
+
+  /// First global disk of `shard` (shard == num_shards() gives D, so
+  /// RangeEnd of the last slice is well defined).
+  DiskId RangeBegin(int32_t shard) const {
+    STAGGER_DCHECK(shard >= 0 && shard <= num_shards_);
+    return static_cast<DiskId>(static_cast<int64_t>(num_disks_) * shard /
+                               num_shards_);
+  }
+
+  /// One past the last global disk of `shard`.
+  DiskId RangeEnd(int32_t shard) const { return RangeBegin(shard + 1); }
+
+  int32_t RangeSize(int32_t shard) const {
+    return RangeEnd(shard) - RangeBegin(shard);
+  }
+
+  /// Shard owning global disk index `disk`.
+  int32_t ShardOfDisk(DiskId disk) const {
+    STAGGER_DCHECK(disk >= 0 && disk < num_disks_);
+    // Inverse of RangeBegin: the largest s with D*s/S <= disk.
+    const int32_t s = static_cast<int32_t>(
+        (static_cast<int64_t>(disk) * num_shards_ + num_shards_ - 1) /
+        num_disks_);
+    // Integer flooring can land one high or low at slice boundaries;
+    // nudge into the owning slice.
+    if (s < num_shards_ && disk >= RangeBegin(s + 1)) return s + 1;
+    if (s > 0 && disk < RangeBegin(s)) return s - 1;
+    return s < num_shards_ ? s : num_shards_ - 1;
+  }
+
+  /// Global disk index -> the owning node's local index.
+  DiskId ToLocal(int32_t shard, DiskId global) const {
+    STAGGER_DCHECK(global >= RangeBegin(shard) && global < RangeEnd(shard))
+        << "disk " << global << " is not on shard " << shard;
+    return global - RangeBegin(shard);
+  }
+
+  /// A node's local disk index -> global index.
+  DiskId ToGlobal(int32_t shard, DiskId local) const {
+    STAGGER_DCHECK(local >= 0 && local < RangeSize(shard));
+    return RangeBegin(shard) + local;
+  }
+
+ private:
+  int32_t num_disks_;
+  int32_t num_shards_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_NODE_SHARD_MAP_H_

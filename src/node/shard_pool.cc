@@ -1,0 +1,95 @@
+#include "node/shard_pool.h"
+
+#include "util/check.h"
+
+namespace stagger {
+
+EpochPool::EpochPool(int32_t num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int32_t i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EpochPool::~EpochPool() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int32_t EpochPool::RunTasks(uint64_t base, int32_t count,
+                            const std::function<void(int32_t)>& fn) {
+  const uint64_t bound = base + static_cast<uint64_t>(count);
+  int32_t ran = 0;
+  uint64_t c = cursor_.load(std::memory_order_relaxed);
+  while (c < bound) {
+    // CAS (not fetch_add) so a claim outside [base, bound) is
+    // impossible: a stale thread cannot consume a later epoch's task.
+    if (cursor_.compare_exchange_weak(c, c + 1, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      fn(static_cast<int32_t>(c - base));
+      done_.fetch_add(1, std::memory_order_acq_rel);
+      ++ran;
+      c = cursor_.load(std::memory_order_relaxed);
+    }
+  }
+  return ran;
+}
+
+void EpochPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    uint64_t base = 0;
+    int32_t count = 0;
+    const std::function<void(int32_t)>* fn = nullptr;
+    {
+      MutexLock lock(&mu_);
+      WaitForEpochLocked(seen);
+      if (shutdown_) return;
+      seen = epoch_;
+      base = epoch_base_;
+      count = epoch_tasks_;
+      fn = epoch_fn_;
+    }
+    // `fn` stays alive while any task in [base, base+count) is
+    // unclaimed: ParallelFor cannot return before done_ reaches the
+    // epoch bound, and past the bound RunTasks never dereferences.
+    RunTasks(base, count, *fn);
+  }
+}
+
+void EpochPool::ParallelFor(int32_t num_tasks,
+                            const std::function<void(int32_t)>& fn) {
+  STAGGER_CHECK(num_tasks >= 0);
+  if (num_tasks == 0) return;
+  if (num_tasks == 1 || workers_.empty()) {
+    for (int32_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  uint64_t base = 0;
+  {
+    MutexLock lock(&mu_);
+    // The previous epoch fully drained before its ParallelFor returned,
+    // so the cursor sits exactly at the old bound == the new base.
+    base = cursor_.load(std::memory_order_relaxed);
+    epoch_base_ = base;
+    epoch_tasks_ = num_tasks;
+    epoch_fn_ = &fn;
+    ++epoch_;
+  }
+  cv_.notify_all();
+  epochs_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  RunTasks(base, num_tasks, fn);
+  // Epoch barrier: every task has not just been claimed but *finished*
+  // once the cumulative completion count reaches this epoch's bound.
+  const uint64_t bound = base + static_cast<uint64_t>(num_tasks);
+  while (done_.load(std::memory_order_acquire) < bound) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace stagger

@@ -1,0 +1,99 @@
+// EpochPool: the shard worker pool behind the scheduler's fork/join
+// tick.  Each ParallelFor call is one *epoch*: the caller publishes a
+// task batch under the pool mutex, wakes the workers, works alongside
+// them, and returns only when every task has run to completion — the
+// epoch barrier that keeps all shards on the same interval boundary.
+//
+// Task claiming is a bounded compare-exchange over a cursor that is
+// MONOTONE across epochs: epoch e owns the cursor range
+// [base_e, base_e + num_tasks_e), and bases never repeat.  A worker
+// that oversleeps an epoch wakes holding a stale (base, bound) pair,
+// but its bound is below every later epoch's base, so its CAS can never
+// succeed against a later epoch's range — it claims nothing, runs
+// nothing, and goes back to sleep.  That property is what makes it safe
+// for ParallelFor to return (destroying the caller-owned task closure)
+// while a straggler is still waking up.
+//
+// Determinism: the pool only decides *where* a task index runs, never
+// what it observes — task bodies touch exclusively per-index state (the
+// scheduler's journal contract), so any claim order is observationally
+// identical to the serial loop.
+
+#ifndef STAGGER_NODE_SHARD_POOL_H_
+#define STAGGER_NODE_SHARD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/shard_executor.h"
+#include "util/thread_annotations.h"
+
+namespace stagger {
+
+/// \brief Fork/join pool with an epoch barrier per ParallelFor call.
+class EpochPool : public ShardExecutor {
+ public:
+  /// `num_threads` counts the calling thread: a pool of N spawns N-1
+  /// workers and the ParallelFor caller supplies the Nth lane.  Values
+  /// below 2 spawn nothing and run tasks inline.
+  explicit EpochPool(int32_t num_threads);
+  ~EpochPool() override;
+
+  EpochPool(const EpochPool&) = delete;
+  EpochPool& operator=(const EpochPool&) = delete;
+
+  void ParallelFor(int32_t num_tasks,
+                   const std::function<void(int32_t)>& fn) override;
+
+  int32_t num_threads() const { return num_threads_; }
+
+  /// Epochs dispatched to workers (inline fast-path calls excluded);
+  /// observability for tests and the tick-rate stats.
+  int64_t epochs_dispatched() const {
+    return epochs_dispatched_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  /// Claims and runs tasks of the epoch whose cursor range is
+  /// [base, base + count); returns the number of tasks this thread ran.
+  int32_t RunTasks(uint64_t base, int32_t count,
+                   const std::function<void(int32_t)>& fn);
+
+  /// condition_variable_any unlocks/relocks mu_ inside wait(); the
+  /// analysis cannot see through it, so the wrapper re-asserts the
+  /// capability it provably re-holds on return.
+  void WaitForEpochLocked(uint64_t seen) STAGGER_REQUIRES(mu_) {
+    while (!shutdown_ && epoch_ == seen) cv_.wait(mu_);
+  }
+
+  const int32_t num_threads_;
+
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  uint64_t epoch_ STAGGER_GUARDED_BY(mu_) = 0;
+  uint64_t epoch_base_ STAGGER_GUARDED_BY(mu_) = 0;
+  int32_t epoch_tasks_ STAGGER_GUARDED_BY(mu_) = 0;
+  const std::function<void(int32_t)>* epoch_fn_ STAGGER_GUARDED_BY(mu_) =
+      nullptr;
+  bool shutdown_ STAGGER_GUARDED_BY(mu_) = false;
+
+  // Claim cursor and cumulative completion count, both monotone across
+  // epochs (see file comment for why monotone claiming is load-bearing).
+  // Padded apart: the cursor is hammered by claimers while the caller
+  // spins on the completion count.
+  alignas(64) std::atomic<uint64_t> cursor_{0};
+  alignas(64) std::atomic<uint64_t> done_{0};
+  std::atomic<int64_t> epochs_dispatched_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace stagger
+
+#endif  // STAGGER_NODE_SHARD_POOL_H_

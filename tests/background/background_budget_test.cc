@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "disk/disk_array.h"
 
@@ -187,6 +188,42 @@ TEST_F(BackgroundBudgetTest, PerConsumerCapIsEnforcedEveryInterval) {
   RunIntervals(5);
   EXPECT_EQ(budget_->stats(&capped).reads, 5);
   EXPECT_EQ(budget_->stats(&capped).progress_intervals, 5);
+}
+
+TEST_F(BackgroundBudgetTest, ShardTalliesPartitionTheGlobalReadCount) {
+  // 10 disks split 3 ways at [0, 3, 6) — the node/shard_map.h slice
+  // boundaries for D = 10, S = 3.  Every grant read must land in
+  // exactly one shard tally, and the tallies must sum to the global
+  // counter (the no-double-count contract AuditState pins).
+  Init(10);
+  budget_->SetShardBoundaries({0, 3, 6});
+  GreedyConsumer a("a", disks_.get());
+  GreedyConsumer b("b", disks_.get());
+  BackgroundConsumerConfig high;
+  high.priority = 0;
+  high.max_reads_per_interval = 4;
+  budget_->Register(&a, high);
+  BackgroundConsumerConfig low;
+  low.priority = 1;
+  budget_->Register(&b, low);
+  a.work_ = 7;
+  b.work_ = 8;
+
+  RunIntervals(2);
+  // Greedy low-slot-first draws: interval 0 grants a disks {0,1,2,3}
+  // (its cap) and b disks {4..9}; interval 1 grants a disks {0,1,2}
+  // (work exhausted) and b disks {3,4}.  Per shard that is
+  // {0,1,2} x 2 = 6, {3,4,5} + {3,4} = 5, and {6..9} = 4.
+  const std::vector<int64_t>& per_shard = budget_->shard_reads_granted();
+  ASSERT_EQ(per_shard.size(), 3u);
+  EXPECT_EQ(per_shard[0], 6);
+  EXPECT_EQ(per_shard[1], 5);
+  EXPECT_EQ(per_shard[2], 4);
+  int64_t total = 0;
+  for (const int64_t reads : per_shard) total += reads;
+  EXPECT_EQ(total, budget_->metrics().reads_granted);
+  EXPECT_EQ(budget_->metrics().reads_granted, 15);
+  EXPECT_TRUE(budget_->AuditState().ok());
 }
 
 }  // namespace

@@ -1,0 +1,10 @@
+// Fixture: core may not reach up into node — the scheduler depends on
+// the ShardExecutor seam, never on the pool behind it.
+#ifndef FIXTURE_CORE_TICK_H_
+#define FIXTURE_CORE_TICK_H_
+
+#include "node/ring.h"
+
+inline int Tick() { return 0; }
+
+#endif

@@ -1,0 +1,10 @@
+// Fixture: node sits above core in the DAG, so this dependency is the
+// declared direction and must stay clean.
+#ifndef FIXTURE_NODE_RING_H_
+#define FIXTURE_NODE_RING_H_
+
+#include "core/tick.h"
+
+inline int ShardOf(int key) { return key % 2; }
+
+#endif

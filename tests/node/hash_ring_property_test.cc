@@ -1,0 +1,179 @@
+// Property tests for the consistent-hash ring (node/hash_ring.h) and
+// the contiguous shard map (node/shard_map.h).
+//
+// The ring's contract has three legs, each pinned here:
+//   1. Balance: with kVnodesPerWeight points per unit weight, the
+//      busiest shard carries at most 1.15x the mean key load — across
+//      50 seeds and shard counts 2/4/8 (the ISSUE acceptance bar).
+//   2. Minimal remap: adding a shard moves keys ONLY onto the new
+//      shard; removing one moves ONLY its own keys.  No third shard's
+//      keys churn.
+//   3. Cross-platform determinism: positions are pure (seed, shard,
+//      vnode) functions — hardcoded lookups must reproduce on any
+//      machine, compiler, and standard library.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "node/hash_ring.h"
+#include "node/shard_map.h"
+
+namespace stagger {
+namespace {
+
+constexpr int64_t kKeys = 40000;
+
+HashRing MakeRing(uint64_t seed, int32_t shards) {
+  HashRing ring(seed);
+  for (int32_t s = 0; s < shards; ++s) ring.AddShard(s);
+  return ring;
+}
+
+std::vector<int64_t> KeyLoads(const HashRing& ring, int32_t shards) {
+  std::vector<int64_t> loads(static_cast<size_t>(shards), 0);
+  for (int64_t key = 0; key < kKeys; ++key) {
+    ++loads[static_cast<size_t>(
+        ring.ShardFor(static_cast<uint64_t>(key)))];
+  }
+  return loads;
+}
+
+TEST(HashRingProperty, BalanceBound) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    for (int32_t shards : {2, 4, 8}) {
+      const HashRing ring = MakeRing(seed, shards);
+      const std::vector<int64_t> loads = KeyLoads(ring, shards);
+      int64_t max_load = 0;
+      for (const int64_t load : loads) max_load = std::max(max_load, load);
+      const double mean = static_cast<double>(kKeys) / shards;
+      EXPECT_LE(static_cast<double>(max_load) / mean, 1.15)
+          << "seed " << seed << ", " << shards << " shards";
+    }
+  }
+}
+
+TEST(HashRingProperty, WeightsScaleOwnership) {
+  HashRing ring(7);
+  ring.AddShard(0, 1);
+  ring.AddShard(1, 3);  // 3x the points => ~3x the keys
+  const std::vector<int64_t> loads = KeyLoads(ring, 2);
+  const double ratio =
+      static_cast<double>(loads[1]) / static_cast<double>(loads[0]);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 3.5);
+}
+
+TEST(HashRingProperty, AddShardStealsOnlyForItself) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    HashRing before = MakeRing(seed, 4);
+    HashRing after = MakeRing(seed, 4);
+    after.AddShard(4);
+    int64_t moved = 0;
+    for (int64_t key = 0; key < kKeys; ++key) {
+      const int32_t was = before.ShardFor(static_cast<uint64_t>(key));
+      const int32_t now = after.ShardFor(static_cast<uint64_t>(key));
+      if (was != now) {
+        // A moved key may only have moved TO the new shard.
+        EXPECT_EQ(now, 4) << "seed " << seed << " key " << key;
+        ++moved;
+      }
+    }
+    // The new shard should own roughly 1/5 of the keyspace — well
+    // under the 1/2 a naive mod-hash would reshuffle.
+    EXPECT_GT(moved, kKeys / 10);
+    EXPECT_LT(moved, kKeys * 3 / 10);
+  }
+}
+
+TEST(HashRingProperty, RemoveShardMovesOnlyItsOwnKeys) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    HashRing before = MakeRing(seed, 5);
+    HashRing after = MakeRing(seed, 5);
+    after.RemoveShard(2);
+    for (int64_t key = 0; key < kKeys; ++key) {
+      const int32_t was = before.ShardFor(static_cast<uint64_t>(key));
+      const int32_t now = after.ShardFor(static_cast<uint64_t>(key));
+      if (was != 2) {
+        // Keys not owned by the removed shard must not move at all.
+        EXPECT_EQ(was, now) << "seed " << seed << " key " << key;
+      } else {
+        EXPECT_NE(now, 2);
+      }
+    }
+  }
+}
+
+TEST(HashRingProperty, ReplicaChainIsDistinctAndStartsAtHome) {
+  const HashRing ring = MakeRing(3, 8);
+  for (int64_t key = 0; key < 1000; ++key) {
+    const uint64_t k = static_cast<uint64_t>(key);
+    const std::vector<int32_t> chain = ring.ReplicaChainFor(k, 3);
+    ASSERT_EQ(chain.size(), 3u);
+    EXPECT_EQ(chain[0], ring.ShardFor(k));
+    EXPECT_NE(chain[0], chain[1]);
+    EXPECT_NE(chain[0], chain[2]);
+    EXPECT_NE(chain[1], chain[2]);
+  }
+  // Asking for more replicas than shards returns all shards once.
+  const std::vector<int32_t> all = ring.ReplicaChainFor(1, 99);
+  EXPECT_EQ(all.size(), 8u);
+}
+
+// Golden lookups: the ring is a pure function of (seed, shards, key).
+// These constants were produced by this implementation and must
+// reproduce bit-for-bit on every platform — any drift breaks
+// cross-machine placement agreement.
+TEST(HashRingProperty, DeterministicAcrossPlatforms) {
+  EXPECT_EQ(HashRing::Mix(0), 16294208416658607535ull);
+  EXPECT_EQ(HashRing::Mix(1), 10451216379200822465ull);
+  EXPECT_EQ(HashRing::Mix(0x517a66e7ull), 15898879499741857210ull);
+
+  const HashRing ring = MakeRing(0x517a66e7ull, 8);
+  std::vector<int32_t> got;
+  for (uint64_t key = 0; key < 16; ++key) got.push_back(ring.ShardFor(key));
+  const std::vector<int32_t> want = {1, 1, 1, 2, 1, 5, 1, 6,
+                                     2, 3, 0, 4, 3, 3, 1, 2};
+  EXPECT_EQ(got, want);
+  // Fingerprint of the first 4096 lookups, order-sensitive.  If this
+  // value changes the ring function changed — bump it ONLY with a
+  // conscious placement-compatibility break.
+  uint64_t fp = 0;
+  for (uint64_t key = 0; key < 4096; ++key) {
+    fp = HashRing::Mix(fp ^ (static_cast<uint64_t>(ring.ShardFor(key)) +
+                             key * 131));
+  }
+  EXPECT_EQ(fp, 7325858866932866061ull);
+}
+
+TEST(ShardMapProperty, SlicesPartitionEveryDisk) {
+  for (int32_t d : {1, 2, 7, 100, 1000, 1003}) {
+    for (int32_t s : {1, 2, 3, 8}) {
+      if (s > d) continue;
+      const ShardMap map(d, s);
+      EXPECT_EQ(map.RangeBegin(0), 0);
+      EXPECT_EQ(map.RangeEnd(s - 1), d);
+      int32_t total = 0;
+      for (int32_t i = 0; i < s; ++i) {
+        EXPECT_EQ(map.RangeEnd(i), i + 1 < s ? map.RangeBegin(i + 1) : d);
+        EXPECT_GE(map.RangeSize(i), d / s);      // balanced:
+        EXPECT_LE(map.RangeSize(i), d / s + 1);  // sizes differ by <= 1
+        total += map.RangeSize(i);
+      }
+      EXPECT_EQ(total, d);
+      for (DiskId disk = 0; disk < d; ++disk) {
+        const int32_t owner = map.ShardOfDisk(disk);
+        ASSERT_GE(owner, 0);
+        ASSERT_LT(owner, s);
+        EXPECT_GE(disk, map.RangeBegin(owner));
+        EXPECT_LT(disk, map.RangeEnd(owner));
+        EXPECT_EQ(map.ToGlobal(owner, map.ToLocal(owner, disk)), disk);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stagger

@@ -1,0 +1,247 @@
+// Differential test for sharded execution (src/node/): a striped server
+// running with --shards S and --threads T must be BIT-IDENTICAL to the
+// flat serial server (S = T = 1) — the same fragment lands on the same
+// disk in the same interval for every event of the run, and every
+// workload / scheduler / server counter matches exactly.  That is the
+// tentpole's hard requirement: num_shards and tick_threads are pure
+// execution knobs, never model knobs.
+//
+// Grid: 20 seeds (widened by STAGGER_SHARD_SEEDS in the CI sweep)
+// x {S = 2, 8} x {T = 1, 8}, each compared against the flat baseline on
+// the full read-observer trace.  shard_min_active_streams = 0 forces
+// every eligible tick through the parallel plan/apply path, and each
+// case asserts sharded_ticks > 0 so the comparison can never go vacuous
+// by silently falling back to the serial walk.
+//
+// A final case replays a seeded chaos fault plan through S = 8, T = 8:
+// degraded ticks take the serial fallback (by design — the differential
+// property holds per tick), healthy stretches shard, and the fingerprint
+// must still match the flat faulted run exactly.
+//
+// STAGGER_AUDIT builds compile the parallel path out entirely (every
+// read must cross the per-lane alignment audit), so there the sweep
+// degenerates to checking that the sharding knobs are inert no-ops —
+// sharded_ticks stays 0 and the non-vacuity assertion is skipped.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "disk/disk_array.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "server/striped_server.h"
+#include "sim/simulator.h"
+#include "storage/catalog.h"
+#include "tertiary/tertiary_manager.h"
+#include "util/rng.h"
+#include "workload/open_arrivals.h"
+
+namespace stagger {
+namespace {
+
+constexpr SimTime kInterval = SimTime::Micros(604800);
+
+int64_t NumSeeds() {
+  if (const char* env = std::getenv("STAGGER_SHARD_SEEDS")) {
+    return std::max<int64_t>(1, std::atoll(env));
+  }
+  return 20;
+}
+
+/// Everything observable about one run, rendered comparably.
+struct Fingerprint {
+  std::string schedule;  ///< every (interval, object, subobject, fragment, disk)
+  int64_t requests = 0;
+  int64_t completed = 0;
+  int64_t interrupted = 0;
+  int64_t latency_count = 0;
+  double latency_mean = 0.0;
+  int64_t sched_requested = 0;
+  int64_t sched_admitted = 0;
+  int64_t sched_cancelled = 0;
+  int64_t sched_completed = 0;
+  int64_t hiccups = 0;
+  int64_t buffered_peak = 0;
+  int64_t degraded_reads = 0;
+  int64_t reconstructed_reads = 0;
+  int64_t streams_paused = 0;
+  int64_t sharded_ticks = 0;
+  int64_t server_requests = 0;
+  int64_t resident_hits = 0;
+};
+
+struct RunSpec {
+  uint64_t seed = 1;
+  int32_t num_shards = 1;
+  int32_t tick_threads = 1;
+  bool faults = false;
+};
+
+Fingerprint RunOnce(const RunSpec& spec) {
+  Fingerprint fp;
+  Simulator sim;
+  Catalog catalog = Catalog::Uniform(24, 100, Bandwidth::Mbps(100));
+  auto disks = DiskArray::Create(50, DiskParameters::Evaluation());
+  EXPECT_TRUE(disks.ok());
+  TertiaryManager tertiary(&sim, TertiaryDevice(TertiaryParameters{}));
+
+  std::ostringstream schedule;
+  StripedConfig config;
+  config.stride = 5;
+  config.interval = kInterval;
+  config.preload_objects = catalog.size();
+  config.num_shards = spec.num_shards;
+  config.tick_threads = spec.tick_threads;
+  config.shard_min_active_streams = 0;  // shard every eligible tick
+  config.read_observer = [&schedule](int64_t interval, ObjectId object,
+                                     int64_t subobject, int32_t fragment,
+                                     int32_t disk) {
+    schedule << interval << ':' << object << '.' << subobject << '/'
+             << fragment << '@' << disk << '\n';
+  };
+  if (spec.faults) {
+    config.parity = true;
+    config.degraded_policy = DegradedPolicy::kReconstruct;
+  }
+  auto server =
+      StripedServer::Create(&sim, &catalog, &*disks, &tertiary, config);
+  EXPECT_TRUE(server.ok()) << server.status();
+
+  std::unique_ptr<FaultInjector> injector;
+  if (spec.faults) {
+    ChaosParams cp;
+    cp.horizon = SimTime::Minutes(90);
+    cp.mtbf = SimTime::Hours(4);
+    cp.mttr = SimTime::Minutes(10);
+    Rng rng(spec.seed * 7919 + 17);
+    FaultPlan plan = FaultPlan::Generate(&rng, 50, cp);
+    auto created = FaultInjector::Create(&sim, &*disks, plan);
+    EXPECT_TRUE(created.ok()) << created.status();
+    injector = *std::move(created);
+    StripedServer* s = server->get();
+    injector->OnDown(
+        [s](DiskId disk, SimTime now) { s->OnDiskDown(disk, now); });
+    injector->OnUp([s](DiskId disk, SimTime now) { s->OnDiskUp(disk, now); });
+  }
+
+  auto popularity = TruncatedGeometric::FromMean(24, 6);
+  EXPECT_TRUE(popularity.ok());
+  OpenArrivalsConfig oc;
+  oc.mean_interarrival = SimTime::Seconds(15);
+  oc.seed = spec.seed;
+  oc.measure_start = SimTime::Minutes(10);
+  OpenArrivals arrivals(&sim, server->get(), &*popularity, std::move(oc));
+  arrivals.Start();
+  sim.RunUntil(SimTime::Minutes(90));
+  arrivals.Stop();
+  sim.RunUntil(SimTime::Minutes(120));  // drain in-flight displays
+
+  fp.schedule = schedule.str();
+  fp.requests = arrivals.requests_issued();
+  fp.completed = arrivals.displays_completed();
+  fp.interrupted = arrivals.displays_interrupted();
+  fp.latency_count = arrivals.startup_latency_sec().count();
+  fp.latency_mean = arrivals.startup_latency_sec().mean();
+  const SchedulerMetrics& sm = (*server)->scheduler_metrics();
+  fp.sched_requested = sm.displays_requested;
+  fp.sched_admitted = sm.displays_admitted;
+  fp.sched_cancelled = sm.displays_cancelled;
+  fp.sched_completed = sm.displays_completed;
+  fp.hiccups = sm.hiccups;
+  fp.buffered_peak = sm.peak_buffered_fragments;
+  fp.degraded_reads = sm.degraded_reads;
+  fp.reconstructed_reads = sm.reconstructed_reads;
+  fp.streams_paused = sm.streams_paused;
+  fp.sharded_ticks = sm.sharded_ticks;
+  fp.server_requests = (*server)->metrics().requests;
+  fp.resident_hits = (*server)->metrics().resident_hits;
+  return fp;
+}
+
+// Asserts the parallel plan/apply path actually ran — except in audit
+// builds, where it is compiled out and every tick stays serial.
+void ExpectParallelPathRan(const Fingerprint& sharded) {
+#ifdef STAGGER_AUDIT
+  EXPECT_EQ(sharded.sharded_ticks, 0) << "audit build took the parallel path";
+#else
+  ASSERT_GT(sharded.sharded_ticks, 0) << "parallel path never ran";
+#endif
+}
+
+void ExpectIdentical(const Fingerprint& sharded, const Fingerprint& flat) {
+  // The flat run produced work (the comparison is not vacuous)...
+  ASSERT_GT(flat.requests, 0);
+  ASSERT_GT(flat.completed, 0);
+  ASSERT_FALSE(flat.schedule.empty());
+  // ...and the serial baseline never entered the parallel path.
+  ASSERT_EQ(flat.sharded_ticks, 0);
+
+  EXPECT_EQ(sharded.schedule, flat.schedule);
+  EXPECT_EQ(sharded.requests, flat.requests);
+  EXPECT_EQ(sharded.completed, flat.completed);
+  EXPECT_EQ(sharded.interrupted, flat.interrupted);
+  EXPECT_EQ(sharded.latency_count, flat.latency_count);
+  EXPECT_EQ(sharded.latency_mean, flat.latency_mean);  // bit-exact
+  EXPECT_EQ(sharded.sched_requested, flat.sched_requested);
+  EXPECT_EQ(sharded.sched_admitted, flat.sched_admitted);
+  EXPECT_EQ(sharded.sched_cancelled, flat.sched_cancelled);
+  EXPECT_EQ(sharded.sched_completed, flat.sched_completed);
+  EXPECT_EQ(sharded.hiccups, flat.hiccups);
+  EXPECT_EQ(sharded.buffered_peak, flat.buffered_peak);
+  EXPECT_EQ(sharded.degraded_reads, flat.degraded_reads);
+  EXPECT_EQ(sharded.reconstructed_reads, flat.reconstructed_reads);
+  EXPECT_EQ(sharded.streams_paused, flat.streams_paused);
+  EXPECT_EQ(sharded.server_requests, flat.server_requests);
+  EXPECT_EQ(sharded.resident_hits, flat.resident_hits);
+}
+
+class ShardedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardedDifferentialTest, BitIdenticalToFlatAcrossShardsAndThreads) {
+  const uint64_t seed = GetParam();
+  const Fingerprint flat = RunOnce({seed, 1, 1, false});
+  for (const int32_t shards : {2, 8}) {
+    for (const int32_t threads : {1, 8}) {
+      SCOPED_TRACE(testing::Message() << "seed " << seed << " shards "
+                                      << shards << " threads " << threads);
+      const Fingerprint sharded = RunOnce({seed, shards, threads, false});
+      ExpectParallelPathRan(sharded);
+      ExpectIdentical(sharded, flat);
+    }
+  }
+}
+
+TEST_P(ShardedDifferentialTest, ChaosFaultedRunStaysBitIdentical) {
+  const uint64_t seed = GetParam();
+  const Fingerprint flat = RunOnce({seed, 1, 1, true});
+  const Fingerprint sharded = RunOnce({seed, 8, 8, true});
+  // Degraded intervals fall back to the serial walk by design; the
+  // healthy stretches must still shard (chaos outages are sparse).
+  ExpectParallelPathRan(sharded);
+  ExpectIdentical(sharded, flat);
+}
+
+std::vector<uint64_t> MakeSeeds() {
+  std::vector<uint64_t> cases;
+  for (int64_t s = 1; s <= NumSeeds(); ++s) {
+    cases.push_back(static_cast<uint64_t>(s));
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<uint64_t>& info) {
+  std::ostringstream os;
+  os << "s" << info.param;
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedDifferentialTest,
+                         ::testing::ValuesIn(MakeSeeds()), CaseName);
+
+}  // namespace
+}  // namespace stagger
